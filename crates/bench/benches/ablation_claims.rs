@@ -1,0 +1,72 @@
+//! Ablation of the claimpoint extension (§5.7).
+//!
+//! The paper reports "a decrease of about 75% in the number of
+//! unroutable nets" from claimpoints. The bench prints the measured
+//! failure counts with and without claims (retry pass disabled to
+//! isolate the mechanism) and times both configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netart::place::PlaceConfig;
+use netart::route::RouteConfig;
+use netart::Generator;
+use netart_workloads::{life, random_network, RandomSpec};
+
+fn failures(claims: bool) -> (usize, usize) {
+    let mut failed = 0;
+    let mut total = 0;
+    for seed in 0..8 {
+        let spec = RandomSpec::new(14, 24).with_seed(seed).with_max_fanout(4);
+        let network = random_network(&spec);
+        total += network.net_count();
+        let mut route = RouteConfig::new().with_margin(3).without_retry();
+        route.claimpoints = claims;
+        let out = Generator::new()
+            .with_placing(PlaceConfig::strings())
+            .with_routing(route)
+            .generate(network);
+        failed += out.report.failed.len();
+    }
+    let network = life::network();
+    total += network.net_count();
+    let mut route = RouteConfig::new().without_retry();
+    route.claimpoints = claims;
+    let out = Generator::new()
+        .with_routing(route)
+        .route_only(network.clone(), life::hand_placement(&network));
+    failed += out.report.failed.len();
+    (failed, total)
+}
+
+fn bench_claims(c: &mut Criterion) {
+    let (with, total) = failures(true);
+    let (without, _) = failures(false);
+    eprintln!(
+        "claimpoints ablation over {total} nets: {without} unroutable without claims, \
+         {with} with claims ({:.0}% reduction; paper: ~75%)",
+        if without > 0 {
+            100.0 * (without as f64 - with as f64) / without as f64
+        } else {
+            0.0
+        }
+    );
+
+    let mut g = c.benchmark_group("claimpoints");
+    g.sample_size(10);
+    for (name, claims) in [("with_claims", true), ("without_claims", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let network = life::network();
+                let mut route = RouteConfig::new().without_retry();
+                route.claimpoints = claims;
+                Generator::new()
+                    .with_routing(route)
+                    .route_only(network.clone(), life::hand_placement(&network))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_claims);
+criterion_main!(benches);

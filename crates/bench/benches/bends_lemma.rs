@@ -1,0 +1,96 @@
+//! The §4.6.4 lemma and placement baselines.
+//!
+//! The lemma: with a fixed level assignment, the string placement's
+//! rotations and shifts admit connecting nets with a minimum number of
+//! bends — straight wires when the terminals align. The bench verifies
+//! the zero-bend property on generated strings and compares PABLO
+//! against the three baseline placers (§4.2–4.3) on placement time and
+//! resulting routability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netart::diagram::Diagram;
+use netart::place::{baseline, Pablo, PlaceConfig};
+use netart::route::{Eureka, RouteConfig};
+use netart_workloads::{controller_cluster, string_chain};
+
+fn route_quality(diagram: &mut Diagram) -> (usize, u64, u64) {
+    let report = Eureka::new(RouteConfig::default()).route(diagram);
+    let m = diagram.metrics();
+    (report.routed.len(), m.total_bends, m.total_length)
+}
+
+fn bench_lemma(c: &mut Criterion) {
+    // Lemma check: a routed chain has straight inter-module wires.
+    let net = string_chain(8);
+    let cfg = PlaceConfig::strings()
+        .with_max_part_size(8)
+        .with_max_box_size(8);
+    let placement = Pablo::new(cfg).place(&net);
+    let mut diagram = Diagram::new(net, placement);
+    let (routed, bends, _) = route_quality(&mut diagram);
+    eprintln!("lemma: chain of 8 routed {routed}/8 with {bends} total bends (expect 0–2)");
+    assert!(bends <= 2, "lemma violated: {bends} bends");
+
+    // Baselines on the 16-module cluster: placement time and the
+    // routing quality each placement affords.
+    let net = controller_cluster();
+    for (name, placement) in [
+        ("pablo_p7b5", Pablo::new(PlaceConfig::strings()).place(&net)),
+        ("epitaxial", baseline::epitaxial::place(&net, 2)),
+        ("mincut", baseline::mincut::place(&net, 2)),
+        ("columnar", baseline::columnar::place(&net, 2)),
+    ] {
+        let mut diagram = Diagram::new(net.clone(), placement);
+        let (routed, bends, length) = route_quality(&mut diagram);
+        eprintln!(
+            "{name}: routed {routed}/24, bends {bends}, length {length}, check {}",
+            if diagram.check().is_ok() { "ok" } else { "VIOLATIONS" }
+        );
+    }
+
+    // §4.2.1: the rejected improvement class, measured. Pairwise
+    // exchange on top of the epitaxial placement: how much wire does it
+    // save, and what does it cost relative to constructive placement?
+    let mut improved = baseline::epitaxial::place(&net, 2);
+    let report = baseline::exchange::improve(&net, &mut improved, 8);
+    eprintln!(
+        "exchange improvement: {} accepted of {} tried, wire estimate {} -> {} ({:.1}% gain)",
+        report.accepted,
+        report.tried,
+        report.before,
+        report.after,
+        100.0 * (report.before - report.after) as f64 / report.before.max(1) as f64,
+    );
+
+    // §3.3: the exact optimum on a tiny instance versus the heuristic
+    // under the same slot model.
+    let tiny = string_chain(6);
+    let slots = baseline::exact::grid_slots(6, 10);
+    let optimal = baseline::exact::solve(&tiny, &slots).expect("enough slots");
+    eprintln!(
+        "exact assignment optimum for a 6-chain on a 3x2 grid: cost {}",
+        optimal.cost
+    );
+
+    let mut g = c.benchmark_group("placement_algorithms");
+    g.bench_function("pablo_p7b5", |b| {
+        b.iter(|| Pablo::new(PlaceConfig::strings()).place(&net))
+    });
+    g.bench_function("epitaxial", |b| b.iter(|| baseline::epitaxial::place(&net, 2)));
+    g.bench_function("mincut", |b| b.iter(|| baseline::mincut::place(&net, 2)));
+    g.bench_function("columnar", |b| b.iter(|| baseline::columnar::place(&net, 2)));
+    g.bench_function("exchange_improve", |b| {
+        b.iter(|| {
+            let mut p = baseline::epitaxial::place(&net, 2);
+            baseline::exchange::improve(&net, &mut p, 8)
+        })
+    });
+    g.bench_function("exact_6_modules", |b| {
+        b.iter(|| baseline::exact::solve(&tiny, &slots))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lemma);
+criterion_main!(benches);

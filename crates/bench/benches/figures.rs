@@ -1,0 +1,57 @@
+//! Regenerates figures 6.1–6.7 and benchmarks each regeneration,
+//! printing the structural summary the figures show (partition/box
+//! structure, routing completion, quality metrics) before timing it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netart_bench::{fig6_1, fig6_2, fig6_3, fig6_4, fig6_5, fig6_6, fig6_7, Row};
+
+fn summarize(row: &Row, diagram: &netart::diagram::Diagram) {
+    let structure = diagram
+        .placement()
+        .structure()
+        .map(|s| {
+            format!(
+                "{} partitions, {} boxes, longest string {}",
+                s.partition_count(),
+                s.box_count(),
+                s.longest_string()
+            )
+        })
+        .unwrap_or_else(|| "hand/edited placement".to_owned());
+    eprintln!(
+        "{}: {structure}; routed {}/{}; {}; check {}",
+        row.label,
+        row.routed,
+        row.nets,
+        row.metrics,
+        if diagram.check().is_ok() { "ok" } else { "VIOLATIONS" }
+    );
+}
+
+/// A figure regenerator: builds the row and the finished diagram.
+type FigureFn = fn() -> (Row, netart::diagram::Diagram);
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    let cases: [(&str, FigureFn); 7] = [
+        ("fig6_1", fig6_1),
+        ("fig6_2", fig6_2),
+        ("fig6_3", fig6_3),
+        ("fig6_4", fig6_4),
+        ("fig6_5", fig6_5),
+        ("fig6_6", fig6_6),
+        ("fig6_7", fig6_7),
+    ];
+    for (name, f) in cases {
+        let (row, diagram) = f();
+        summarize(&row, &diagram);
+        g.bench_function(name, |b| b.iter(f));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! The §5.2/§5.4 router class comparison: line expansion versus the
+//! Lee maze runner and the Hightower line router on a fixed set of
+//! random mazes.
+//!
+//! Prints completion/bends/length aggregates (the qualitative claims:
+//! Lee complete and length-optimal, line expansion complete and
+//! bend-frugal, Hightower fast but incomplete), then times each router
+//! over the full maze set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netart::geom::{Dir, Point, Rect, Segment};
+use netart::netlist::NetId;
+use netart::route::{hightower, lee, line_expansion, ObstacleKind, ObstacleMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Maze {
+    map: ObstacleMap,
+    bounds: Rect,
+    from: Point,
+    to: Point,
+}
+
+fn random_maze(seed: u64) -> Option<Maze> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = rng.gen_range(24..48);
+    let h = rng.gen_range(20..40);
+    let bounds = Rect::new(Point::new(0, 0), w, h);
+    let mut map = ObstacleMap::new();
+    map.add_rect(&bounds, ObstacleKind::Module);
+    let mut rects = Vec::new();
+    for _ in 0..rng.gen_range(3..9) {
+        let rw = rng.gen_range(2..9);
+        let rh = rng.gen_range(2..9);
+        let x = rng.gen_range(1..(w - rw).max(2));
+        let y = rng.gen_range(1..(h - rh).max(2));
+        let r = Rect::new(Point::new(x, y), rw, rh);
+        map.add_rect(&r, ObstacleKind::Module);
+        rects.push(r);
+    }
+    let mut used = Vec::new();
+    for n in 0..rng.gen_range(0..4) {
+        let track = rng.gen_range(2..h - 2);
+        if used.contains(&track) {
+            continue;
+        }
+        used.push(track);
+        let lo = rng.gen_range(1..w / 2);
+        let hi = rng.gen_range(w / 2..w - 1);
+        map.add(
+            Segment::horizontal(track, lo, hi),
+            ObstacleKind::Net(NetId::from_index(100 + n)),
+        );
+    }
+    let clear = |p: Point| {
+        bounds.contains_strictly(p)
+            && !rects.iter().any(|r| r.contains(p))
+            && !map.point_matches(p, |_| true)
+    };
+    let mut pick = || {
+        for _ in 0..200 {
+            let p = Point::new(rng.gen_range(1..w), rng.gen_range(1..h));
+            if clear(p) {
+                return Some(p);
+            }
+        }
+        None
+    };
+    let from = pick()?;
+    let to = pick()?;
+    (from != to).then_some(Maze { map, bounds, from, to })
+}
+
+fn mazes() -> Vec<Maze> {
+    (0..200).filter_map(random_maze).collect()
+}
+
+fn bench_routers(c: &mut Criterion) {
+    let set = mazes();
+    let nid = NetId::from_index(0);
+
+    // Print the qualitative comparison first.
+    let mut agg = [(0usize, 0u64, 0u64); 3];
+    for m in &set {
+        let results = [
+            line_expansion::route_two_points(&m.map, (m.from, &Dir::ALL), (m.to, &Dir::ALL), nid),
+            lee::route_two_points(&m.map, m.bounds.inflate(-1), m.from, m.to, nid),
+            hightower::route_two_points(&m.map, m.bounds.inflate(-1), m.from, m.to),
+        ];
+        for (i, r) in results.iter().enumerate() {
+            if let Some(p) = r {
+                agg[i].0 += 1;
+                agg[i].1 += u64::from(p.bends());
+                agg[i].2 += u64::from(p.length());
+            }
+        }
+    }
+    for (name, (solved, bends, length)) in
+        ["line_expansion", "lee", "hightower"].iter().zip(agg)
+    {
+        eprintln!(
+            "{name}: solved {solved}/{} bends {bends} length {length}",
+            set.len()
+        );
+    }
+
+    let mut g = c.benchmark_group("router_comparison");
+    g.sample_size(10);
+    g.bench_function("line_expansion", |b| {
+        b.iter(|| {
+            set.iter()
+                .filter_map(|m| {
+                    line_expansion::route_two_points(
+                        &m.map,
+                        (m.from, &Dir::ALL),
+                        (m.to, &Dir::ALL),
+                        nid,
+                    )
+                })
+                .count()
+        })
+    });
+    g.bench_function("lee", |b| {
+        b.iter(|| {
+            set.iter()
+                .filter_map(|m| {
+                    lee::route_two_points(&m.map, m.bounds.inflate(-1), m.from, m.to, nid)
+                })
+                .count()
+        })
+    });
+    g.bench_function("hightower", |b| {
+        b.iter(|| {
+            set.iter()
+                .filter_map(|m| {
+                    hightower::route_two_points(&m.map, m.bounds.inflate(-1), m.from, m.to)
+                })
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_routers);
+criterion_main!(benches);

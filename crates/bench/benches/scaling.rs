@@ -1,0 +1,36 @@
+//! The §5.8 complexity observation: routing cost grows with design
+//! size and congestion (the number of candidate paths, i.e. bends,
+//! explodes on bad placements). The bench sweeps random network sizes
+//! through the full pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netart_bench::life_auto_generator;
+use netart_workloads::{random_network, RandomSpec};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling");
+    g.sample_size(10);
+    for (modules, nets) in [(8, 12), (16, 24), (24, 40), (32, 56)] {
+        let spec = RandomSpec::new(modules, nets).with_seed(7).with_max_fanout(3);
+        // Summary line per size (completion should stay high).
+        let network = random_network(&spec);
+        let out = life_auto_generator().generate(network);
+        eprintln!(
+            "{modules} modules: routed {}/{} (place {:?}, route {:?})",
+            out.report.routed.len(),
+            out.report.routed.len() + out.report.failed.len(),
+            out.place_time,
+            out.route_time
+        );
+        g.bench_with_input(
+            BenchmarkId::new("generate", modules),
+            &spec,
+            |b, spec| b.iter(|| life_auto_generator().generate(random_network(spec))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion timings for every row of the paper's table 6.1.
+//!
+//! Each benchmark runs the same generator pipeline as the row in the
+//! reproduction report; absolute numbers land in `target/criterion`,
+//! relative shape (figures 6.6 vs 6.7 in particular) is what the paper
+//! established.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netart::place::PlaceConfig;
+use netart::Generator;
+use netart_bench::life_auto_generator;
+use netart_workloads::{controller_cluster, life, string_chain};
+
+fn bench_rows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_6_1");
+    g.sample_size(10);
+
+    g.bench_function("fig6_1_chain", |b| {
+        b.iter(|| {
+            let gen = Generator::new()
+                .with_placing(PlaceConfig::strings().with_max_box_size(6));
+            gen.generate(string_chain(6))
+        })
+    });
+    g.bench_function("fig6_2_cluster_p1b1", |b| {
+        b.iter(|| Generator::new().generate(controller_cluster()))
+    });
+    g.bench_function("fig6_3_cluster_p5b1", |b| {
+        b.iter(|| {
+            Generator::new()
+                .with_placing(PlaceConfig::clusters())
+                .generate(controller_cluster())
+        })
+    });
+    g.bench_function("fig6_4_cluster_p7b5", |b| {
+        b.iter(|| {
+            Generator::new()
+                .with_placing(PlaceConfig::strings())
+                .generate(controller_cluster())
+        })
+    });
+    g.bench_function("fig6_6_life_hand_route", |b| {
+        b.iter(|| {
+            let network = life::network();
+            let hand = life::hand_placement(&network);
+            Generator::new().route_only(network, hand)
+        })
+    });
+    g.bench_function("fig6_7_life_auto_full", |b| {
+        b.iter(|| life_auto_generator().generate(life::network()))
+    });
+    g.finish();
+
+    // Placement alone (the paper's placement column).
+    let mut g = c.benchmark_group("table_6_1_placement_only");
+    g.bench_function("fig6_4_place", |b| {
+        let net = controller_cluster();
+        b.iter(|| netart::place::Pablo::new(PlaceConfig::strings()).place(&net))
+    });
+    g.bench_function("fig6_7_place", |b| {
+        let net = life::network();
+        b.iter(|| {
+            netart::place::Pablo::new(
+                PlaceConfig::strings()
+                    .with_module_spacing(2)
+                    .with_box_spacing(3)
+                    .with_part_spacing(5),
+            )
+            .place(&net)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rows);
+criterion_main!(benches);

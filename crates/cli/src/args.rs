@@ -1,0 +1,190 @@
+//! A small deterministic option parser in the spirit of 1989 `getopt`:
+//! single-dash flags, some taking a value, plus positional operands.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error from option parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A flag the command does not know.
+    UnknownFlag(String),
+    /// A value-taking flag at the end of the line.
+    MissingValue(String),
+    /// A flag value that failed to parse.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The offending value.
+        value: String,
+    },
+    /// Wrong number of positional operands.
+    Positionals {
+        /// Allowed range, inclusive.
+        expected: (usize, usize),
+        /// What arrived.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::UnknownFlag(flag) => write!(f, "unknown option `{flag}`"),
+            ArgError::MissingValue(flag) => write!(f, "option `{flag}` needs a value"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "option `{flag}`: bad value `{value}`")
+            }
+            ArgError::Positionals { expected, got } => write!(
+                f,
+                "expected {}..{} file operand(s), got {got}",
+                expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl Error for ArgError {}
+
+/// The result of parsing: flag → value (empty string for boolean
+/// flags) and positional operands in order.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    flags: HashMap<String, String>,
+    positionals: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Parses `argv` (without the program name).
+    ///
+    /// `value_flags` lists the options that consume the next argument;
+    /// `bool_flags` the ones that do not. `positional_range` bounds the
+    /// number of file operands (inclusive).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArgError`] condition.
+    pub fn parse(
+        argv: &[String],
+        value_flags: &[&str],
+        bool_flags: &[&str],
+        positional_range: (usize, usize),
+    ) -> Result<Self, ArgError> {
+        let mut out = ParsedArgs::default();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            if let Some(flag) = arg.strip_prefix('-').filter(|f| !f.is_empty()) {
+                // normalise --long to long, -p to p
+                let flag = flag.strip_prefix('-').unwrap_or(flag);
+                if value_flags.contains(&flag) {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(arg.clone()))?;
+                    out.flags.insert(flag.to_owned(), value.clone());
+                } else if bool_flags.contains(&flag) {
+                    out.flags.insert(flag.to_owned(), String::new());
+                } else {
+                    return Err(ArgError::UnknownFlag(arg.clone()));
+                }
+            } else {
+                out.positionals.push(arg.clone());
+            }
+        }
+        let got = out.positionals.len();
+        if got < positional_range.0 || got > positional_range.1 {
+            return Err(ArgError::Positionals {
+                expected: positional_range,
+                got,
+            });
+        }
+        Ok(out)
+    }
+
+    /// `true` when the flag was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    /// The raw value of a value-taking flag.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Parses a flag's value, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::BadValue`] when present but unparsable.
+    pub fn parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_owned(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// The positional operands.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn mixed_flags_and_positionals() {
+        let a = ParsedArgs::parse(
+            &argv("-p 7 -g nets.txt calls.txt"),
+            &["p"],
+            &["g"],
+            (1, 3),
+        )
+        .unwrap();
+        assert_eq!(a.parsed("p", 1usize).unwrap(), 7);
+        assert!(a.has("g"));
+        assert!(!a.has("b"));
+        assert_eq!(a.positionals(), &["nets.txt", "calls.txt"]);
+        assert_eq!(a.parsed("b", 42usize).unwrap(), 42, "default");
+    }
+
+    #[test]
+    fn long_flags_normalise() {
+        let a = ParsedArgs::parse(&argv("--order most nets.txt"), &["order"], &[], (1, 1)).unwrap();
+        assert_eq!(a.value("order"), Some("most"));
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            ParsedArgs::parse(&argv("-z"), &[], &[], (0, 0)).unwrap_err(),
+            ArgError::UnknownFlag("-z".into())
+        );
+        assert_eq!(
+            ParsedArgs::parse(&argv("-p"), &["p"], &[], (0, 0)).unwrap_err(),
+            ArgError::MissingValue("-p".into())
+        );
+        let a = ParsedArgs::parse(&argv("-p x"), &["p"], &[], (0, 0)).unwrap();
+        assert!(matches!(a.parsed("p", 0usize), Err(ArgError::BadValue { .. })));
+        assert!(matches!(
+            ParsedArgs::parse(&argv("a b c"), &[], &[], (0, 1)),
+            Err(ArgError::Positionals { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(ArgError::UnknownFlag("-z".into()).to_string().contains("-z"));
+        assert!(ArgError::Positionals { expected: (1, 3), got: 0 }
+            .to_string()
+            .contains("1..3"));
+    }
+}

@@ -1,0 +1,17 @@
+//! The `eureka` program; see [`netart_cli::run_eureka`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match netart_cli::run_eureka(&argv) {
+        Ok(message) => {
+            println!("{message}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("eureka: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! The `netart` umbrella program: the full pipeline in one invocation;
+//! see [`netart_cli::run_netart`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match netart_cli::run_netart(&argv) {
+        Ok(message) => {
+            println!("{message}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("netart: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! The `pablo` program; see [`netart_cli::run_pablo`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match netart_cli::run_pablo(&argv) {
+        Ok(message) => {
+            println!("{message}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pablo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! The `quinto` program; see [`netart_cli::run_quinto`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match netart_cli::run_quinto(&argv) {
+        Ok(message) => {
+            println!("{message}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("quinto: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,560 @@
+//! The `pablo`, `eureka` and `quinto` command implementations.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use netart::diagram::{escher, svg, Diagram};
+use netart::netlist::format::{self, quinto};
+use netart::netlist::{Library, Network};
+use netart::place::{Pablo, PlaceConfig};
+use netart::route::{Eureka, NetOrder, RouteConfig};
+
+use crate::{ArgError, ParsedArgs};
+
+/// Any failure of a CLI run.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ArgError),
+    /// Filesystem trouble.
+    Io {
+        /// Path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A file failed to parse.
+    Parse {
+        /// Path involved.
+        path: PathBuf,
+        /// Parser message.
+        message: String,
+    },
+    /// Anything else, explained.
+    Other(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            CliError::Parse { path, message } => write!(f, "{}: {message}", path.display()),
+            CliError::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+fn read(path: &Path) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.to_owned(),
+        source,
+    })
+}
+
+fn write(path: &Path, contents: &str) -> Result<(), CliError> {
+    fs::write(path, contents).map_err(|source| CliError::Io {
+        path: path.to_owned(),
+        source,
+    })
+}
+
+/// Loads every `*.qto` quinto module description in the library
+/// directory (`-L`, falling back to `$USER_LIB` like the paper's
+/// tools).
+fn load_library(args: &ParsedArgs) -> Result<Library, CliError> {
+    let dir = match args.value("L") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::var_os("USER_LIB")
+            .map(PathBuf::from)
+            .ok_or_else(|| {
+                CliError::Other("no module library: pass -L <dir> or set USER_LIB".into())
+            })?,
+    };
+    let mut lib = Library::new();
+    let entries = fs::read_dir(&dir).map_err(|source| CliError::Io {
+        path: dir.clone(),
+        source,
+    })?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "qto"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::Other(format!(
+            "no .qto module descriptions in {}",
+            dir.display()
+        )));
+    }
+    for p in paths {
+        let template = quinto::parse_module(&read(&p)?).map_err(|e| CliError::Parse {
+            path: p.clone(),
+            message: e.to_string(),
+        })?;
+        lib.add_template(template).map_err(|e| CliError::Parse {
+            path: p,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(lib)
+}
+
+/// Parses the Appendix A positional files `net-list call-file
+/// [io-file]`.
+fn load_network(args: &ParsedArgs) -> Result<Network, CliError> {
+    let lib = load_library(args)?;
+    let files = args.positionals();
+    let net_list = read(Path::new(&files[0]))?;
+    let calls = read(Path::new(&files[1]))?;
+    let io = match files.get(2) {
+        Some(f) => Some(read(Path::new(f))?),
+        None => None,
+    };
+    format::parse_network(lib, &net_list, &calls, io.as_deref()).map_err(|e| CliError::Parse {
+        path: PathBuf::from(&files[0]),
+        message: e.to_string(),
+    })
+}
+
+fn emit_diagram(args: &ParsedArgs, name: &str, diagram: &Diagram) -> Result<String, CliError> {
+    let out = args.value("o").unwrap_or(name);
+    let esc = PathBuf::from(format!("{out}.esc"));
+    write(&esc, &escher::write_diagram(out, diagram))?;
+    let svg_path = PathBuf::from(format!("{out}.svg"));
+    write(&svg_path, &svg::render(diagram))?;
+    Ok(format!("wrote {} and {}", esc.display(), svg_path.display()))
+}
+
+/// `pablo [-p n] [-b n] [-c n] [-e n] [-i n] [-s n] [-g preplaced.esc]
+/// [-L libdir] [-o name] net-list call-file [io-file]`
+///
+/// Places the network (Appendix E). With `-g` the given ESCHER diagram
+/// is kept as the preplaced part. Writes `<name>.esc` / `<name>.svg`
+/// with modules and terminals only — nets are EUREKA's job — and
+/// returns a human-readable summary.
+///
+/// # Errors
+///
+/// Any [`CliError`] condition.
+pub fn run_pablo(argv: &[String]) -> Result<String, CliError> {
+    let args = ParsedArgs::parse(
+        argv,
+        &["p", "b", "c", "e", "i", "s", "g", "L", "o"],
+        &[],
+        (2, 3),
+    )?;
+    let network = load_network(&args)?;
+
+    let mut config = PlaceConfig::new()
+        .with_max_part_size(args.parsed("p", 1usize)?)
+        .with_max_box_size(args.parsed("b", 1usize)?)
+        .with_part_spacing(args.parsed("e", 0i32)?)
+        .with_box_spacing(args.parsed("i", 0i32)?)
+        .with_module_spacing(args.parsed("s", 0i32)?);
+    if let Some(c) = args.value("c") {
+        config = config.with_max_connections(c.parse().map_err(|_| ArgError::BadValue {
+            flag: "c".into(),
+            value: c.into(),
+        })?);
+    }
+
+    let preplaced = match args.value("g") {
+        Some(file) => {
+            let path = Path::new(file);
+            let diagram =
+                escher::parse_diagram(network.clone(), &read(path)?).map_err(|e| {
+                    CliError::Parse {
+                        path: path.to_owned(),
+                        message: e.to_string(),
+                    }
+                })?;
+            let (_, placement, _) = diagram.into_parts();
+            placement
+        }
+        None => netart::diagram::Placement::new(&network),
+    };
+
+    let placement = Pablo::new(config).place_with_preplaced(&network, preplaced);
+    let structure = placement
+        .structure()
+        .map(|s| {
+            format!(
+                "{} partitions, {} boxes, longest string {}",
+                s.partition_count(),
+                s.box_count(),
+                s.longest_string()
+            )
+        })
+        .unwrap_or_default();
+    let diagram = Diagram::new(network, placement);
+    let files = emit_diagram(&args, "pablo_out", &diagram)?;
+    Ok(format!(
+        "placed {} modules and {} terminals ({structure}); {files}",
+        diagram.network().module_count(),
+        diagram.network().system_term_count(),
+    ))
+}
+
+/// `eureka [-u] [-d] [-r] [-l] [-s] [-m margin] [--order def|most|few]
+/// [--no-claims] [-L libdir] [-o name] --diagram placed.esc net-list
+/// call-file [io-file]`
+///
+/// Routes the nets of a placed diagram (Appendix F). The placement
+/// comes from `--diagram` (a pablo or hand-edited ESCHER file, possibly
+/// with prerouted nets); the netlist files supply the connection rules.
+///
+/// # Errors
+///
+/// Any [`CliError`] condition.
+pub fn run_eureka(argv: &[String]) -> Result<String, CliError> {
+    let args = ParsedArgs::parse(
+        argv,
+        &["m", "order", "L", "o", "diagram"],
+        &["u", "d", "r", "l", "s", "no-claims"],
+        (2, 3),
+    )?;
+    let network = load_network(&args)?;
+
+    let diagram_file = args
+        .value("diagram")
+        .ok_or_else(|| CliError::Other("eureka needs --diagram <placed.esc>".into()))?;
+    let path = Path::new(diagram_file);
+    let mut diagram =
+        escher::parse_diagram(network, &read(path)?).map_err(|e| CliError::Parse {
+            path: path.to_owned(),
+            message: e.to_string(),
+        })?;
+
+    let mut config = RouteConfig::new().with_margin(args.parsed("m", 4i32)?);
+    if args.has("u") {
+        config = config.with_fixed_up();
+    }
+    if args.has("d") {
+        config = config.with_fixed_down();
+    }
+    if args.has("r") {
+        config = config.with_fixed_right();
+    }
+    if args.has("l") {
+        config = config.with_fixed_left();
+    }
+    if args.has("s") {
+        config = config.with_swapped_tiebreak();
+    }
+    if args.has("no-claims") {
+        config = config.without_claimpoints();
+    }
+    config = config.with_order(match args.value("order").unwrap_or("def") {
+        "def" => NetOrder::Definition,
+        "most" => NetOrder::MostPinsFirst,
+        "few" => NetOrder::FewestPinsFirst,
+        other => {
+            return Err(ArgError::BadValue {
+                flag: "order".into(),
+                value: other.into(),
+            }
+            .into())
+        }
+    });
+
+    let report = Eureka::new(config).route(&mut diagram);
+    let mut summary = format!(
+        "routed {}/{} nets",
+        report.routed.len(),
+        report.routed.len() + report.failed.len()
+    );
+    for &n in &report.failed {
+        summary.push_str(&format!(
+            "\nwarning: net `{}` is unroutable",
+            diagram.network().net(n).name()
+        ));
+    }
+    let files = emit_diagram(&args, "eureka_out", &diagram)?;
+    Ok(format!("{summary}\n{}\n{files}", diagram.metrics()))
+}
+
+/// `netart [-p n] [-b n] [-c n] [-e n] [-i n] [-s n] [-m margin]
+/// [--order def|most|few] [--no-claims] [--art] [-L libdir] [-o name]
+/// net-list call-file [io-file]`
+///
+/// The full pipeline — PABLO placement followed by EUREKA routing — in
+/// one invocation. `--art` appends an ASCII rendering of the finished
+/// diagram to the output. Writes `<name>.esc` / `<name>.svg` (with the
+/// partition/box structure overlaid in the SVG).
+///
+/// # Errors
+///
+/// Any [`CliError`] condition.
+pub fn run_netart(argv: &[String]) -> Result<String, CliError> {
+    let args = ParsedArgs::parse(
+        argv,
+        &["p", "b", "c", "e", "i", "s", "m", "order", "L", "o"],
+        &["no-claims", "art"],
+        (2, 3),
+    )?;
+    let network = load_network(&args)?;
+
+    let mut place = PlaceConfig::new()
+        .with_max_part_size(args.parsed("p", 1usize)?)
+        .with_max_box_size(args.parsed("b", 1usize)?)
+        .with_part_spacing(args.parsed("e", 0i32)?)
+        .with_box_spacing(args.parsed("i", 0i32)?)
+        .with_module_spacing(args.parsed("s", 0i32)?);
+    if let Some(c) = args.value("c") {
+        place = place.with_max_connections(c.parse().map_err(|_| ArgError::BadValue {
+            flag: "c".into(),
+            value: c.into(),
+        })?);
+    }
+    let mut route = RouteConfig::new().with_margin(args.parsed("m", 4i32)?);
+    if args.has("no-claims") {
+        route = route.without_claimpoints();
+    }
+    route = route.with_order(match args.value("order").unwrap_or("def") {
+        "def" => NetOrder::Definition,
+        "most" => NetOrder::MostPinsFirst,
+        "few" => NetOrder::FewestPinsFirst,
+        other => {
+            return Err(ArgError::BadValue {
+                flag: "order".into(),
+                value: other.into(),
+            }
+            .into())
+        }
+    });
+
+    let outcome = netart::Generator::new()
+        .with_placing(place)
+        .with_routing(route)
+        .generate(network);
+    let diagram = &outcome.diagram;
+    let out = args.value("o").unwrap_or("netart_out");
+    write(
+        Path::new(&format!("{out}.esc")),
+        &escher::write_diagram(out, diagram),
+    )?;
+    write(
+        Path::new(&format!("{out}.svg")),
+        &svg::render_with_structure(diagram),
+    )?;
+
+    let mut summary = format!(
+        "placed {} modules in {:?}; routed {}/{} nets in {:?}\n{}\nwrote {out}.esc and {out}.svg",
+        diagram.network().module_count(),
+        outcome.place_time,
+        outcome.report.routed.len(),
+        outcome.report.routed.len() + outcome.report.failed.len(),
+        outcome.route_time,
+        diagram.metrics(),
+    );
+    for &n in &outcome.report.failed {
+        summary.push_str(&format!(
+            "\nwarning: net `{}` is unroutable",
+            diagram.network().net(n).name()
+        ));
+    }
+    if args.has("art") {
+        summary.push('\n');
+        summary.push_str(&netart::diagram::ascii::render(diagram));
+    }
+    Ok(summary)
+}
+
+/// `quinto [-L libdir] description.qto […]`
+///
+/// Validates module descriptions (Appendix B) and installs them into
+/// the library directory.
+///
+/// # Errors
+///
+/// Any [`CliError`] condition.
+pub fn run_quinto(argv: &[String]) -> Result<String, CliError> {
+    let args = ParsedArgs::parse(argv, &["L"], &[], (1, usize::MAX))?;
+    let dir = match args.value("L") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::var_os("USER_LIB")
+            .map(PathBuf::from)
+            .ok_or_else(|| CliError::Other("pass -L <dir> or set USER_LIB".into()))?,
+    };
+    fs::create_dir_all(&dir).map_err(|source| CliError::Io {
+        path: dir.clone(),
+        source,
+    })?;
+    let mut added = Vec::new();
+    for file in args.positionals() {
+        let path = Path::new(file);
+        let template = quinto::parse_module(&read(path)?).map_err(|e| CliError::Parse {
+            path: path.to_owned(),
+            message: e.to_string(),
+        })?;
+        let target = dir.join(format!("{}.qto", template.name()));
+        write(&target, &quinto::write_module(&template))?;
+        added.push(template.name().to_owned());
+    }
+    Ok(format!("added {} module(s): {}", added.len(), added.join(", ")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// A scratch directory unique to the test.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("netart-cli-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn write_inputs(dir: &Path) -> (String, String, String, String) {
+        let lib = dir.join("lib");
+        fs::create_dir_all(&lib).unwrap();
+        fs::write(lib.join("inv.qto"), "module inv 40 20\nin a 0 10\nout y 40 10\n").unwrap();
+        let nets = dir.join("design.net");
+        fs::write(&nets, "n0 u0 y\nn0 u1 a\nnin root in\nnin u0 a\n").unwrap();
+        let calls = dir.join("design.call");
+        fs::write(&calls, "u0 inv\nu1 inv\n").unwrap();
+        let io = dir.join("design.io");
+        fs::write(&io, "in in\n").unwrap();
+        (
+            lib.to_string_lossy().into_owned(),
+            nets.to_string_lossy().into_owned(),
+            calls.to_string_lossy().into_owned(),
+            io.to_string_lossy().into_owned(),
+        )
+    }
+
+    #[test]
+    fn pablo_then_eureka_full_flow() {
+        let dir = scratch("flow");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        let out = dir.join("placed").to_string_lossy().into_owned();
+
+        let msg = run_pablo(&argv(&[
+            "-p", "7", "-b", "5", "-L", &lib, "-o", &out, &nets, &calls, &io,
+        ]))
+        .expect("pablo runs");
+        assert!(msg.contains("placed 2 modules"), "{msg}");
+        assert!(dir.join("placed.esc").exists());
+        assert!(dir.join("placed.svg").exists());
+
+        let routed_out = dir.join("routed").to_string_lossy().into_owned();
+        let esc = dir.join("placed.esc").to_string_lossy().into_owned();
+        let msg = run_eureka(&argv(&[
+            "-L", &lib, "--diagram", &esc, "-o", &routed_out, &nets, &calls, &io,
+        ]))
+        .expect("eureka runs");
+        assert!(msg.contains("routed 2/2"), "{msg}");
+        assert!(dir.join("routed.esc").exists());
+        assert!(dir.join("routed.svg").exists());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn quinto_installs_modules() {
+        let dir = scratch("quinto");
+        let lib = dir.join("lib").to_string_lossy().into_owned();
+        let desc = dir.join("buf.qto");
+        fs::write(&desc, "module buf 20 20\nin a 0 10\nout y 20 10\n").unwrap();
+        let msg = run_quinto(&argv(&["-L", &lib, &desc.to_string_lossy()])).expect("quinto runs");
+        assert!(msg.contains("buf"), "{msg}");
+        assert!(Path::new(&lib).join("buf.qto").exists());
+        // Bad description is rejected with the file named.
+        let bad = dir.join("bad.qto");
+        fs::write(&bad, "module bad 41 20\n").unwrap();
+        let err = run_quinto(&argv(&["-L", &lib, &bad.to_string_lossy()])).unwrap_err();
+        assert!(err.to_string().contains("bad.qto"), "{err}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn netart_runs_the_full_pipeline() {
+        let dir = scratch("umbrella");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        let out = dir.join("full").to_string_lossy().into_owned();
+        let msg = run_netart(&argv(&[
+            "-p", "7", "-b", "5", "--art", "-L", &lib, "-o", &out, &nets, &calls, &io,
+        ]))
+        .expect("netart runs");
+        assert!(msg.contains("routed 2/2"), "{msg}");
+        assert!(msg.contains("u0"), "ASCII art appended: {msg}");
+        assert!(dir.join("full.esc").exists());
+        assert!(dir.join("full.svg").exists());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn eureka_rejects_missing_diagram() {
+        let dir = scratch("nodiag");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        let err = run_eureka(&argv(&["-L", &lib, &nets, &calls, &io])).unwrap_err();
+        assert!(err.to_string().contains("--diagram"), "{err}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn pablo_propagates_parse_errors_with_path() {
+        let dir = scratch("parse");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        fs::write(&nets, "only two\n").unwrap();
+        let err = run_pablo(&argv(&["-L", &lib, &nets, &calls, &io])).unwrap_err();
+        assert!(err.to_string().contains("design.net"), "{err}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_library_is_reported() {
+        let dir = scratch("nolib");
+        let (_, nets, calls, io) = write_inputs(&dir);
+        let empty = dir.join("empty");
+        fs::create_dir_all(&empty).unwrap();
+        let err = run_pablo(&argv(&[
+            "-L",
+            &empty.to_string_lossy(),
+            &nets,
+            &calls,
+            &io,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no .qto"), "{err}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn eureka_with_options_and_order() {
+        let dir = scratch("opts");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        let out = dir.join("p").to_string_lossy().into_owned();
+        run_pablo(&argv(&["-L", &lib, "-o", &out, &nets, &calls, &io])).unwrap();
+        let esc = dir.join("p.esc").to_string_lossy().into_owned();
+        let routed = dir.join("r").to_string_lossy().into_owned();
+        let msg = run_eureka(&argv(&[
+            "-L", &lib, "--diagram", &esc, "-o", &routed, "-u", "-s", "-m", "6", "--order",
+            "few", "--no-claims", &nets, &calls, &io,
+        ]))
+        .expect("eureka with options");
+        assert!(msg.contains("routed"), "{msg}");
+        let err = run_eureka(&argv(&[
+            "-L", &lib, "--diagram", &esc, "--order", "sideways", &nets, &calls, &io,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("sideways"), "{err}");
+        let _ = fs::remove_dir_all(dir);
+    }
+}

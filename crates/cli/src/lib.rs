@@ -1,0 +1,31 @@
+//! Command-line schematic diagram generation.
+//!
+//! The paper shipped its generator as two UNIX programs plus a library
+//! tool (Appendices B, E, F). This crate provides the same trio:
+//!
+//! * **`quinto`** — adds module descriptions to a library directory,
+//! * **`pablo [options] net-list call-file [io-file]`** — places a
+//!   network (`-p -b -c -e -i -s`, `-g` for a preplaced part),
+//! * **`eureka [options] net-list call-file [io-file]`** — routes a
+//!   placed diagram (`-u -d -r -l` fixed borders, `-s` swapped
+//!   tie-break, `--diagram` for the placement to route),
+//! * **`netart [options] net-list call-file [io-file]`** — both phases
+//!   in one run, with an ASCII preview (`--art`).
+//!
+//! One deliberate divergence from 1989: the original `eureka` read only
+//! the ESCHER graphic file because the module library lived in a global
+//! `USER_LIB` environment variable; here the library is an explicit
+//! `-L <dir>` of quinto files and the netlist files are always passed,
+//! which keeps runs reproducible. `USER_LIB` is honoured as the default
+//! library directory when `-L` is absent.
+//!
+//! Everything is implemented in this library crate so it can be tested;
+//! the binaries are thin wrappers.
+
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, ParsedArgs};
+pub use commands::{run_eureka, run_netart, run_pablo, run_quinto, CliError};

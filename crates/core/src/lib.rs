@@ -1,0 +1,244 @@
+//! `netart` — automatic schematic diagram generation from netlists.
+//!
+//! A Rust reproduction of **Koster & Stok, "From Network to Artwork:
+//! Automatic Schematic Diagram Generation"** (EUT Report 89-E-219,
+//! Eindhoven University of Technology, 1989): given a plain netlist,
+//! produce a readable schematic diagram — module placement plus
+//! rectilinear wire routing — following the hand-drawing guidelines the
+//! paper distils (functional clustering, left-to-right signal flow,
+//! inputs left / outputs right, few bends and crossovers).
+//!
+//! The pipeline mirrors the paper's two programs:
+//!
+//! * **PABLO** (placement, §4): seeded partitioning into functional
+//!   parts, longest-path strings of driver→consumer modules, module
+//!   rotation for bend-minimal connections, centre-of-gravity box and
+//!   partition packing, system terminals on the bounding ring.
+//! * **EUREKA** (routing, §5): a line-expansion router that guarantees
+//!   a connection whenever one exists, minimises bends first, then
+//!   crossovers, then length, with claimpoints (§5.7) protecting
+//!   terminal exits.
+//!
+//! [`Generator`] glues the two together; the individual phases live in
+//! [`netart_place`](../netart_place/index.html) and
+//! [`netart_route`](../netart_route/index.html), the data model in
+//! [`netart_netlist`](../netart_netlist/index.html) and
+//! [`netart_diagram`](../netart_diagram/index.html) (all re-exported
+//! here under [`place`], [`route`], [`netlist`], [`diagram`],
+//! [`geom`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use netart::{Generator, netlist::{Library, NetworkBuilder, Template, TermType}};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A two-gate network...
+//! let mut lib = Library::new();
+//! let inv = lib.add_template(Template::new("inv", (4, 2))?
+//!     .with_terminal("a", (0, 1), TermType::In)?
+//!     .with_terminal("y", (4, 1), TermType::Out)?)?;
+//! let mut b = NetworkBuilder::new(lib);
+//! let u0 = b.add_instance("u0", inv)?;
+//! let u1 = b.add_instance("u1", inv)?;
+//! b.connect_pin("n", u0, "y")?;
+//! b.connect_pin("n", u1, "a")?;
+//! let network = b.finish()?;
+//!
+//! // ...becomes artwork.
+//! let outcome = Generator::new().generate(network);
+//! assert!(outcome.report.failed.is_empty());
+//! assert!(outcome.diagram.check().is_ok());
+//! let svg = netart::diagram::svg::render(&outcome.diagram);
+//! assert!(svg.starts_with("<svg"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use netart_diagram::{Diagram, Placement};
+use netart_netlist::Network;
+use netart_place::{Pablo, PlaceConfig};
+use netart_route::{Eureka, RouteConfig, RouteReport};
+
+/// Re-export of the geometry substrate.
+pub use netart_geom as geom;
+
+/// Re-export of the network model and file formats.
+pub use netart_netlist as netlist;
+
+/// Re-export of the diagram model, metrics and writers.
+pub use netart_diagram as diagram;
+
+/// Re-export of the placement phase.
+pub use netart_place as place;
+
+/// Re-export of the routing phase.
+pub use netart_route as route;
+
+pub use netart_diagram::{DiagramMetrics, NetPath};
+pub use netart_place::PlaceConfig as Placing;
+pub use netart_route::RouteConfig as Routing;
+
+/// Everything a generator run produces: the finished diagram, the
+/// routing report, and the phase timings (the quantities of the
+/// paper's table 6.1).
+#[derive(Debug)]
+pub struct Outcome {
+    /// The generated schematic diagram.
+    pub diagram: Diagram,
+    /// Which nets routed and which failed.
+    pub report: RouteReport,
+    /// Wall-clock time of the placement phase.
+    pub place_time: Duration,
+    /// Wall-clock time of the routing phase.
+    pub route_time: Duration,
+}
+
+/// The automatic schematic diagram generator of figure 3.2: placement
+/// followed by routing, each configurable through the options of
+/// Appendices E and F.
+///
+/// # Examples
+///
+/// See the [crate-level quickstart](crate).
+#[derive(Debug, Clone, Default)]
+pub struct Generator {
+    place: PlaceConfig,
+    route: RouteConfig,
+}
+
+impl Generator {
+    /// A generator with default options (`-p 1 -b 1`, claimpoints on).
+    pub fn new() -> Self {
+        Generator::default()
+    }
+
+    /// A generator with the string-forming placement of figure 6.4
+    /// (`-p 7 -b 5`) — the preset that produces the most readable
+    /// diagrams on typical networks.
+    pub fn strings() -> Self {
+        Generator::new().with_placing(PlaceConfig::strings())
+    }
+
+    /// Replaces the placement options.
+    pub fn with_placing(mut self, config: PlaceConfig) -> Self {
+        self.place = config;
+        self
+    }
+
+    /// Replaces the routing options.
+    pub fn with_routing(mut self, config: RouteConfig) -> Self {
+        self.route = config;
+        self
+    }
+
+    /// The placement options.
+    pub fn placing(&self) -> &PlaceConfig {
+        &self.place
+    }
+
+    /// The routing options.
+    pub fn routing(&self) -> &RouteConfig {
+        &self.route
+    }
+
+    /// Runs the full pipeline on a network.
+    pub fn generate(&self, network: Network) -> Outcome {
+        let empty = Placement::new(&network);
+        self.generate_with_preplaced(network, empty)
+    }
+
+    /// Runs the pipeline around a preplaced (and possibly prerouted)
+    /// part: the `-g` mechanism of Appendix E. Preplaced modules and
+    /// terminals keep their positions; everything else is placed around
+    /// them, then all nets are routed.
+    pub fn generate_with_preplaced(&self, network: Network, preplaced: Placement) -> Outcome {
+        let t0 = Instant::now();
+        let placement = Pablo::new(self.place.clone()).place_with_preplaced(&network, preplaced);
+        let place_time = t0.elapsed();
+
+        let mut diagram = Diagram::new(network, placement);
+        let t1 = Instant::now();
+        let report = Eureka::new(self.route.clone()).route(&mut diagram);
+        let route_time = t1.elapsed();
+
+        Outcome {
+            diagram,
+            report,
+            place_time,
+            route_time,
+        }
+    }
+
+    /// Routes an existing placement without running the placer: the
+    /// paper's `eureka`-only flow used for figure 6.6 (hand placement)
+    /// and figure 6.5 (edited placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the placement is incomplete.
+    pub fn route_only(&self, network: Network, placement: Placement) -> Outcome {
+        let mut diagram = Diagram::new(network, placement);
+        let t1 = Instant::now();
+        let report = Eureka::new(self.route.clone()).route(&mut diagram);
+        let route_time = t1.elapsed();
+        Outcome {
+            diagram,
+            report,
+            place_time: Duration::ZERO,
+            route_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network() -> Network {
+        netart_workloads::string_chain(4)
+    }
+
+    #[test]
+    fn generate_produces_clean_diagram() {
+        let outcome = Generator::strings().generate(network());
+        assert!(outcome.report.failed.is_empty(), "{:?}", outcome.report);
+        let check = outcome.diagram.check();
+        assert!(check.is_ok(), "{check}");
+        let m = outcome.diagram.metrics();
+        assert_eq!(m.unrouted_nets, 0);
+        assert!(m.total_length > 0);
+    }
+
+    #[test]
+    fn default_and_strings_configs_differ() {
+        let a = Generator::new();
+        let b = Generator::strings();
+        assert_ne!(a.placing(), b.placing());
+        assert_eq!(a.routing(), b.routing());
+    }
+
+    #[test]
+    fn route_only_respects_placement() {
+        let net = network();
+        let placement = netart_place::Pablo::new(PlaceConfig::strings()).place(&net);
+        let snapshot: Vec<_> = net.modules().map(|m| placement.module(m)).collect();
+        let outcome = Generator::new().route_only(net, placement);
+        assert_eq!(outcome.place_time, Duration::ZERO);
+        for (m, before) in outcome.diagram.network().modules().zip(snapshot) {
+            assert_eq!(outcome.diagram.placement().module(m), before);
+        }
+    }
+
+    #[test]
+    fn builder_setters() {
+        let g = Generator::new()
+            .with_placing(PlaceConfig::clusters())
+            .with_routing(RouteConfig::new().without_claimpoints());
+        assert_eq!(g.placing().max_part_size, 5);
+        assert!(!g.routing().claimpoints);
+    }
+}

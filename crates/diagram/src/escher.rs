@@ -1,0 +1,267 @@
+//! An ESCHER-style diagram interchange format (Appendix D analogue).
+//!
+//! The original generator wrote diagrams for the closed ESCHER schematic
+//! editor as `#TUE-ES-871` record files. We reproduce the *shape* of
+//! that format — a header, template metadata, one `subsys:` record per
+//! placed module and `node:` records for the net geometry — in a
+//! self-describing textual form that round-trips through
+//! [`write_diagram`] / [`parse_diagram`].
+//!
+//! The records written are:
+//!
+//! ```text
+//! #TUE-ES-871
+//! tname: <diagram name>
+//! repr: <min-x> <min-y> <max-x> <max-y>
+//! subsys: <instance> <template> <x> <y> <rotation>
+//! contact: <system terminal> <type> <x> <y>
+//! node: <net> <axis> <track> <lo> <hi>
+//! ```
+//!
+//! Coordinates are on the generator's track grid (the Appendix D format
+//! used the 10× editor grid; see [`crate::escher`]'s quinto counterpart
+//! for the scaling convention).
+
+use netart_geom::{Axis, Point, Rect, Rotation, Segment};
+use netart_netlist::{Network, ParseError};
+
+use crate::{Diagram, Placement};
+
+/// The magic first line, kept from the original format.
+pub const HEADER: &str = "#TUE-ES-871";
+
+/// Serialises a diagram to the ESCHER-style record format.
+pub fn write_diagram(name: &str, diagram: &Diagram) -> String {
+    let network = diagram.network();
+    let placement = diagram.placement();
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("tname: {name}\n"));
+    let bb = placement
+        .bounding_box(network)
+        .unwrap_or_else(|| Rect::new(Point::ORIGIN, 0, 0));
+    out.push_str(&format!(
+        "repr: {} {} {} {}\n",
+        bb.lower_left().x,
+        bb.lower_left().y,
+        bb.upper_right().x,
+        bb.upper_right().y
+    ));
+    for m in network.modules() {
+        if let Some(placed) = placement.module(m) {
+            out.push_str(&format!(
+                "subsys: {} {} {} {} {}\n",
+                network.instance(m).name(),
+                network.template_of(m).name(),
+                placed.position.x,
+                placed.position.y,
+                placed.rotation
+            ));
+        }
+    }
+    for st in network.system_terms() {
+        if let Some(p) = placement.system_term(st) {
+            let t = network.system_term(st);
+            out.push_str(&format!("contact: {} {} {} {}\n", t.name(), t.ty(), p.x, p.y));
+        }
+    }
+    for (n, path) in diagram.routes() {
+        let name = network.net(n).name();
+        for seg in path.segments() {
+            let axis = match seg.axis() {
+                Axis::Horizontal => "h",
+                Axis::Vertical => "v",
+            };
+            out.push_str(&format!(
+                "node: {} {} {} {} {}\n",
+                name,
+                axis,
+                seg.track(),
+                seg.span().lo(),
+                seg.span().hi()
+            ));
+        }
+    }
+    out
+}
+
+/// Parses an ESCHER-style file back into a diagram over `network`.
+///
+/// The network must contain every instance, terminal and net the file
+/// mentions; placement and routes are taken from the file.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for missing headers, malformed records, or
+/// names unknown to `network`.
+pub fn parse_diagram(network: Network, src: &str) -> Result<Diagram, ParseError> {
+    let mut lines = src.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    match lines.next() {
+        Some((_, h)) if h == HEADER => {}
+        _ => return Err(ParseError::new(1, format!("missing `{HEADER}` header"))),
+    }
+
+    let mut placement = Placement::new(&network);
+    let mut routes: Vec<(usize, String, Segment)> = Vec::new();
+
+    for (lineno, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((kind, rest)) = line.split_once(':') else {
+            return Err(ParseError::new(lineno, format!("malformed record `{line}`")));
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        let int = |s: &str| -> Result<i32, ParseError> {
+            s.parse()
+                .map_err(|_| ParseError::new(lineno, format!("`{s}` is not an integer")))
+        };
+        match kind {
+            "tname" | "repr" => {} // metadata, informational only
+            "subsys" => {
+                let [inst, _tpl, x, y, rot] = fields[..] else {
+                    return Err(ParseError::new(lineno, "subsys record needs 5 fields"));
+                };
+                let m = network.module_by_name(inst).ok_or_else(|| {
+                    ParseError::new(lineno, format!("unknown instance `{inst}`"))
+                })?;
+                let rotation = match rot {
+                    "0" => Rotation::R0,
+                    "90" => Rotation::R90,
+                    "180" => Rotation::R180,
+                    "270" => Rotation::R270,
+                    other => {
+                        return Err(ParseError::new(lineno, format!("bad rotation `{other}`")))
+                    }
+                };
+                placement.place_module(m, Point::new(int(x)?, int(y)?), rotation);
+            }
+            "contact" => {
+                let [name, _ty, x, y] = fields[..] else {
+                    return Err(ParseError::new(lineno, "contact record needs 4 fields"));
+                };
+                let st = network.system_term_by_name(name).ok_or_else(|| {
+                    ParseError::new(lineno, format!("unknown system terminal `{name}`"))
+                })?;
+                placement.place_system_term(st, Point::new(int(x)?, int(y)?));
+            }
+            "node" => {
+                let [net, axis, track, lo, hi] = fields[..] else {
+                    return Err(ParseError::new(lineno, "node record needs 5 fields"));
+                };
+                let seg = match axis {
+                    "h" => Segment::horizontal(int(track)?, int(lo)?, int(hi)?),
+                    "v" => Segment::vertical(int(track)?, int(lo)?, int(hi)?),
+                    other => return Err(ParseError::new(lineno, format!("bad axis `{other}`"))),
+                };
+                routes.push((lineno, net.to_owned(), seg));
+            }
+            other => {
+                return Err(ParseError::new(lineno, format!("unknown record kind `{other}`")))
+            }
+        }
+    }
+
+    let mut diagram = Diagram::new(network, placement);
+    for (lineno, net_name, seg) in routes {
+        let n = diagram
+            .network()
+            .net_by_name(&net_name)
+            .ok_or_else(|| ParseError::new(lineno, format!("unknown net `{net_name}`")))?;
+        let mut path = diagram.clear_route(n).unwrap_or_default();
+        path.push(seg);
+        diagram.set_route(n, path);
+    }
+    Ok(diagram)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetPath;
+    use netart_netlist::{Library, NetworkBuilder, Template, TermType};
+
+    fn diagram() -> Diagram {
+        let mut lib = Library::new();
+        let t = lib
+            .add_template(
+                Template::new("gate", (4, 2))
+                    .unwrap()
+                    .with_terminal("a", (0, 1), TermType::In)
+                    .unwrap()
+                    .with_terminal("y", (4, 1), TermType::Out)
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        let u0 = b.add_instance("u0", t).unwrap();
+        let u1 = b.add_instance("u1", t).unwrap();
+        let st = b.add_system_terminal("io", TermType::In).unwrap();
+        b.connect_pin("n", u0, "y").unwrap();
+        b.connect_pin("n", u1, "a").unwrap();
+        b.connect("m", st).unwrap();
+        b.connect_pin("m", u0, "a").unwrap();
+        let network = b.finish().unwrap();
+        let n = network.net_by_name("n").unwrap();
+        let mut placement = Placement::new(&network);
+        placement.place_module(u0, Point::new(0, 0), Rotation::R0);
+        placement.place_module(u1, Point::new(8, 0), Rotation::R180);
+        placement.place_system_term(st, Point::new(-2, 1));
+        let mut d = Diagram::new(network, placement);
+        d.set_route(
+            n,
+            NetPath::from_segments(vec![
+                Segment::horizontal(1, 4, 6),
+                Segment::vertical(6, 1, 3),
+            ]),
+        );
+        d
+    }
+
+    #[test]
+    fn write_contains_all_records() {
+        let d = diagram();
+        let s = write_diagram("test", &d);
+        assert!(s.starts_with(HEADER));
+        assert!(s.contains("tname: test"));
+        assert!(s.contains("subsys: u0 gate 0 0 0"));
+        assert!(s.contains("subsys: u1 gate 8 0 180"));
+        assert!(s.contains("contact: io in -2 1"));
+        assert!(s.contains("node: n h 1 4 6"));
+        assert!(s.contains("node: n v 6 1 3"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = diagram();
+        let s = write_diagram("test", &d);
+        let d2 = parse_diagram(d.network().clone(), &s).unwrap();
+        let network = d.network();
+        for m in network.modules() {
+            assert_eq!(d.placement().module(m), d2.placement().module(m));
+        }
+        for st in network.system_terms() {
+            assert_eq!(d.placement().system_term(st), d2.placement().system_term(st));
+        }
+        let n = network.net_by_name("n").unwrap();
+        assert_eq!(d.route(n).unwrap().segments(), d2.route(n).unwrap().segments());
+        assert!(d2.route(network.net_by_name("m").unwrap()).is_none());
+    }
+
+    #[test]
+    fn parse_errors() {
+        let d = diagram();
+        let net = d.network().clone();
+        assert!(parse_diagram(net.clone(), "not a header\n").is_err());
+        let bad = format!("{HEADER}\nsubsys: nobody gate 0 0 0\n");
+        let e = parse_diagram(net.clone(), &bad).unwrap_err();
+        assert!(e.message.contains("unknown instance"));
+        let bad = format!("{HEADER}\nnode: n d 0 0 1\n");
+        assert!(parse_diagram(net.clone(), &bad).is_err());
+        let bad = format!("{HEADER}\nwhatever: 1\n");
+        assert!(parse_diagram(net.clone(), &bad).is_err());
+        let bad = format!("{HEADER}\nsubsys: u0 gate 0 0 45\n");
+        assert!(parse_diagram(net, &bad).is_err());
+    }
+}

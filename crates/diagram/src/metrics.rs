@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Aggregate quality metrics of a diagram, covering the quantities the
+/// paper's guidelines minimise (Rules 5 and 6 of §3.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiagramMetrics {
+    /// Nets with a routed path.
+    pub routed_nets: usize,
+    /// Nets without a routed path.
+    pub unrouted_nets: usize,
+    /// Sum of wire lengths over all routed nets.
+    pub total_length: u64,
+    /// Sum of bends over all routed nets.
+    pub total_bends: u64,
+    /// Number of crossing points between different nets (each geometric
+    /// point counted once per net pair).
+    pub crossovers: u64,
+    /// Number of branching nodes over all routed nets.
+    pub branch_points: u64,
+    /// Area of the placement bounding box (width × height), 0 when
+    /// nothing is placed.
+    pub bounding_area: u64,
+}
+
+impl DiagramMetrics {
+    /// Fraction of nets routed, in `[0, 1]`; `1.0` for a netless
+    /// diagram.
+    pub fn completion(&self) -> f64 {
+        let total = self.routed_nets + self.unrouted_nets;
+        if total == 0 {
+            1.0
+        } else {
+            self.routed_nets as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for DiagramMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "routed {}/{} nets, length {}, bends {}, crossovers {}, branch points {}, area {}",
+            self.routed_nets,
+            self.routed_nets + self.unrouted_nets,
+            self.total_length,
+            self.total_bends,
+            self.crossovers,
+            self.branch_points,
+            self.bounding_area
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_fraction() {
+        let m = DiagramMetrics {
+            routed_nets: 3,
+            unrouted_nets: 1,
+            ..Default::default()
+        };
+        assert!((m.completion() - 0.75).abs() < 1e-9);
+        assert_eq!(DiagramMetrics::default().completion(), 1.0);
+    }
+
+    #[test]
+    fn display_mentions_every_metric() {
+        let s = DiagramMetrics::default().to_string();
+        for word in ["routed", "length", "bends", "crossovers", "branch", "area"] {
+            assert!(s.contains(word), "missing {word} in `{s}`");
+        }
+    }
+}

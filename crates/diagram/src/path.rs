@@ -1,0 +1,426 @@
+use std::collections::{HashMap, HashSet};
+
+use netart_geom::{Axis, Dir, Point, Segment};
+
+/// The routed geometry of one net: a set of axis-aligned segments that
+/// together form the net's wires.
+///
+/// All metrics are computed on the *unit-edge graph* covered by the
+/// segments — every grid step covered by some segment is an edge — which
+/// makes them robust against overlapping or touching segment
+/// representations of the same wire.
+///
+/// # Examples
+///
+/// ```
+/// use netart_diagram::NetPath;
+/// use netart_geom::{Point, Segment};
+///
+/// // An L from (0,0) to (3,2).
+/// let path = NetPath::from_segments(vec![
+///     Segment::horizontal(0, 0, 3),
+///     Segment::vertical(3, 0, 2),
+/// ]);
+/// assert_eq!(path.length(), 5);
+/// assert_eq!(path.bends(), 1);
+/// assert_eq!(path.branch_points().len(), 0);
+/// assert!(path.connects(&[Point::new(0, 0), Point::new(3, 2)]));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetPath {
+    segments: Vec<Segment>,
+}
+
+impl NetPath {
+    /// An empty path (an unrouted net).
+    pub fn new() -> Self {
+        NetPath::default()
+    }
+
+    /// Wraps a list of segments. Degenerate (zero-length) segments are
+    /// kept; they can carry a terminal that coincides with a wire end.
+    pub fn from_segments(segments: Vec<Segment>) -> Self {
+        NetPath { segments }
+    }
+
+    /// The raw segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Appends a segment.
+    pub fn push(&mut self, seg: Segment) {
+        self.segments.push(seg);
+    }
+
+    /// `true` when the path has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The set of unit edges covered, as (point, direction-right-or-up)
+    /// pairs, deduplicated.
+    fn unit_edges(&self) -> HashSet<(Point, Axis)> {
+        let mut edges = HashSet::new();
+        for seg in &self.segments {
+            let span = seg.span();
+            for v in span.lo()..span.hi() {
+                edges.insert((seg.point_at(v), seg.axis()));
+            }
+        }
+        edges
+    }
+
+    /// Adjacency of the unit-edge graph: every covered point mapped to
+    /// the directions in which a unit edge leaves it.
+    fn adjacency(&self) -> HashMap<Point, Vec<Dir>> {
+        let mut adj: HashMap<Point, Vec<Dir>> = HashMap::new();
+        let mut connect = |p: Point, d: Dir| {
+            let dirs = adj.entry(p).or_default();
+            if !dirs.contains(&d) {
+                dirs.push(d);
+            }
+        };
+        for (p, axis) in self.unit_edges() {
+            match axis {
+                Axis::Horizontal => {
+                    connect(p, Dir::Right);
+                    connect(p.step(Dir::Right), Dir::Left);
+                }
+                Axis::Vertical => {
+                    connect(p, Dir::Up);
+                    connect(p.step(Dir::Up), Dir::Down);
+                }
+            }
+        }
+        // Degenerate segments contribute isolated points.
+        for seg in &self.segments {
+            if seg.is_point() {
+                adj.entry(seg.endpoints().0).or_default();
+            }
+        }
+        adj
+    }
+
+    /// Total wire length: the number of distinct unit edges covered.
+    pub fn length(&self) -> u32 {
+        self.unit_edges().len() as u32
+    }
+
+    /// Number of bends: points where the wire turns a corner (degree-2
+    /// points whose two incident edges are perpendicular).
+    ///
+    /// Rule 6 of the paper asks to keep this low; the line-expansion
+    /// router minimises it per net.
+    pub fn bends(&self) -> u32 {
+        self.adjacency()
+            .values()
+            .filter(|dirs| dirs.len() == 2 && dirs[0].axis() != dirs[1].axis())
+            .count() as u32
+    }
+
+    /// Points where the net branches (degree ≥ 3): the paper's
+    /// "branching nodes", kept low by Rule 6.
+    pub fn branch_points(&self) -> Vec<Point> {
+        let mut pts: Vec<Point> = self
+            .adjacency()
+            .into_iter()
+            .filter(|(_, dirs)| dirs.len() >= 3)
+            .map(|(p, _)| p)
+            .collect();
+        pts.sort_unstable();
+        pts
+    }
+
+    /// `true` when `p` lies on the path.
+    pub fn contains(&self, p: Point) -> bool {
+        self.segments.iter().any(|s| s.contains(p))
+    }
+
+    /// `true` when the covered geometry is connected and touches every
+    /// point of `terminals`.
+    ///
+    /// This is the electrical soundness check: a routed net must be one
+    /// connected tree through all its pins.
+    pub fn connects(&self, terminals: &[Point]) -> bool {
+        if terminals.is_empty() {
+            return true;
+        }
+        let adj = self.adjacency();
+        if terminals.iter().any(|t| !adj.contains_key(t)) {
+            return false;
+        }
+        // BFS from the first terminal over unit edges.
+        let mut seen = HashSet::new();
+        let mut queue = vec![terminals[0]];
+        seen.insert(terminals[0]);
+        while let Some(p) = queue.pop() {
+            if let Some(dirs) = adj.get(&p) {
+                for &d in dirs {
+                    let q = p.step(d);
+                    if seen.insert(q) {
+                        queue.push(q);
+                    }
+                }
+            }
+        }
+        terminals.iter().all(|t| seen.contains(t))
+    }
+
+    /// `true` when the covered geometry contains a cycle, in any
+    /// connected component. Partial preroutes may be disconnected (the
+    /// router completes them) but Appendix F forbids cycles.
+    pub fn has_cycle(&self) -> bool {
+        let adj = self.adjacency();
+        let edges = self.unit_edges().len();
+        // Count connected components over the covered points.
+        let mut seen: HashSet<Point> = HashSet::new();
+        let mut components = 0;
+        for &start in adj.keys() {
+            if !seen.insert(start) {
+                continue;
+            }
+            components += 1;
+            let mut queue = vec![start];
+            while let Some(p) = queue.pop() {
+                for &d in &adj[&p] {
+                    let q = p.step(d);
+                    if seen.insert(q) {
+                        queue.push(q);
+                    }
+                }
+            }
+        }
+        edges + components != adj.len()
+    }
+
+    /// `true` when the covered geometry is a tree (connected and without
+    /// cycles). An empty path is trivially a tree.
+    pub fn is_tree(&self) -> bool {
+        let adj = self.adjacency();
+        if adj.is_empty() {
+            return true;
+        }
+        let nodes = adj.len();
+        let edges = self.unit_edges().len();
+        if edges + 1 != nodes {
+            return false;
+        }
+        // Connectivity: reach all nodes from any one.
+        let start = *adj.keys().next().expect("non-empty");
+        let mut seen = HashSet::new();
+        let mut queue = vec![start];
+        seen.insert(start);
+        while let Some(p) = queue.pop() {
+            for &d in &adj[&p] {
+                let q = p.step(d);
+                if seen.insert(q) {
+                    queue.push(q);
+                }
+            }
+        }
+        seen.len() == nodes
+    }
+
+    /// Interior crossing points between this path and another net's
+    /// path: the "crossovers" of Rule 6. Each geometric point is
+    /// reported once.
+    pub fn crossings_with(&self, other: &NetPath) -> Vec<Point> {
+        let mut pts = HashSet::new();
+        for a in &self.segments {
+            for b in &other.segments {
+                if a.crosses_interior(b) {
+                    if let Some(p) = a.crossing(b) {
+                        pts.insert(p);
+                    }
+                }
+            }
+        }
+        let mut v: Vec<Point> = pts.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Points shared with another path that are *not* legal perpendicular
+    /// crossings — i.e. overlaps or T-touches between different nets,
+    /// which the routing postcondition forbids ("the only common points
+    /// of different nets are crossing points", §5.3).
+    pub fn illegal_contacts_with(&self, other: &NetPath) -> Vec<Point> {
+        let my_adj = self.adjacency();
+        let their_adj = other.adjacency();
+        let mut bad: Vec<Point> = my_adj
+            .iter()
+            .filter_map(|(p, my_dirs)| {
+                let their_dirs = their_adj.get(p)?;
+                // A legal crossing: this net passes straight through on
+                // one axis, the other net straight through on the other.
+                let straight = |dirs: &[Dir]| -> Option<Axis> {
+                    (dirs.len() == 2 && dirs[0].axis() == dirs[1].axis())
+                        .then(|| dirs[0].axis())
+                };
+                match (straight(my_dirs), straight(their_dirs)) {
+                    (Some(a), Some(b)) if a != b => None,
+                    _ => Some(*p),
+                }
+            })
+            .collect();
+        bad.sort_unstable();
+        bad
+    }
+}
+
+impl FromIterator<Segment> for NetPath {
+    fn from_iter<I: IntoIterator<Item = Segment>>(iter: I) -> Self {
+        NetPath::from_segments(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Segment> for NetPath {
+    fn extend<I: IntoIterator<Item = Segment>>(&mut self, iter: I) {
+        self.segments.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_path() -> NetPath {
+        NetPath::from_segments(vec![
+            Segment::horizontal(0, 0, 3),
+            Segment::vertical(3, 0, 2),
+        ])
+    }
+
+    #[test]
+    fn length_dedups_overlaps() {
+        let p = NetPath::from_segments(vec![
+            Segment::horizontal(0, 0, 4),
+            Segment::horizontal(0, 2, 6), // overlaps [2,4]
+        ]);
+        assert_eq!(p.length(), 6);
+    }
+
+    #[test]
+    fn bends_on_l_and_z() {
+        assert_eq!(l_path().bends(), 1);
+        let z = NetPath::from_segments(vec![
+            Segment::horizontal(0, 0, 2),
+            Segment::vertical(2, 0, 2),
+            Segment::horizontal(2, 2, 4),
+        ]);
+        assert_eq!(z.bends(), 2);
+        let straight = NetPath::from_segments(vec![Segment::horizontal(0, 0, 9)]);
+        assert_eq!(straight.bends(), 0);
+    }
+
+    #[test]
+    fn branch_points_on_t() {
+        let t = NetPath::from_segments(vec![
+            Segment::horizontal(0, 0, 4),
+            Segment::vertical(2, 0, 3),
+        ]);
+        assert_eq!(t.branch_points(), vec![Point::new(2, 0)]);
+        assert_eq!(t.bends(), 0);
+    }
+
+    #[test]
+    fn connectivity() {
+        let p = l_path();
+        assert!(p.connects(&[Point::new(0, 0), Point::new(3, 2)]));
+        assert!(p.connects(&[Point::new(2, 0)])); // mid point on the wire
+        assert!(!p.connects(&[Point::new(0, 0), Point::new(5, 5)]));
+        let disconnected = NetPath::from_segments(vec![
+            Segment::horizontal(0, 0, 1),
+            Segment::horizontal(5, 0, 1),
+        ]);
+        assert!(!disconnected.connects(&[Point::new(0, 0), Point::new(0, 5)]));
+    }
+
+    #[test]
+    fn tree_detection() {
+        assert!(l_path().is_tree());
+        assert!(NetPath::new().is_tree());
+        let cycle = NetPath::from_segments(vec![
+            Segment::horizontal(0, 0, 2),
+            Segment::horizontal(2, 0, 2),
+            Segment::vertical(0, 0, 2),
+            Segment::vertical(2, 0, 2),
+        ]);
+        assert!(!cycle.is_tree());
+        let forest = NetPath::from_segments(vec![
+            Segment::horizontal(0, 0, 1),
+            Segment::horizontal(5, 0, 1),
+        ]);
+        assert!(!forest.is_tree());
+    }
+
+    #[test]
+    fn cycle_detection_distinguishes_forests() {
+        assert!(!l_path().has_cycle());
+        assert!(!NetPath::new().has_cycle());
+        // A disconnected forest is cycle-free (a legal partial preroute).
+        let forest = NetPath::from_segments(vec![
+            Segment::horizontal(0, 0, 1),
+            Segment::horizontal(5, 0, 1),
+        ]);
+        assert!(!forest.has_cycle());
+        // A square is a cycle.
+        let cycle = NetPath::from_segments(vec![
+            Segment::horizontal(0, 0, 2),
+            Segment::horizontal(2, 0, 2),
+            Segment::vertical(0, 0, 2),
+            Segment::vertical(2, 0, 2),
+        ]);
+        assert!(cycle.has_cycle());
+        // A forest with one cyclic component is still cyclic.
+        let mixed = NetPath::from_segments(vec![
+            Segment::horizontal(0, 0, 2),
+            Segment::horizontal(2, 0, 2),
+            Segment::vertical(0, 0, 2),
+            Segment::vertical(2, 0, 2),
+            Segment::horizontal(9, 0, 3),
+        ]);
+        assert!(mixed.has_cycle());
+    }
+
+    #[test]
+    fn crossings_between_nets() {
+        let h = NetPath::from_segments(vec![Segment::horizontal(1, 0, 4)]);
+        let v = NetPath::from_segments(vec![Segment::vertical(2, 0, 3)]);
+        assert_eq!(h.crossings_with(&v), vec![Point::new(2, 1)]);
+        assert_eq!(v.crossings_with(&h), vec![Point::new(2, 1)]);
+        // Touch at an endpoint is not a crossing.
+        let touch = NetPath::from_segments(vec![Segment::vertical(0, 0, 3)]);
+        assert!(h.crossings_with(&touch).is_empty());
+    }
+
+    #[test]
+    fn illegal_contacts() {
+        let h = NetPath::from_segments(vec![Segment::horizontal(1, 0, 4)]);
+        let v = NetPath::from_segments(vec![Segment::vertical(2, 0, 3)]);
+        // A clean perpendicular crossing is legal.
+        assert!(h.illegal_contacts_with(&v).is_empty());
+        // A T-touch is illegal.
+        let t = NetPath::from_segments(vec![Segment::vertical(2, 1, 3)]);
+        assert_eq!(h.illegal_contacts_with(&t), vec![Point::new(2, 1)]);
+        // Overlap along a track is illegal.
+        let along = NetPath::from_segments(vec![Segment::horizontal(1, 2, 6)]);
+        assert!(!h.illegal_contacts_with(&along).is_empty());
+    }
+
+    #[test]
+    fn degenerate_segment_keeps_terminal_point() {
+        let p = NetPath::from_segments(vec![Segment::point(Axis::Horizontal, Point::new(3, 3))]);
+        assert_eq!(p.length(), 0);
+        assert!(p.connects(&[Point::new(3, 3)]));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut p: NetPath = vec![Segment::horizontal(0, 0, 1)].into_iter().collect();
+        p.extend(vec![Segment::vertical(1, 0, 1)]);
+        assert_eq!(p.segments().len(), 2);
+        assert_eq!(p.bends(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the path metrics: the unit-edge graph
+//! semantics must be stable under segment representation changes.
+
+use proptest::prelude::*;
+
+use netart_diagram::NetPath;
+use netart_geom::{Axis, Interval, Point, Segment};
+
+fn segment_strategy() -> impl Strategy<Value = Segment> {
+    (
+        prop::sample::select(vec![Axis::Horizontal, Axis::Vertical]),
+        -20i32..20,
+        -20i32..20,
+        0i32..10,
+    )
+        .prop_map(|(axis, track, lo, len)| {
+            Segment::on_axis(axis, track, Interval::new(lo, lo + len))
+        })
+}
+
+fn path_strategy() -> impl Strategy<Value = Vec<Segment>> {
+    prop::collection::vec(segment_strategy(), 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Metrics are invariant under segment order.
+    #[test]
+    fn metrics_are_order_independent(mut segs in path_strategy()) {
+        let a = NetPath::from_segments(segs.clone());
+        segs.reverse();
+        let b = NetPath::from_segments(segs);
+        prop_assert_eq!(a.length(), b.length());
+        prop_assert_eq!(a.bends(), b.bends());
+        prop_assert_eq!(a.branch_points(), b.branch_points());
+        prop_assert_eq!(a.is_tree(), b.is_tree());
+    }
+
+    /// Metrics are invariant under duplicating a segment (the
+    /// unit-edge graph deduplicates).
+    #[test]
+    fn metrics_ignore_duplicates(segs in path_strategy()) {
+        let a = NetPath::from_segments(segs.clone());
+        let mut doubled = segs.clone();
+        doubled.extend(segs);
+        let b = NetPath::from_segments(doubled);
+        prop_assert_eq!(a.length(), b.length());
+        prop_assert_eq!(a.bends(), b.bends());
+        prop_assert_eq!(a.branch_points(), b.branch_points());
+    }
+
+    /// Splitting a segment in two never changes any metric.
+    #[test]
+    fn metrics_survive_splitting(seg in segment_strategy(), cut in 0i32..10) {
+        let span = seg.span();
+        let whole = NetPath::from_segments(vec![seg]);
+        let cut = span.lo() + cut.min(span.len() as i32);
+        let halves = NetPath::from_segments(vec![
+            Segment::on_axis(seg.axis(), seg.track(), Interval::new(span.lo(), cut)),
+            Segment::on_axis(seg.axis(), seg.track(), Interval::new(cut, span.hi())),
+        ]);
+        prop_assert_eq!(whole.length(), halves.length());
+        prop_assert_eq!(whole.bends(), halves.bends());
+        prop_assert_eq!(whole.branch_points(), halves.branch_points());
+    }
+
+    /// Crossing detection is symmetric, and crossing points lie on both
+    /// paths.
+    #[test]
+    fn crossings_symmetric(a in path_strategy(), b in path_strategy()) {
+        let pa = NetPath::from_segments(a);
+        let pb = NetPath::from_segments(b);
+        let xab = pa.crossings_with(&pb);
+        let xba = pb.crossings_with(&pa);
+        prop_assert_eq!(xab.clone(), xba);
+        for p in xab {
+            prop_assert!(pa.contains(p));
+            prop_assert!(pb.contains(p));
+        }
+    }
+
+    /// A connected single segment is always a tree connecting its
+    /// endpoints.
+    #[test]
+    fn single_segment_is_a_tree(seg in segment_strategy()) {
+        let p = NetPath::from_segments(vec![seg]);
+        let (a, b) = seg.endpoints();
+        prop_assert!(p.is_tree());
+        prop_assert!(p.connects(&[a, b]));
+        prop_assert_eq!(p.length(), seg.len());
+        prop_assert_eq!(p.bends(), 0);
+    }
+
+    /// An L of two touching perpendicular segments has exactly one bend
+    /// (or zero when either leg is degenerate).
+    #[test]
+    fn l_shape_bend_count(x in -10i32..10, y in -10i32..10, dx in 0i32..8, dy in 0i32..8) {
+        let h = Segment::horizontal(y, x, x + dx);
+        let v = Segment::vertical(x + dx, y, y + dy);
+        let p = NetPath::from_segments(vec![h, v]);
+        let expected = u32::from(dx > 0 && dy > 0);
+        prop_assert_eq!(p.bends(), expected, "{:?}", p.segments());
+        prop_assert!(p.connects(&[Point::new(x, y), Point::new(x + dx, y + dy)]));
+    }
+}

@@ -1,0 +1,159 @@
+use std::fmt;
+
+/// One of the two axes of the plane.
+///
+/// A [`crate::Segment`] lies *along* an axis; routing sweeps move
+/// *perpendicular* to the segment being expanded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Axis {
+    /// The x axis.
+    Horizontal,
+    /// The y axis.
+    Vertical,
+}
+
+impl Axis {
+    /// The other axis.
+    ///
+    /// ```
+    /// use netart_geom::Axis;
+    /// assert_eq!(Axis::Horizontal.perpendicular(), Axis::Vertical);
+    /// ```
+    pub fn perpendicular(self) -> Axis {
+        match self {
+            Axis::Horizontal => Axis::Vertical,
+            Axis::Vertical => Axis::Horizontal,
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Axis::Horizontal => "horizontal",
+            Axis::Vertical => "vertical",
+        })
+    }
+}
+
+/// A direction in the plane.
+///
+/// Used both for routing sweep directions and, via the [`Side`] alias,
+/// for the side of a module a terminal sits on (§4.6.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dir {
+    /// Towards negative x.
+    Left,
+    /// Towards positive x.
+    Right,
+    /// Towards positive y.
+    Up,
+    /// Towards negative y.
+    Down,
+}
+
+/// The side of a module a terminal is situated on.
+///
+/// The paper's `side : T -> { left, right, up, down }` function; it is the
+/// same set of values as [`Dir`], so we use a type alias.
+pub type Side = Dir;
+
+impl Dir {
+    /// All four directions, in a fixed deterministic order.
+    pub const ALL: [Dir; 4] = [Dir::Left, Dir::Right, Dir::Up, Dir::Down];
+
+    /// The opposite direction.
+    ///
+    /// ```
+    /// use netart_geom::Dir;
+    /// assert_eq!(Dir::Left.opposite(), Dir::Right);
+    /// assert_eq!(Dir::Up.opposite(), Dir::Down);
+    /// ```
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::Left => Dir::Right,
+            Dir::Right => Dir::Left,
+            Dir::Up => Dir::Down,
+            Dir::Down => Dir::Up,
+        }
+    }
+
+    /// The axis this direction moves along.
+    ///
+    /// `Left`/`Right` move along the horizontal axis, `Up`/`Down` along
+    /// the vertical axis.
+    pub fn axis(self) -> Axis {
+        match self {
+            Dir::Left | Dir::Right => Axis::Horizontal,
+            Dir::Up | Dir::Down => Axis::Vertical,
+        }
+    }
+
+    /// The axis of a *segment that expands in this direction*: a segment
+    /// sweeping up or down is horizontal, one sweeping left or right is
+    /// vertical.
+    pub fn segment_axis(self) -> Axis {
+        self.axis().perpendicular()
+    }
+
+    /// `+1` for `Right`/`Up`, `-1` for `Left`/`Down`.
+    pub fn sign(self) -> i32 {
+        match self {
+            Dir::Right | Dir::Up => 1,
+            Dir::Left | Dir::Down => -1,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Dir::Left => "left",
+            Dir::Right => "right",
+            Dir::Up => "up",
+            Dir::Down => "down",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposites_are_involutive() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn axis_of_each_direction() {
+        assert_eq!(Dir::Left.axis(), Axis::Horizontal);
+        assert_eq!(Dir::Right.axis(), Axis::Horizontal);
+        assert_eq!(Dir::Up.axis(), Axis::Vertical);
+        assert_eq!(Dir::Down.axis(), Axis::Vertical);
+    }
+
+    #[test]
+    fn segment_axis_is_perpendicular_to_motion() {
+        for d in Dir::ALL {
+            assert_eq!(d.segment_axis(), d.axis().perpendicular());
+        }
+    }
+
+    #[test]
+    fn signs() {
+        assert_eq!(Dir::Right.sign(), 1);
+        assert_eq!(Dir::Up.sign(), 1);
+        assert_eq!(Dir::Left.sign(), -1);
+        assert_eq!(Dir::Down.sign(), -1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dir::Up.to_string(), "up");
+        assert_eq!(Axis::Vertical.to_string(), "vertical");
+    }
+}

@@ -1,0 +1,256 @@
+use std::fmt;
+
+use crate::{Interval, Point, Segment, Side};
+
+/// An axis-aligned rectangle given by its lower-left corner and size.
+///
+/// Modules, box bounding-boxes, partition bounding-boxes and the routing
+/// plane itself are all rectangles. Width and height may be zero (a
+/// degenerate rectangle still has a well-defined boundary), matching the
+/// paper where system terminals are treated as zero-size obstacles.
+///
+/// # Examples
+///
+/// ```
+/// use netart_geom::{Point, Rect};
+///
+/// let r = Rect::new(Point::new(1, 2), 4, 3);
+/// assert_eq!(r.upper_right(), Point::new(5, 5));
+/// assert!(r.overlaps(&Rect::new(Point::new(4, 4), 2, 2)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    origin: Point,
+    width: i32,
+    height: i32,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    pub fn new(origin: Point, width: i32, height: i32) -> Self {
+        assert!(width >= 0 && height >= 0, "negative rectangle size {width}x{height}");
+        Rect { origin, width, height }
+    }
+
+    /// The smallest rectangle containing both corner points.
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        let origin = Point::new(a.x.min(b.x), a.y.min(b.y));
+        Rect {
+            origin,
+            width: (a.x - b.x).abs(),
+            height: (a.y - b.y).abs(),
+        }
+    }
+
+    /// Lower-left corner.
+    pub fn lower_left(&self) -> Point {
+        self.origin
+    }
+
+    /// Upper-right corner.
+    pub fn upper_right(&self) -> Point {
+        Point::new(self.origin.x + self.width, self.origin.y + self.height)
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> i32 {
+        self.width
+    }
+
+    /// Height (y extent).
+    pub fn height(&self) -> i32 {
+        self.height
+    }
+
+    /// The horizontal span `[left, right]`.
+    pub fn x_span(&self) -> Interval {
+        Interval::new(self.origin.x, self.origin.x + self.width)
+    }
+
+    /// The vertical span `[bottom, top]`.
+    pub fn y_span(&self) -> Interval {
+        Interval::new(self.origin.y, self.origin.y + self.height)
+    }
+
+    /// Geometric centre, rounded towards the lower-left.
+    pub fn center(&self) -> Point {
+        Point::new(self.origin.x + self.width / 2, self.origin.y + self.height / 2)
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        self.x_span().contains(p.x) && self.y_span().contains(p.y)
+    }
+
+    /// `true` when `p` lies strictly inside (not on the boundary).
+    pub fn contains_strictly(&self, p: Point) -> bool {
+        self.origin.x < p.x
+            && p.x < self.origin.x + self.width
+            && self.origin.y < p.y
+            && p.y < self.origin.y + self.height
+    }
+
+    /// `true` when the closed rectangles share at least one point.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x_span().overlaps(other.x_span()) && self.y_span().overlaps(other.y_span())
+    }
+
+    /// `true` when the rectangles intersect in more than a shared edge:
+    /// touching boundaries do not count, while a degenerate rectangle
+    /// (zero width or height) strictly overlaps when it reaches into the
+    /// other's interior. The placement non-overlap postcondition uses
+    /// this: two modules may share a boundary track but not interior
+    /// area, and a system terminal (a point) may sit on a module edge but
+    /// not inside it.
+    pub fn overlaps_strictly(&self, other: &Rect) -> bool {
+        self.origin.x < other.origin.x + other.width
+            && other.origin.x < self.origin.x + self.width
+            && self.origin.y < other.origin.y + other.height
+            && other.origin.y < self.origin.y + self.height
+    }
+
+    /// The rectangle grown by `margin` tracks on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative `margin` would invert the rectangle.
+    pub fn inflate(&self, margin: i32) -> Rect {
+        Rect::new(
+            Point::new(self.origin.x - margin, self.origin.y - margin),
+            self.width + 2 * margin,
+            self.height + 2 * margin,
+        )
+    }
+
+    /// The rectangle translated by `delta`.
+    pub fn translate(&self, delta: Point) -> Rect {
+        Rect {
+            origin: self.origin + delta,
+            ..*self
+        }
+    }
+
+    /// The smallest rectangle containing both.
+    pub fn hull(&self, other: &Rect) -> Rect {
+        let ll = Point::new(
+            self.origin.x.min(other.origin.x),
+            self.origin.y.min(other.origin.y),
+        );
+        let ur = Point::new(
+            self.upper_right().x.max(other.upper_right().x),
+            self.upper_right().y.max(other.upper_right().y),
+        );
+        Rect::from_corners(ll, ur)
+    }
+
+    /// The boundary edge on the given side, as a segment.
+    ///
+    /// `Left`/`Right` return vertical segments, `Up`/`Down` horizontal
+    /// ones. These are exactly the obstacle segments a module contributes
+    /// to the router (`ADD_OBSTACLE_BOUNDINGS` in the paper).
+    pub fn edge(&self, side: Side) -> Segment {
+        let ur = self.upper_right();
+        match side {
+            Side::Left => Segment::vertical(self.origin.x, self.origin.y, ur.y),
+            Side::Right => Segment::vertical(ur.x, self.origin.y, ur.y),
+            Side::Down => Segment::horizontal(self.origin.y, self.origin.x, ur.x),
+            Side::Up => Segment::horizontal(ur.y, self.origin.x, ur.x),
+        }
+    }
+
+    /// All four boundary edges in `[left, right, down, up]` order.
+    pub fn edges(&self) -> [Segment; 4] {
+        [
+            self.edge(Side::Left),
+            self.edge(Side::Right),
+            self.edge(Side::Down),
+            self.edge(Side::Up),
+        ]
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}x{}", self.origin, self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_and_spans() {
+        let r = Rect::new(Point::new(-2, 1), 5, 4);
+        assert_eq!(r.lower_left(), Point::new(-2, 1));
+        assert_eq!(r.upper_right(), Point::new(3, 5));
+        assert_eq!(r.x_span(), Interval::new(-2, 3));
+        assert_eq!(r.y_span(), Interval::new(1, 5));
+        assert_eq!(r.center(), Point::new(0, 3));
+    }
+
+    #[test]
+    fn from_corners_normalises() {
+        let r = Rect::from_corners(Point::new(4, 7), Point::new(1, 2));
+        assert_eq!(r, Rect::new(Point::new(1, 2), 3, 5));
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::new(Point::new(0, 0), 4, 4);
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(r.contains(Point::new(4, 4)));
+        assert!(!r.contains(Point::new(5, 2)));
+        assert!(!r.contains_strictly(Point::new(0, 2)));
+        assert!(r.contains_strictly(Point::new(1, 1)));
+    }
+
+    #[test]
+    fn overlap_vs_strict_overlap() {
+        let a = Rect::new(Point::new(0, 0), 4, 4);
+        let touching = Rect::new(Point::new(4, 0), 3, 3);
+        assert!(a.overlaps(&touching));
+        assert!(!a.overlaps_strictly(&touching));
+        let inside = Rect::new(Point::new(1, 1), 1, 1);
+        assert!(a.overlaps_strictly(&inside));
+        let away = Rect::new(Point::new(9, 9), 1, 1);
+        assert!(!a.overlaps(&away));
+    }
+
+    #[test]
+    fn zero_size_rect_behaves_like_a_point() {
+        let p = Rect::new(Point::new(3, 3), 0, 0);
+        assert!(p.contains(Point::new(3, 3)));
+        assert!(!p.contains(Point::new(3, 4)));
+        let a = Rect::new(Point::new(0, 0), 4, 4);
+        assert!(a.overlaps(&p));
+        // A point in the interior of `a` strictly overlaps it...
+        assert!(a.overlaps_strictly(&p));
+        // ...but a point on the boundary does not.
+        let edge = Rect::new(Point::new(0, 2), 0, 0);
+        assert!(!a.overlaps_strictly(&edge));
+    }
+
+    #[test]
+    fn inflate_translate_hull() {
+        let r = Rect::new(Point::new(2, 2), 2, 2);
+        assert_eq!(r.inflate(1), Rect::new(Point::new(1, 1), 4, 4));
+        assert_eq!(r.translate(Point::new(-2, 3)), Rect::new(Point::new(0, 5), 2, 2));
+        let h = r.hull(&Rect::new(Point::new(10, 0), 1, 1));
+        assert_eq!(h, Rect::from_corners(Point::new(2, 0), Point::new(11, 4)));
+    }
+
+    #[test]
+    fn edges_bound_the_rectangle() {
+        let r = Rect::new(Point::new(1, 2), 3, 4);
+        assert_eq!(r.edge(Side::Left), Segment::vertical(1, 2, 6));
+        assert_eq!(r.edge(Side::Right), Segment::vertical(4, 2, 6));
+        assert_eq!(r.edge(Side::Down), Segment::horizontal(2, 1, 4));
+        assert_eq!(r.edge(Side::Up), Segment::horizontal(6, 1, 4));
+        assert_eq!(r.edges().len(), 4);
+    }
+}

@@ -1,0 +1,243 @@
+use std::fmt;
+
+use crate::{Point, Side};
+
+/// A right-angle rotation of a module, counter-clockwise.
+///
+/// The module placement phase rotates each module so that the terminal
+/// connecting it to its predecessor in a string faces left (§4.6.4 of the
+/// paper). Rotations act on terminal positions given relative to the
+/// module's lower-left corner and on the module size.
+///
+/// # Examples
+///
+/// ```
+/// use netart_geom::{Point, Rotation};
+///
+/// // A 4x2 module with a terminal at (4, 1) on its right edge:
+/// let size = (4, 2);
+/// let term = Point::new(4, 1);
+/// // rotated by 180 degrees the module is still 4x2 and the terminal
+/// // lands on the left edge:
+/// assert_eq!(Rotation::R180.apply_size(size), (4, 2));
+/// assert_eq!(Rotation::R180.apply_point(term, size), Point::new(0, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum Rotation {
+    /// No rotation.
+    #[default]
+    R0,
+    /// 90° counter-clockwise.
+    R90,
+    /// 180°.
+    R180,
+    /// 270° counter-clockwise.
+    R270,
+}
+
+impl Rotation {
+    /// All four rotations in increasing angle order.
+    pub const ALL: [Rotation; 4] = [Rotation::R0, Rotation::R90, Rotation::R180, Rotation::R270];
+
+    /// The module size after rotation: 90° and 270° swap width and
+    /// height.
+    pub fn apply_size(self, (w, h): (i32, i32)) -> (i32, i32) {
+        match self {
+            Rotation::R0 | Rotation::R180 => (w, h),
+            Rotation::R90 | Rotation::R270 => (h, w),
+        }
+    }
+
+    /// A point relative to the module's lower-left corner, after rotating
+    /// the module (of unrotated size `(w, h)`) and re-anchoring at the
+    /// lower-left.
+    pub fn apply_point(self, p: Point, (w, h): (i32, i32)) -> Point {
+        match self {
+            Rotation::R0 => p,
+            Rotation::R90 => Point::new(h - p.y, p.x),
+            Rotation::R180 => Point::new(w - p.x, h - p.y),
+            Rotation::R270 => Point::new(p.y, w - p.x),
+        }
+    }
+
+    /// The side a terminal ends up on after rotation.
+    ///
+    /// ```
+    /// use netart_geom::{Rotation, Side};
+    /// assert_eq!(Rotation::R90.apply_side(Side::Right), Side::Up);
+    /// ```
+    pub fn apply_side(self, side: Side) -> Side {
+        let steps = match self {
+            Rotation::R0 => 0,
+            Rotation::R90 => 1,
+            Rotation::R180 => 2,
+            Rotation::R270 => 3,
+        };
+        let mut s = side;
+        for _ in 0..steps {
+            s = match s {
+                Side::Right => Side::Up,
+                Side::Up => Side::Left,
+                Side::Left => Side::Down,
+                Side::Down => Side::Right,
+            };
+        }
+        s
+    }
+
+    /// The rotation that maps `from` onto `to`.
+    pub fn mapping(from: Side, to: Side) -> Rotation {
+        for r in Rotation::ALL {
+            if r.apply_side(from) == to {
+                return r;
+            }
+        }
+        unreachable!("the four rotations cover all side mappings")
+    }
+
+    /// Composition: apply `self`, then `other`.
+    pub fn then(self, other: Rotation) -> Rotation {
+        let quarter = |r| match r {
+            Rotation::R0 => 0,
+            Rotation::R90 => 1,
+            Rotation::R180 => 2,
+            Rotation::R270 => 3,
+        };
+        match (quarter(self) + quarter(other)) % 4 {
+            0 => Rotation::R0,
+            1 => Rotation::R90,
+            2 => Rotation::R180,
+            _ => Rotation::R270,
+        }
+    }
+
+    /// The inverse rotation.
+    pub fn inverse(self) -> Rotation {
+        match self {
+            Rotation::R0 => Rotation::R0,
+            Rotation::R90 => Rotation::R270,
+            Rotation::R180 => Rotation::R180,
+            Rotation::R270 => Rotation::R90,
+        }
+    }
+}
+
+impl fmt::Display for Rotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rotation::R0 => "0",
+            Rotation::R90 => "90",
+            Rotation::R180 => "180",
+            Rotation::R270 => "270",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIZE: (i32, i32) = (4, 2);
+
+    #[test]
+    fn size_swaps_on_quarter_turns() {
+        assert_eq!(Rotation::R0.apply_size(SIZE), (4, 2));
+        assert_eq!(Rotation::R90.apply_size(SIZE), (2, 4));
+        assert_eq!(Rotation::R180.apply_size(SIZE), (4, 2));
+        assert_eq!(Rotation::R270.apply_size(SIZE), (2, 4));
+    }
+
+    #[test]
+    fn corner_points_stay_corners() {
+        // Lower-left corner of the module under each rotation.
+        let corners = [
+            Point::new(0, 0),
+            Point::new(4, 0),
+            Point::new(4, 2),
+            Point::new(0, 2),
+        ];
+        for r in Rotation::ALL {
+            let (w, h) = r.apply_size(SIZE);
+            for c in corners {
+                let p = r.apply_point(c, SIZE);
+                assert!(
+                    (p.x == 0 || p.x == w) && (p.y == 0 || p.y == h),
+                    "{c} under {r} gave non-corner {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_points_stay_on_boundary() {
+        let term = Point::new(4, 1); // on the right edge
+        assert_eq!(Rotation::R90.apply_point(term, SIZE), Point::new(1, 4));
+        assert_eq!(Rotation::R180.apply_point(term, SIZE), Point::new(0, 1));
+        assert_eq!(Rotation::R270.apply_point(term, SIZE), Point::new(1, 0));
+    }
+
+    #[test]
+    fn side_rotation_matches_point_rotation() {
+        // Terminal in the middle of each side of a square module.
+        let size = (4, 4);
+        let cases = [
+            (Point::new(0, 2), Side::Left),
+            (Point::new(4, 2), Side::Right),
+            (Point::new(2, 4), Side::Up),
+            (Point::new(2, 0), Side::Down),
+        ];
+        for r in Rotation::ALL {
+            for (p, side) in cases {
+                let rp = r.apply_point(p, size);
+                let rs = r.apply_side(side);
+                let (w, h) = r.apply_size(size);
+                let on_expected_side = match rs {
+                    Side::Left => rp.x == 0,
+                    Side::Right => rp.x == w,
+                    Side::Up => rp.y == h,
+                    Side::Down => rp.y == 0,
+                };
+                assert!(on_expected_side, "{p} ({side}) under {r} gave {rp}");
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_finds_the_right_rotation() {
+        for from in [Side::Left, Side::Right, Side::Up, Side::Down] {
+            for to in [Side::Left, Side::Right, Side::Up, Side::Down] {
+                let r = Rotation::mapping(from, to);
+                assert_eq!(r.apply_side(from), to);
+            }
+        }
+    }
+
+    #[test]
+    fn composition_and_inverse() {
+        for a in Rotation::ALL {
+            assert_eq!(a.then(a.inverse()), Rotation::R0);
+            for b in Rotation::ALL {
+                // Composition agrees with acting on sides sequentially.
+                assert_eq!(
+                    a.then(b).apply_side(Side::Left),
+                    b.apply_side(a.apply_side(Side::Left))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_round_trip_on_points() {
+        let size = (5, 3);
+        for r in Rotation::ALL {
+            let rsize = r.apply_size(size);
+            for x in 0..=5 {
+                for y in 0..=3 {
+                    let p = Point::new(x, y);
+                    let back = r.inverse().apply_point(r.apply_point(p, size), rsize);
+                    assert_eq!(back, p, "round trip under {r}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the geometry substrate.
+
+use netart_geom::{Interval, Point, Rect, Rotation, Segment};
+use proptest::prelude::*;
+
+const C: i32 = 10_000; // coordinate bound keeping arithmetic far from overflow
+
+fn interval() -> impl Strategy<Value = Interval> {
+    (-C..C, 0..200i32).prop_map(|(lo, len)| Interval::new(lo, lo + len))
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (-C..C, -C..C).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (point(), 0..100i32, 0..100i32).prop_map(|(p, w, h)| Rect::new(p, w, h))
+}
+
+proptest! {
+    #[test]
+    fn interval_subtract_preserves_points(a in interval(), b in interval()) {
+        let (l, r) = a.subtract(b);
+        for v in a.iter() {
+            let kept = l.is_some_and(|i| i.contains(v)) || r.is_some_and(|i| i.contains(v));
+            prop_assert_eq!(kept, !b.contains(v), "point {} of {} vs {}", v, a, b);
+        }
+        // The removed parts never reappear.
+        if let Some(l) = l { prop_assert!(!l.overlaps(b)); }
+        if let Some(r) = r { prop_assert!(!r.overlaps(b)); }
+    }
+
+    #[test]
+    fn interval_intersection_is_commutative(a in interval(), b in interval()) {
+        prop_assert_eq!(a.intersect(b), b.intersect(a));
+        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+        prop_assert_eq!(a.overlaps(b), a.intersect(b).is_some());
+    }
+
+    #[test]
+    fn hull_contains_both(a in interval(), b in interval()) {
+        let h = a.hull(b);
+        prop_assert!(h.contains_interval(a));
+        prop_assert!(h.contains_interval(b));
+    }
+
+    #[test]
+    fn manhattan_triangle_inequality(a in point(), b in point(), c in point()) {
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    #[test]
+    fn rect_overlap_is_symmetric(a in rect(), b in rect()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        prop_assert_eq!(a.overlaps_strictly(&b), b.overlaps_strictly(&a));
+        // Strict overlap implies overlap.
+        if a.overlaps_strictly(&b) {
+            prop_assert!(a.overlaps(&b));
+        }
+    }
+
+    #[test]
+    fn rect_edges_lie_on_rect(r in rect()) {
+        for e in r.edges() {
+            let (a, b) = e.endpoints();
+            prop_assert!(r.contains(a) && r.contains(b));
+            prop_assert!(!r.contains_strictly(a) && !r.contains_strictly(b));
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_boundary(
+        r in prop::sample::select(Rotation::ALL.to_vec()),
+        w in 1..50i32,
+        h in 1..50i32,
+        t in 0..200i32,
+    ) {
+        // Pick a boundary point of the w x h module.
+        let perimeter = 2 * (w + h);
+        let t = t % perimeter;
+        let p = if t < w {
+            Point::new(t, 0)
+        } else if t < w + h {
+            Point::new(w, t - w)
+        } else if t < 2 * w + h {
+            Point::new(2 * w + h - t, h)
+        } else {
+            Point::new(0, perimeter - t)
+        };
+        let (rw, rh) = r.apply_size((w, h));
+        let rp = r.apply_point(p, (w, h));
+        let on_boundary = rp.x == 0 || rp.x == rw || rp.y == 0 || rp.y == rh;
+        prop_assert!(on_boundary, "{} under {} gave {}", p, r, rp);
+        prop_assert!(Rect::new(Point::ORIGIN, rw, rh).contains(rp));
+    }
+
+    #[test]
+    fn segment_crossing_lies_on_both(
+        ht in -C..C, hx0 in -C..C, hlen in 0..100i32,
+        vt in -C..C, vy0 in -C..C, vlen in 0..100i32,
+    ) {
+        let hseg = Segment::horizontal(ht, hx0, hx0 + hlen);
+        let vseg = Segment::vertical(vt, vy0, vy0 + vlen);
+        if let Some(p) = hseg.crossing(&vseg) {
+            prop_assert!(hseg.contains(p));
+            prop_assert!(vseg.contains(p));
+        } else {
+            prop_assert!(!(hseg.span().contains(vt) && vseg.span().contains(ht)));
+        }
+    }
+
+    #[test]
+    fn segment_merge_covers_union(a_lo in -C..C, a_len in 0..50i32, b_lo in -C..C, b_len in 0..50i32) {
+        let a = Segment::horizontal(0, a_lo, a_lo + a_len);
+        let b = Segment::horizontal(0, b_lo, b_lo + b_len);
+        match a.merge(&b) {
+            Some(m) => {
+                prop_assert!(m.span().contains_interval(a.span()));
+                prop_assert!(m.span().contains_interval(b.span()));
+                // No gap: every point of the merge is in a or b.
+                for v in m.span().iter() {
+                    prop_assert!(a.span().contains(v) || b.span().contains(v));
+                }
+            }
+            None => prop_assert!(
+                !a.span().overlaps(b.span())
+                    && a.span().lo() != b.span().hi()
+                    && b.span().lo() != a.span().hi()
+            ),
+        }
+    }
+}

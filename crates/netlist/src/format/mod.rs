@@ -1,0 +1,272 @@
+//! The paper's text file formats.
+//!
+//! Appendix A defines three whitespace-separated record files describing
+//! a network:
+//!
+//! * the **call-file** — `<INSTANCE> <TEMPLATE>` records naming the
+//!   sub-networks,
+//! * the **io-file** — `<TERMINAL> <TYPE>` records naming the system
+//!   terminals,
+//! * the **net-list-file** — `<NET> <INSTANCE> <TERMINAL>` records
+//!   attaching pins to nets, with the pseudo-instance `root` denoting a
+//!   system terminal.
+//!
+//! Appendix B defines the *quinto* module description, handled by
+//! [`quinto`]; Appendix C's library representation of a module symbol
+//! lives in [`template_repr`].
+//!
+//! # Examples
+//!
+//! ```
+//! use netart_netlist::format;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = format::quinto::parse_module(
+//!     "module inv 40 20\nin a 0 10\nout y 40 10\n",
+//! ).map(|t| {
+//!     let mut lib = netart_netlist::Library::new();
+//!     lib.add_template(t).unwrap();
+//!     lib
+//! })?;
+//! let network = format::parse_network(
+//!     lib,
+//!     "n0 u0 y\nn0 u1 a\nnin root in\nnin u0 a\n",
+//!     "u0 inv\nu1 inv\n",
+//!     Some("in in\n"),
+//! )?;
+//! assert_eq!(network.module_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod quinto;
+pub mod template_repr;
+
+use crate::{Library, Network, NetworkBuilder, ParseError, TermType};
+
+/// Splits a record file into `(line_number, fields)` tuples, skipping
+/// blank lines and `#` comment lines (an extension for readability; the
+/// paper's files contain only records).
+fn records(src: &str) -> impl Iterator<Item = (usize, Vec<&str>)> {
+    src.lines().enumerate().filter_map(|(i, line)| {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            None
+        } else {
+            Some((i + 1, line.split_whitespace().collect()))
+        }
+    })
+}
+
+/// Parses the three Appendix A files into a validated [`Network`].
+///
+/// `io_file` may be omitted when the network has no system terminals,
+/// exactly as in the paper's `pablo` command line.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the offending record for
+/// malformed fields, unknown templates/instances/terminals, pin
+/// conflicts, or nets with fewer than two pins.
+pub fn parse_network(
+    library: Library,
+    net_list_file: &str,
+    call_file: &str,
+    io_file: Option<&str>,
+) -> Result<Network, ParseError> {
+    let mut b = NetworkBuilder::new(library);
+
+    for (line, fields) in records(call_file) {
+        let [instance, template] = fields[..] else {
+            return Err(ParseError::new(
+                line,
+                format!("call-file record needs 2 fields, got {}", fields.len()),
+            ));
+        };
+        let id = b
+            .library()
+            .template_by_name(template)
+            .ok_or_else(|| ParseError::new(line, format!("unknown template `{template}`")))?;
+        b.add_instance(instance, id)
+            .map_err(|e| ParseError::new(line, e.to_string()))?;
+    }
+
+    if let Some(io) = io_file {
+        for (line, fields) in records(io) {
+            let [terminal, ty] = fields[..] else {
+                return Err(ParseError::new(
+                    line,
+                    format!("io-file record needs 2 fields, got {}", fields.len()),
+                ));
+            };
+            let ty: TermType = ty
+                .parse()
+                .map_err(|e: String| ParseError::new(line, e))?;
+            b.add_system_terminal(terminal, ty)
+                .map_err(|e| ParseError::new(line, e.to_string()))?;
+        }
+    }
+
+    for (line, fields) in records(net_list_file) {
+        let [net, instance, terminal] = fields[..] else {
+            return Err(ParseError::new(
+                line,
+                format!("net-list record needs 3 fields, got {}", fields.len()),
+            ));
+        };
+        if instance == "root" {
+            let st = b.system_term_by_name(terminal).ok_or_else(|| {
+                ParseError::new(line, format!("unknown system terminal `{terminal}`"))
+            })?;
+            b.connect(net, st)
+                .map_err(|e| ParseError::new(line, e.to_string()))?;
+        } else {
+            let m = b.instance_by_name(instance).ok_or_else(|| {
+                ParseError::new(line, format!("unknown instance `{instance}`"))
+            })?;
+            b.connect_pin(net, m, terminal)
+                .map_err(|e| ParseError::new(line, e.to_string()))?;
+        }
+    }
+
+    b.finish().map_err(|e| ParseError::new(0, e.to_string()))
+}
+
+/// Writes the call-file for a network.
+pub fn write_call_file(network: &Network) -> String {
+    let mut out = String::new();
+    for m in network.modules() {
+        let inst = network.instance(m);
+        out.push_str(inst.name());
+        out.push(' ');
+        out.push_str(network.template_of(m).name());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the io-file for a network.
+pub fn write_io_file(network: &Network) -> String {
+    let mut out = String::new();
+    for st in network.system_terms() {
+        let t = network.system_term(st);
+        out.push_str(t.name());
+        out.push(' ');
+        out.push_str(&t.ty().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the net-list-file for a network.
+pub fn write_net_list_file(network: &Network) -> String {
+    let mut out = String::new();
+    for n in network.nets() {
+        let net = network.net(n);
+        for pin in net.pins() {
+            out.push_str(net.name());
+            out.push(' ');
+            match *pin {
+                crate::Pin::Sub { module, term } => {
+                    out.push_str(network.instance(module).name());
+                    out.push(' ');
+                    out.push_str(network.template_of(module).terminals()[term].name());
+                }
+                crate::Pin::System(st) => {
+                    out.push_str("root ");
+                    out.push_str(network.system_term(st).name());
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Template, TermType};
+
+    fn lib() -> Library {
+        let mut lib = Library::new();
+        lib.add_template(
+            Template::new("inv", (4, 2))
+                .unwrap()
+                .with_terminal("a", (0, 1), TermType::In)
+                .unwrap()
+                .with_terminal("y", (4, 1), TermType::Out)
+                .unwrap(),
+        )
+        .unwrap();
+        lib
+    }
+
+    #[test]
+    fn parse_minimal_network() {
+        let net = parse_network(
+            lib(),
+            "n0 u0 y\nn0 u1 a\nnin root in\nnin u0 a\nnout u1 y\nnout root out\n",
+            "u0 inv\nu1 inv\n",
+            Some("in in\nout out\n"),
+        )
+        .unwrap();
+        assert_eq!(net.module_count(), 2);
+        assert_eq!(net.net_count(), 3);
+        assert_eq!(net.system_term_count(), 2);
+    }
+
+    #[test]
+    fn io_file_optional() {
+        let net = parse_network(lib(), "n0 u0 y\nn0 u1 a\n", "u0 inv\nu1 inv\n", None).unwrap();
+        assert_eq!(net.system_term_count(), 0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let net = parse_network(
+            lib(),
+            "# the only net\n\nn0 u0 y\nn0 u1 a\n",
+            "u0 inv\n\n# second\nu1 inv\n",
+            None,
+        )
+        .unwrap();
+        assert_eq!(net.net_count(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_network(lib(), "", "u0 unknown_template\n", None).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown template"));
+
+        let e = parse_network(lib(), "n0 nobody a\n", "u0 inv\n", None).unwrap_err();
+        assert!(e.message.contains("unknown instance"));
+
+        let e = parse_network(lib(), "n0 u0 zz\n", "u0 inv\n", None).unwrap_err();
+        assert!(e.message.contains("no terminal"));
+
+        let e = parse_network(lib(), "n0 root missing\n", "u0 inv\n", None).unwrap_err();
+        assert!(e.message.contains("unknown system terminal"));
+
+        let e = parse_network(lib(), "only-two-fields u0\n", "u0 inv\n", None).unwrap_err();
+        assert!(e.message.contains("3 fields"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let src_nets = "n0 u0 y\nn0 u1 a\nnin root in\nnin u0 a\n";
+        let net = parse_network(lib(), src_nets, "u0 inv\nu1 inv\n", Some("in in\n")).unwrap();
+        let calls = write_call_file(&net);
+        let io = write_io_file(&net);
+        let nets = write_net_list_file(&net);
+        let net2 = parse_network(lib(), &nets, &calls, Some(&io)).unwrap();
+        assert_eq!(net2.module_count(), net.module_count());
+        assert_eq!(net2.net_count(), net.net_count());
+        assert_eq!(net2.system_term_count(), net.system_term_count());
+        for n in net.nets() {
+            let name = net.net(n).name();
+            let n2 = net2.net_by_name(name).unwrap();
+            assert_eq!(net2.net(n2).pins().len(), net.net(n).pins().len());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The *quinto* module description format (Appendix B of the paper).
+//!
+//! A module file consists of a heading and one record per terminal:
+//!
+//! ```text
+//! module <MODULE-NAME> <WIDTH> <HEIGHT>
+//! <TYPE> <TERM-NAME> <X> <Y>
+//! ...
+//! ```
+//!
+//! The appendix imposes that width, height and terminal coordinates are
+//! divisible by 10 (the editor's display grid) and that terminals lie on
+//! the module outline. Internally the generator works on the coarse
+//! track grid, so [`parse_module`] divides all coordinates by 10 and
+//! [`write_module`] multiplies them back; a parse/write round trip is
+//! exact.
+
+use crate::{ParseError, Template, TermType};
+
+const GRID: i32 = 10;
+
+fn grid_value(line: usize, field: &str, what: &str) -> Result<i32, ParseError> {
+    let v: i32 = field
+        .parse()
+        .map_err(|_| ParseError::new(line, format!("{what} `{field}` is not an integer")))?;
+    if v % GRID != 0 {
+        return Err(ParseError::new(
+            line,
+            format!("{what} {v} is not divisible by {GRID}"),
+        ));
+    }
+    Ok(v / GRID)
+}
+
+/// Parses a quinto module description into a [`Template`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed headings or records, values
+/// not divisible by 10, terminals off the module outline, or duplicate
+/// terminals.
+pub fn parse_module(src: &str) -> Result<Template, ParseError> {
+    let mut lines = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (hline, heading) = lines
+        .next()
+        .ok_or_else(|| ParseError::new(0, "empty module description"))?;
+    let fields: Vec<&str> = heading.split_whitespace().collect();
+    let ["module", name, w, h] = fields[..] else {
+        return Err(ParseError::new(
+            hline,
+            "heading must be `module <NAME> <WIDTH> <HEIGHT>`",
+        ));
+    };
+    let width = grid_value(hline, w, "width")?;
+    let height = grid_value(hline, h, "height")?;
+    let mut template = Template::new(name, (width, height))
+        .map_err(|e| ParseError::new(hline, e.to_string()))?;
+
+    for (line, record) in lines {
+        let fields: Vec<&str> = record.split_whitespace().collect();
+        let [ty, term, x, y] = fields[..] else {
+            return Err(ParseError::new(
+                line,
+                format!("terminal record needs 4 fields, got {}", fields.len()),
+            ));
+        };
+        let ty: TermType = ty.parse().map_err(|e: String| ParseError::new(line, e))?;
+        let x = grid_value(line, x, "x-coordinate")?;
+        let y = grid_value(line, y, "y-coordinate")?;
+        template
+            .add_terminal(term, (x, y), ty)
+            .map_err(|e| ParseError::new(line, e.to_string()))?;
+    }
+    Ok(template)
+}
+
+/// Writes a [`Template`] as a quinto module description.
+pub fn write_module(template: &Template) -> String {
+    let (w, h) = template.size();
+    let mut out = format!("module {} {} {}\n", template.name(), w * GRID, h * GRID);
+    for t in template.terminals() {
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            t.ty(),
+            t.name(),
+            t.offset().x * GRID,
+            t.offset().y * GRID
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INV: &str = "module inv 40 20\nin a 0 10\nout y 40 10\n";
+
+    #[test]
+    fn parse_scales_to_track_grid() {
+        let t = parse_module(INV).unwrap();
+        assert_eq!(t.name(), "inv");
+        assert_eq!(t.size(), (4, 2));
+        assert_eq!(t.terminal_count(), 2);
+        assert_eq!(t.terminals()[0].offset().y, 1);
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let t = parse_module(INV).unwrap();
+        assert_eq!(write_module(&t), INV);
+        let t2 = parse_module(&write_module(&t)).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn rejects_off_grid_values() {
+        let e = parse_module("module m 45 20\n").unwrap_err();
+        assert!(e.message.contains("divisible by 10"));
+        let e = parse_module("module m 40 20\nin a 0 15\n").unwrap_err();
+        assert!(e.message.contains("divisible by 10"));
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        assert!(parse_module("").is_err());
+        assert!(parse_module("modul m 40 20\n").is_err());
+        assert!(parse_module("module m 40 20\nin a 0\n").is_err());
+        assert!(parse_module("module m 40 20\nsideways a 0 10\n").is_err());
+        assert!(parse_module("module m 40 20\nin a 10 10\n").is_err()); // interior
+        let e = parse_module("module m 40 20\nin a 0 10\nout a 40 10\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn comments_allowed() {
+        let t = parse_module("# inverter\nmodule inv 40 20\n\nin a 0 10\n").unwrap();
+        assert_eq!(t.terminal_count(), 1);
+    }
+}

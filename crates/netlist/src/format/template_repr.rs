@@ -1,0 +1,234 @@
+//! The module-library representation of Appendix C.
+//!
+//! Templates in the paper's library are stored as `#TUE-ES-871` record
+//! files with `temp:`/`tname:`/`repr:`/`contact:`/`symbol:` records;
+//! ESCHER reads them to draw module symbols. This module writes and
+//! parses that shape:
+//!
+//! ```text
+//! #TUE-ES-871
+//! temp: 0 1 1 1 0
+//! tname: <template name>
+//! lname: <library name>
+//! repr: 0 1 1 0 0 <width> <height> <time>
+//! contact: <more> <type> 0 0 <x> <y> 0 1 0
+//! cname: <terminal name>
+//! symbol: 1 35 <width> <height> <width> 0
+//! symbol: 1 35 0 <height> <width> <height>
+//! symbol: 1 35 <width> 0 0 0
+//! symbol: 0 35 0 0 0 <height>
+//! contents: 0 0
+//! ```
+//!
+//! Coordinates are on the 10× editor grid like [`super::quinto`]; the
+//! `time` field is written as `0` (this library has no wall clock) and
+//! ignored on parse. The original format interleaved each `contact:`
+//! record's name differently; we keep one `cname:` record per contact,
+//! which round-trips losslessly.
+
+use crate::{ParseError, Template, TermType};
+
+const GRID: i32 = 10;
+
+/// The magic header shared with the diagram format.
+pub const HEADER: &str = "#TUE-ES-871";
+
+fn type_code(ty: TermType) -> i32 {
+    match ty {
+        TermType::InOut => 0,
+        TermType::In => 1,
+        TermType::Out => 2,
+    }
+}
+
+fn type_from_code(code: &str) -> Result<TermType, String> {
+    match code {
+        "0" => Ok(TermType::InOut),
+        "1" => Ok(TermType::In),
+        "2" => Ok(TermType::Out),
+        other => Err(format!("unknown contact type code `{other}`")),
+    }
+}
+
+/// Writes a template in the Appendix C library representation.
+pub fn write_template(template: &Template, library_name: &str) -> String {
+    let (w, h) = template.size();
+    let (w, h) = (w * GRID, h * GRID);
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str("temp: 0 1 1 1 0\n");
+    out.push_str(&format!("tname: {}\n", template.name()));
+    out.push_str(&format!("lname: {library_name}\n"));
+    out.push_str(&format!("repr: 0 1 1 0 0 {w} {h} 0\n"));
+    let count = template.terminal_count();
+    for (i, t) in template.terminals().iter().enumerate() {
+        let more = if i + 1 < count { 1 } else { 0 };
+        out.push_str(&format!(
+            "contact: {more} {} 0 0 {} {} 0 1 0\n",
+            type_code(t.ty()),
+            t.offset().x * GRID,
+            t.offset().y * GRID
+        ));
+        out.push_str(&format!("cname: {}\n", t.name()));
+    }
+    out.push_str(&format!("symbol: 1 35 {w} {h} {w} 0\n"));
+    out.push_str(&format!("symbol: 1 35 0 {h} {w} {h}\n"));
+    out.push_str(&format!("symbol: 1 35 {w} 0 0 0\n"));
+    out.push_str(&format!("symbol: 0 35 0 0 0 {h}\n"));
+    out.push_str("contents: 0 0\n");
+    out
+}
+
+/// Parses an Appendix C library file back into a [`Template`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for missing headers, malformed records,
+/// off-grid coordinates or terminals violating the template rules.
+pub fn parse_template(src: &str) -> Result<Template, ParseError> {
+    let mut lines = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty());
+    match lines.next() {
+        Some((_, h)) if h == HEADER => {}
+        _ => return Err(ParseError::new(1, format!("missing `{HEADER}` header"))),
+    }
+
+    let mut name: Option<String> = None;
+    let mut size: Option<(i32, i32)> = None;
+    let mut contacts: Vec<(i32, i32, TermType)> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+
+    let grid = |line: usize, s: &str, what: &str| -> Result<i32, ParseError> {
+        let v: i32 = s
+            .parse()
+            .map_err(|_| ParseError::new(line, format!("{what} `{s}` is not an integer")))?;
+        if v % GRID != 0 {
+            return Err(ParseError::new(
+                line,
+                format!("{what} {v} is not divisible by {GRID}"),
+            ));
+        }
+        Ok(v / GRID)
+    };
+
+    for (line, text) in lines {
+        let Some((kind, rest)) = text.split_once(':') else {
+            return Err(ParseError::new(line, format!("malformed record `{text}`")));
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        match kind {
+            "temp" | "lname" | "symbol" | "contents" => {} // shape-only records
+            "tname" => name = Some(rest.trim().to_owned()),
+            "repr" => {
+                let [_, _, _, _, _, w, h, _time] = fields[..] else {
+                    return Err(ParseError::new(line, "repr record needs 8 fields"));
+                };
+                size = Some((grid(line, w, "width")?, grid(line, h, "height")?));
+            }
+            "contact" => {
+                let [_more, ty, _, _, x, y, _, _, _] = fields[..] else {
+                    return Err(ParseError::new(line, "contact record needs 9 fields"));
+                };
+                let ty = type_from_code(ty).map_err(|e| ParseError::new(line, e))?;
+                contacts.push((grid(line, x, "x-coordinate")?, grid(line, y, "y-coordinate")?, ty));
+            }
+            "cname" => names.push(rest.trim().to_owned()),
+            other => {
+                return Err(ParseError::new(line, format!("unknown record kind `{other}`")))
+            }
+        }
+    }
+
+    let name = name.ok_or_else(|| ParseError::new(0, "missing tname record"))?;
+    let size = size.ok_or_else(|| ParseError::new(0, "missing repr record"))?;
+    if names.len() != contacts.len() {
+        return Err(ParseError::new(
+            0,
+            format!("{} contact records but {} cname records", contacts.len(), names.len()),
+        ));
+    }
+    let mut template =
+        Template::new(name, size).map_err(|e| ParseError::new(0, e.to_string()))?;
+    for ((x, y, ty), cname) in contacts.into_iter().zip(names) {
+        template
+            .add_terminal(cname, (x, y), ty)
+            .map_err(|e| ParseError::new(0, e.to_string()))?;
+    }
+    Ok(template)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Template {
+        Template::new("and2", (4, 4))
+            .expect("valid")
+            .with_terminal("a", (0, 1), TermType::In)
+            .expect("valid")
+            .with_terminal("b", (0, 3), TermType::In)
+            .expect("valid")
+            .with_terminal("y", (4, 2), TermType::Out)
+            .expect("valid")
+            .with_terminal("io", (2, 0), TermType::InOut)
+            .expect("valid")
+    }
+
+    #[test]
+    fn writes_the_appendix_c_shape() {
+        let text = write_template(&sample(), "stdlib");
+        assert!(text.starts_with(HEADER));
+        assert!(text.contains("tname: and2"));
+        assert!(text.contains("lname: stdlib"));
+        assert!(text.contains("repr: 0 1 1 0 0 40 40 0"));
+        // more-follows flag: 1 for all but the last contact.
+        assert_eq!(text.matches("contact: 1 ").count(), 3);
+        assert_eq!(text.matches("contact: 0 ").count(), 1);
+        assert_eq!(text.matches("symbol:").count(), 4);
+        assert!(text.trim_end().ends_with("contents: 0 0"));
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let t = sample();
+        let text = write_template(&t, "stdlib");
+        let back = parse_template(&text).expect("parses own output");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn type_codes_match_appendix_c() {
+        let text = write_template(&sample(), "l");
+        // in=1, out=2, inout=0 per the appendix.
+        assert!(text.contains("contact: 1 1 0 0 0 10"));
+        assert!(text.contains("contact: 1 2 0 0 40 20"));
+        assert!(text.contains("contact: 0 0 0 0 20 0"));
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        assert!(parse_template("nope\n").is_err());
+        let e = parse_template(&format!("{HEADER}\nrepr: 0 1 1 0 0 45 40 0\n")).unwrap_err();
+        assert!(e.message.contains("divisible"));
+        let e = parse_template(&format!("{HEADER}\nwhat: 1\n")).unwrap_err();
+        assert!(e.message.contains("unknown record"));
+        let e = parse_template(&format!(
+            "{HEADER}\ntname: t\nrepr: 0 1 1 0 0 40 40 0\ncontact: 0 1 0 0 0 10 0 1 0\n"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("cname"), "{e}");
+        let e = parse_template(&format!("{HEADER}\ntname: t\n")).unwrap_err();
+        assert!(e.message.contains("repr"));
+    }
+
+    #[test]
+    fn minimal_template_without_contacts() {
+        let t = Template::new("blank", (2, 2)).unwrap();
+        let back = parse_template(&write_template(&t, "l")).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,75 @@
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// The underlying dense index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index.
+            ///
+            /// Intended for iteration helpers; an id is only meaningful
+            /// against the [`crate::Network`] or [`crate::Library`] it
+            /// came from.
+            pub fn from_index(index: usize) -> Self {
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a module instance within a [`crate::Network`].
+    ModuleId,
+    "m"
+);
+id_type!(
+    /// Identifies a net within a [`crate::Network`].
+    NetId,
+    "n"
+);
+id_type!(
+    /// Identifies a system terminal within a [`crate::Network`].
+    SystemTermId,
+    "st"
+);
+id_type!(
+    /// Identifies a template within a [`crate::Library`].
+    TemplateId,
+    "t"
+);
+
+/// Index of a terminal within its module's template.
+pub type TermIdx = usize;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        let m = ModuleId::from_index(7);
+        assert_eq!(m.index(), 7);
+        assert_eq!(m.to_string(), "m7");
+        assert_eq!(NetId::from_index(3).to_string(), "n3");
+        assert_eq!(SystemTermId::from_index(0).to_string(), "st0");
+        assert_eq!(TemplateId::from_index(1).to_string(), "t1");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ModuleId::from_index(1) < ModuleId::from_index(2));
+    }
+}

@@ -1,0 +1,304 @@
+use std::fmt;
+
+use netart_geom::{Point, Side};
+
+use crate::TemplateError;
+
+/// The electrical direction of a terminal (§4.6.2: `type : T ∪ ST →
+/// { in, out, inout }`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TermType {
+    /// Signal consumer.
+    In,
+    /// Signal producer.
+    Out,
+    /// Bidirectional.
+    InOut,
+}
+
+impl TermType {
+    /// `true` for `In` and `InOut`: the terminal can receive a signal.
+    pub fn accepts_input(self) -> bool {
+        matches!(self, TermType::In | TermType::InOut)
+    }
+
+    /// `true` for `Out` and `InOut`: the terminal can drive a signal.
+    pub fn drives_output(self) -> bool {
+        matches!(self, TermType::Out | TermType::InOut)
+    }
+}
+
+impl fmt::Display for TermType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TermType::In => "in",
+            TermType::Out => "out",
+            TermType::InOut => "inout",
+        })
+    }
+}
+
+impl std::str::FromStr for TermType {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "in" => Ok(TermType::In),
+            "out" => Ok(TermType::Out),
+            "inout" => Ok(TermType::InOut),
+            other => Err(format!("unknown terminal type `{other}`")),
+        }
+    }
+}
+
+/// A subsystem terminal of a module template.
+///
+/// The position is relative to the template's lower-left corner and must
+/// lie on the template boundary (the paper's `position-terminal`
+/// function and Appendix B constraint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Terminal {
+    name: String,
+    offset: Point,
+    ty: TermType,
+}
+
+impl Terminal {
+    /// Terminal name, unique within its template.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Position relative to the template's lower-left corner.
+    pub fn offset(&self) -> Point {
+        self.offset
+    }
+
+    /// Electrical direction.
+    pub fn ty(&self) -> TermType {
+        self.ty
+    }
+}
+
+/// A module symbol in the library: a rectangle of fixed size with
+/// terminals on its boundary (Appendix B/C of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use netart_geom::Side;
+/// use netart_netlist::{Template, TermType};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let and2 = Template::new("and2", (4, 4))?
+///     .with_terminal("a", (0, 1), TermType::In)?
+///     .with_terminal("b", (0, 3), TermType::In)?
+///     .with_terminal("y", (4, 2), TermType::Out)?;
+/// assert_eq!(and2.terminal_side(2), Side::Right);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    name: String,
+    size: (i32, i32),
+    terms: Vec<Terminal>,
+}
+
+impl Template {
+    /// Creates an empty template of the given symbol size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::NonPositiveSize`] when either dimension
+    /// is `<= 0`.
+    pub fn new(name: impl Into<String>, size: (i32, i32)) -> Result<Self, TemplateError> {
+        if size.0 <= 0 || size.1 <= 0 {
+            return Err(TemplateError::NonPositiveSize { size });
+        }
+        Ok(Template {
+            name: name.into(),
+            size,
+            terms: Vec::new(),
+        })
+    }
+
+    /// Adds a terminal, consuming and returning the template for
+    /// chaining.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the position is off the boundary, or the
+    /// name or position collides with an existing terminal.
+    pub fn with_terminal(
+        mut self,
+        name: impl Into<String>,
+        offset: (i32, i32),
+        ty: TermType,
+    ) -> Result<Self, TemplateError> {
+        self.add_terminal(name, offset, ty)?;
+        Ok(self)
+    }
+
+    /// Adds a terminal in place. See [`Template::with_terminal`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Template::with_terminal`].
+    pub fn add_terminal(
+        &mut self,
+        name: impl Into<String>,
+        offset: (i32, i32),
+        ty: TermType,
+    ) -> Result<(), TemplateError> {
+        let name = name.into();
+        let p = Point::new(offset.0, offset.1);
+        if !self.on_boundary(p) {
+            return Err(TemplateError::TerminalOffBoundary {
+                name,
+                position: offset,
+            });
+        }
+        if self.terms.iter().any(|t| t.name == name) {
+            return Err(TemplateError::DuplicateTerminal { name });
+        }
+        if self.terms.iter().any(|t| t.offset == p) {
+            return Err(TemplateError::OverlappingTerminals { position: offset });
+        }
+        self.terms.push(Terminal { name, offset: p, ty });
+        Ok(())
+    }
+
+    fn on_boundary(&self, p: Point) -> bool {
+        let (w, h) = self.size;
+        let inside = (0..=w).contains(&p.x) && (0..=h).contains(&p.y);
+        inside && (p.x == 0 || p.x == w || p.y == 0 || p.y == h)
+    }
+
+    /// Template name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Symbol size `(width, height)` before any rotation.
+    pub fn size(&self) -> (i32, i32) {
+        self.size
+    }
+
+    /// The template's terminals in declaration order.
+    pub fn terminals(&self) -> &[Terminal] {
+        &self.terms
+    }
+
+    /// Number of terminals.
+    pub fn terminal_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Looks up a terminal index by name.
+    pub fn terminal_index(&self, name: &str) -> Option<usize> {
+        self.terms.iter().position(|t| t.name == name)
+    }
+
+    /// The side of the (unrotated) template a terminal sits on.
+    ///
+    /// Follows the paper's `side` definition: the left and right edges
+    /// win at corners (`x = 0` with any boundary `y` is `left`; `x = w`
+    /// is `right`; otherwise `y = 0` is `down` and `y = h` is `up`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn terminal_side(&self, idx: usize) -> Side {
+        let t = &self.terms[idx];
+        let (w, h) = self.size;
+        if t.offset.x == 0 {
+            Side::Left
+        } else if t.offset.x == w {
+            Side::Right
+        } else if t.offset.y == 0 {
+            Side::Down
+        } else {
+            debug_assert_eq!(t.offset.y, h);
+            Side::Up
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Template {
+        Template::new("t", (4, 2)).expect("valid size")
+    }
+
+    #[test]
+    fn rejects_non_positive_size() {
+        assert!(matches!(
+            Template::new("bad", (0, 2)),
+            Err(TemplateError::NonPositiveSize { .. })
+        ));
+        assert!(Template::new("bad", (3, -1)).is_err());
+    }
+
+    #[test]
+    fn rejects_interior_and_outside_terminals() {
+        let e = t().with_terminal("a", (2, 1), TermType::In);
+        assert!(matches!(e, Err(TemplateError::TerminalOffBoundary { .. })));
+        assert!(t().with_terminal("a", (5, 0), TermType::In).is_err());
+        assert!(t().with_terminal("a", (0, 3), TermType::In).is_err());
+        assert!(t().with_terminal("a", (-1, 0), TermType::In).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let tpl = t().with_terminal("a", (0, 1), TermType::In).unwrap();
+        assert!(matches!(
+            tpl.clone().with_terminal("a", (4, 1), TermType::Out),
+            Err(TemplateError::DuplicateTerminal { .. })
+        ));
+        assert!(matches!(
+            tpl.with_terminal("b", (0, 1), TermType::Out),
+            Err(TemplateError::OverlappingTerminals { .. })
+        ));
+    }
+
+    #[test]
+    fn sides_follow_the_paper_rule() {
+        let tpl = t()
+            .with_terminal("l", (0, 0), TermType::In)
+            .unwrap()
+            .with_terminal("r", (4, 2), TermType::Out)
+            .unwrap()
+            .with_terminal("d", (2, 0), TermType::In)
+            .unwrap()
+            .with_terminal("u", (2, 2), TermType::Out)
+            .unwrap();
+        assert_eq!(tpl.terminal_side(0), Side::Left); // corner goes to left
+        assert_eq!(tpl.terminal_side(1), Side::Right); // corner goes to right
+        assert_eq!(tpl.terminal_side(2), Side::Down);
+        assert_eq!(tpl.terminal_side(3), Side::Up);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let tpl = t().with_terminal("a", (0, 1), TermType::In).unwrap();
+        assert_eq!(tpl.terminal_index("a"), Some(0));
+        assert_eq!(tpl.terminal_index("zz"), None);
+        assert_eq!(tpl.terminal_count(), 1);
+        assert_eq!(tpl.terminals()[0].name(), "a");
+        assert_eq!(tpl.terminals()[0].ty(), TermType::In);
+    }
+
+    #[test]
+    fn term_type_parsing_and_predicates() {
+        assert_eq!("in".parse::<TermType>().unwrap(), TermType::In);
+        assert_eq!("inout".parse::<TermType>().unwrap(), TermType::InOut);
+        assert!("x".parse::<TermType>().is_err());
+        assert!(TermType::In.accepts_input());
+        assert!(!TermType::In.drives_output());
+        assert!(TermType::Out.drives_output());
+        assert!(TermType::InOut.accepts_input() && TermType::InOut.drives_output());
+        assert_eq!(TermType::Out.to_string(), "out");
+    }
+}

@@ -1,0 +1,219 @@
+//! Logic-schematic column placement (§4.3).
+//!
+//! The highly standardised scheme used for logic diagrams: modules are
+//! levelised into columns (column 0 holds the modules driven only from
+//! outside, column *k+1* the consumers of column *k*), then the order
+//! within each column is improved with barycenter sweeps to reduce net
+//! crossings — the permutation heuristic the paper describes for
+//! bipartite crossing minimisation.
+
+use std::collections::HashMap;
+
+use netart_geom::{Point, Rotation};
+use netart_netlist::{ModuleId, Network};
+
+use netart_diagram::Placement;
+
+use crate::terminal_place::place_system_terminals;
+
+/// Assigns each module its column (level): 0 for modules not driven by
+/// any other module, else one more than the deepest driver. Cycles are
+/// broken by capping relaxation at the module count.
+pub fn levels(network: &Network) -> HashMap<ModuleId, usize> {
+    let modules: Vec<ModuleId> = network.modules().collect();
+    let mut level: HashMap<ModuleId, usize> = modules.iter().map(|&m| (m, 0)).collect();
+    // Bellman-Ford style relaxation; bounded to stay total on cycles.
+    for _ in 0..modules.len() {
+        let mut changed = false;
+        for &m in &modules {
+            for &other in &modules {
+                if other != m && network.drives(other, m).is_some() {
+                    let want = level[&other] + 1;
+                    if want > level[&m] && want <= modules.len() {
+                        level.insert(m, want);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    level
+}
+
+/// Runs column placement over all modules.
+///
+/// `spacing` separates both columns and the modules within a column.
+pub fn place(network: &Network, spacing: i32) -> Placement {
+    let mut placement = Placement::new(network);
+    let modules: Vec<ModuleId> = network.modules().collect();
+    if modules.is_empty() {
+        place_system_terminals(network, &mut placement);
+        return placement;
+    }
+
+    let level = levels(network);
+    let max_level = level.values().copied().max().unwrap_or(0);
+    let mut columns: Vec<Vec<ModuleId>> = vec![Vec::new(); max_level + 1];
+    for &m in &modules {
+        columns[level[&m]].push(m);
+    }
+    for c in &mut columns {
+        c.sort_unstable();
+    }
+    columns.retain(|c| !c.is_empty());
+
+    // Barycenter sweeps: order each column by the mean index of its
+    // neighbours in the adjacent column.
+    for _ in 0..4 {
+        for dir in [1i32, -1] {
+            let indices: Vec<Vec<usize>> = (0..columns.len()).map(|i| (0..columns[i].len()).collect()).collect();
+            let _ = indices;
+            let range: Vec<usize> = if dir == 1 {
+                (1..columns.len()).collect()
+            } else {
+                (0..columns.len().saturating_sub(1)).rev().collect()
+            };
+            for ci in range {
+                let ref_ci = (ci as i32 - dir) as usize;
+                let ref_index: HashMap<ModuleId, usize> = columns[ref_ci]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &m)| (m, i))
+                    .collect();
+                let mut keyed: Vec<(f64, ModuleId)> = columns[ci]
+                    .iter()
+                    .map(|&m| {
+                        let neigh: Vec<usize> = columns[ref_ci]
+                            .iter()
+                            .filter(|&&o| network.connection_count(m, o) > 0)
+                            .map(|o| ref_index[o])
+                            .collect();
+                        let bary = if neigh.is_empty() {
+                            f64::MAX // keep relative order at the end
+                        } else {
+                            neigh.iter().sum::<usize>() as f64 / neigh.len() as f64
+                        };
+                        (bary, m)
+                    })
+                    .collect();
+                keyed.sort_by(|a, b| a.partial_cmp(b).expect("no NaN keys"));
+                columns[ci] = keyed.into_iter().map(|(_, m)| m).collect();
+            }
+        }
+    }
+
+    // Geometry: columns left to right, modules stacked bottom-up.
+    let gap = spacing + 2;
+    let mut x = 0;
+    for col in &columns {
+        let width = col
+            .iter()
+            .map(|&m| network.template_of(m).size().0)
+            .max()
+            .expect("non-empty column");
+        let mut y = 0;
+        for &m in col {
+            placement.place_module(m, Point::new(x, y), Rotation::R0);
+            y += network.template_of(m).size().1 + gap;
+        }
+        x += width + gap;
+    }
+
+    place_system_terminals(network, &mut placement);
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netart_netlist::{Library, NetworkBuilder, Template, TermType};
+
+    /// in -> u0 -> u1 -> u2, plus u3 also driven by u0.
+    fn dag() -> Network {
+        let mut lib = Library::new();
+        let t = lib
+            .add_template(
+                Template::new("g", (4, 4))
+                    .unwrap()
+                    .with_terminal("a", (0, 1), TermType::In)
+                    .unwrap()
+                    .with_terminal("b", (0, 3), TermType::In)
+                    .unwrap()
+                    .with_terminal("y", (4, 2), TermType::Out)
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        let ms: Vec<ModuleId> = (0..4)
+            .map(|i| b.add_instance(format!("u{i}"), t).unwrap())
+            .collect();
+        b.connect_pin("n0", ms[0], "y").unwrap();
+        b.connect_pin("n0", ms[1], "a").unwrap();
+        b.connect_pin("n0", ms[3], "a").unwrap();
+        b.connect_pin("n1", ms[1], "y").unwrap();
+        b.connect_pin("n1", ms[2], "a").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn levels_follow_signal_depth() {
+        let net = dag();
+        let lv = levels(&net);
+        let ms: Vec<ModuleId> = net.modules().collect();
+        assert_eq!(lv[&ms[0]], 0);
+        assert_eq!(lv[&ms[1]], 1);
+        assert_eq!(lv[&ms[2]], 2);
+        assert_eq!(lv[&ms[3]], 1);
+    }
+
+    #[test]
+    fn columns_run_left_to_right() {
+        let net = dag();
+        let placement = place(&net, 1);
+        assert!(placement.is_complete());
+        assert!(placement.overlap_violations(&net).is_empty());
+        let ms: Vec<ModuleId> = net.modules().collect();
+        let x = |m| placement.module(m).unwrap().position.x;
+        assert!(x(ms[0]) < x(ms[1]));
+        assert!(x(ms[1]) < x(ms[2]));
+        assert_eq!(x(ms[1]), x(ms[3]), "same level, same column");
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let mut lib = Library::new();
+        let t = lib
+            .add_template(
+                Template::new("g", (4, 2))
+                    .unwrap()
+                    .with_terminal("a", (0, 1), TermType::In)
+                    .unwrap()
+                    .with_terminal("y", (4, 1), TermType::Out)
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        let ms: Vec<ModuleId> = (0..3)
+            .map(|i| b.add_instance(format!("u{i}"), t).unwrap())
+            .collect();
+        for i in 0..3 {
+            let name = format!("n{i}");
+            b.connect_pin(&name, ms[i], "y").unwrap();
+            b.connect_pin(&name, ms[(i + 1) % 3], "a").unwrap();
+        }
+        let net = b.finish().unwrap();
+        let placement = place(&net, 0);
+        assert!(placement.is_complete());
+        assert!(placement.overlap_violations(&net).is_empty());
+    }
+
+    #[test]
+    fn empty_network() {
+        let lib = Library::new();
+        let net = NetworkBuilder::new(lib).finish().unwrap();
+        assert!(place(&net, 0).is_complete());
+    }
+}

@@ -1,0 +1,223 @@
+//! Min-cut bipartitioning placement (§4.2.3).
+//!
+//! Lauther-style top-down placement: recursively bisect the module set,
+//! minimising the number of nets cut while keeping the module areas of
+//! the two halves balanced, and split the placement region
+//! proportionally. Alternating cut directions yield a slicing
+//! structure. A simple move-based improvement pass reduces the cut at
+//! every level.
+
+use netart_geom::{Point, Rect, Rotation};
+use netart_netlist::{ModuleId, Network};
+
+use netart_diagram::Placement;
+
+use crate::terminal_place::place_system_terminals;
+
+/// Runs min-cut placement over all modules.
+///
+/// `spacing` reserves empty tracks around each module within its
+/// region.
+pub fn place(network: &Network, spacing: i32) -> Placement {
+    let mut placement = Placement::new(network);
+    let modules: Vec<ModuleId> = network.modules().collect();
+    if modules.is_empty() {
+        place_system_terminals(network, &mut placement);
+        return placement;
+    }
+
+    // Region sized to the total footprint with slack.
+    let total_area: i64 = modules.iter().map(|&m| area(network, m, spacing)).sum();
+    let side = ((total_area as f64).sqrt() * 1.6).ceil() as i32 + 2;
+    let region = Rect::new(Point::ORIGIN, side, side);
+    bisect(network, &mut placement, modules, region, true, spacing);
+
+    place_system_terminals(network, &mut placement);
+    placement
+}
+
+fn area(network: &Network, m: ModuleId, spacing: i32) -> i64 {
+    let (w, h) = network.template_of(m).size();
+    i64::from(w + 2 + spacing) * i64::from(h + 2 + spacing)
+}
+
+/// Number of nets with modules on both sides (the cut count).
+fn cut_count(network: &Network, a: &[ModuleId], b: &[ModuleId]) -> usize {
+    network
+        .nets()
+        .filter(|&n| {
+            let ms = network.net_modules(n);
+            ms.iter().any(|m| a.contains(m)) && ms.iter().any(|m| b.contains(m))
+        })
+        .count()
+}
+
+fn bisect(
+    network: &Network,
+    placement: &mut Placement,
+    mut modules: Vec<ModuleId>,
+    region: Rect,
+    vertical_cut: bool,
+    spacing: i32,
+) {
+    if modules.len() == 1 {
+        let m = modules[0];
+        let (w, h) = network.template_of(m).size();
+        let c = region.center();
+        // Clamp inside the region so crowded leaves never spill out.
+        let x = (c.x - w / 2)
+            .clamp(region.lower_left().x, (region.upper_right().x - w).max(region.lower_left().x));
+        let y = (c.y - h / 2)
+            .clamp(region.lower_left().y, (region.upper_right().y - h).max(region.lower_left().y));
+        placement.place_module(m, Point::new(x, y), Rotation::R0);
+        return;
+    }
+
+    // Initial balanced split by id order.
+    modules.sort_unstable();
+    let mid = modules.len() / 2;
+    let mut a: Vec<ModuleId> = modules[..mid].to_vec();
+    let mut b: Vec<ModuleId> = modules[mid..].to_vec();
+
+    // Improvement: greedy single-module moves and swaps while the cut
+    // decreases and balance stays within one module of even.
+    let mut improved = true;
+    while improved {
+        improved = false;
+        let current = cut_count(network, &a, &b);
+        // Try swaps (keeps balance exactly).
+        'outer: for i in 0..a.len() {
+            for j in 0..b.len() {
+                std::mem::swap(&mut a[i], &mut b[j]);
+                if cut_count(network, &a, &b) < current {
+                    improved = true;
+                    break 'outer;
+                }
+                std::mem::swap(&mut a[i], &mut b[j]);
+            }
+        }
+    }
+
+    // Split the region proportional to the areas of the halves.
+    let area_a: i64 = a.iter().map(|&m| area(network, m, spacing)).sum();
+    let area_b: i64 = b.iter().map(|&m| area(network, m, spacing)).sum();
+    let frac = area_a as f64 / (area_a + area_b).max(1) as f64;
+    let ll = region.lower_left();
+    let (ra, rb) = if vertical_cut {
+        let w_a = ((region.width() as f64) * frac).round() as i32;
+        let w_a = w_a.clamp(1, (region.width() - 1).max(1));
+        (
+            Rect::new(ll, w_a, region.height()),
+            Rect::new(Point::new(ll.x + w_a, ll.y), region.width() - w_a, region.height()),
+        )
+    } else {
+        let h_a = ((region.height() as f64) * frac).round() as i32;
+        let h_a = h_a.clamp(1, (region.height() - 1).max(1));
+        (
+            Rect::new(ll, region.width(), h_a),
+            Rect::new(Point::new(ll.x, ll.y + h_a), region.width(), region.height() - h_a),
+        )
+    };
+    bisect(network, placement, a, ra, !vertical_cut, spacing);
+    bisect(network, placement, b, rb, !vertical_cut, spacing);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netart_netlist::{Library, NetworkBuilder, Template, TermType};
+
+    /// Two cliques of 4 connected by one net: min-cut should keep each
+    /// clique on one side.
+    fn cliques() -> Network {
+        let mut lib = Library::new();
+        let t = lib
+            .add_template({
+                let mut t = Template::new("m", (2, 8)).unwrap();
+                for i in 0..4 {
+                    t.add_terminal(format!("i{i}"), (0, 2 * i + 1), TermType::In)
+                        .unwrap();
+                    t.add_terminal(format!("o{i}"), (2, 2 * i + 1), TermType::Out)
+                        .unwrap();
+                }
+                t
+            })
+            .unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        let ms: Vec<ModuleId> = (0..8)
+            .map(|i| b.add_instance(format!("u{i}"), t).unwrap())
+            .collect();
+        let mut net_no = 0;
+        for base in [0, 4] {
+            for i in 0..4usize {
+                for j in (i + 1)..4 {
+                    let name = format!("n{net_no}");
+                    net_no += 1;
+                    b.connect_pin(&name, ms[base + i], &format!("o{j}")).unwrap();
+                    b.connect_pin(&name, ms[base + j], &format!("i{i}")).unwrap();
+                }
+            }
+        }
+        b.connect_pin("bridge", ms[0], "o0").unwrap();
+        b.connect_pin("bridge", ms[4], "i3").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn placement_is_complete_and_disjoint() {
+        let net = cliques();
+        let placement = place(&net, 1);
+        assert!(placement.is_complete());
+        assert!(placement.overlap_violations(&net).is_empty());
+    }
+
+    #[test]
+    fn cliques_end_up_spatially_separated() {
+        let net = cliques();
+        let placement = place(&net, 1);
+        let center = |ms: &[usize]| {
+            let pts: Vec<Point> = ms
+                .iter()
+                .map(|&i| placement.module_rect(&net, ModuleId::from_index(i)).center())
+                .collect();
+            let n = pts.len() as i64;
+            Point::new(
+                (pts.iter().map(|p| i64::from(p.x)).sum::<i64>() / n) as i32,
+                (pts.iter().map(|p| i64::from(p.y)).sum::<i64>() / n) as i32,
+            )
+        };
+        let c0 = center(&[0, 1, 2, 3]);
+        let c1 = center(&[4, 5, 6, 7]);
+        // The cliques' centroids are clearly apart.
+        assert!(c0.manhattan(c1) >= 8, "{c0} vs {c1}");
+    }
+
+    #[test]
+    fn first_cut_separates_cliques() {
+        let net = cliques();
+        let a: Vec<ModuleId> = (0..4).map(ModuleId::from_index).collect();
+        let b: Vec<ModuleId> = (4..8).map(ModuleId::from_index).collect();
+        assert_eq!(cut_count(&net, &a, &b), 1); // only the bridge
+        let mixed_a: Vec<ModuleId> = [0, 1, 4, 5].map(ModuleId::from_index).to_vec();
+        let mixed_b: Vec<ModuleId> = [2, 3, 6, 7].map(ModuleId::from_index).to_vec();
+        assert!(cut_count(&net, &mixed_a, &mixed_b) > 1);
+    }
+
+    #[test]
+    fn empty_network() {
+        let lib = Library::new();
+        let net = NetworkBuilder::new(lib).finish().unwrap();
+        assert!(place(&net, 0).is_complete());
+    }
+
+    #[test]
+    fn single_module() {
+        let mut lib = Library::new();
+        let t = lib.add_template(Template::new("m", (4, 4)).unwrap()).unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        b.add_instance("u", t).unwrap();
+        let net = b.finish().unwrap();
+        let placement = place(&net, 0);
+        assert!(placement.is_complete());
+    }
+}

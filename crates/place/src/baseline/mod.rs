@@ -1,0 +1,27 @@
+//! Baseline placement algorithms from the paper's survey.
+//!
+//! §4.2–4.3 of the paper discusses three classes of traditional
+//! placement algorithms before settling on the epitaxial-growth-like
+//! PABLO scheme. All three are implemented here so the choice can be
+//! evaluated empirically:
+//!
+//! * [`epitaxial`] — constructive epitaxial growth placement on a cell
+//!   grid (§4.2.2),
+//! * [`mincut`] — recursive min-cut bipartitioning placement (§4.2.3,
+//!   Lauther-style),
+//! * [`columnar`] — the levelised column placement used for logic
+//!   schematics (§4.3),
+//! * [`exchange`] — the iterative pairwise-exchange improvement class
+//!   (§4.2.1) the paper rejects for its greediness,
+//! * [`exact`] — exact solution of the §3.3 assignment formulation for
+//!   tiny instances, to measure the heuristics' optimality gap.
+//!
+//! The constructive placers produce a [`netart_diagram::Placement`]
+//! with unrotated modules and system terminals on the bounding ring,
+//! directly comparable with [`crate::Pablo`] output.
+
+pub mod columnar;
+pub mod epitaxial;
+pub mod exact;
+pub mod exchange;
+pub mod mincut;

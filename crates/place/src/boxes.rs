@@ -1,0 +1,295 @@
+//! Box formation: finding strings of connected modules inside a
+//! partition (§4.6.3, `BOX_FORMATION` / `CONSTRUCT_ROOTS` /
+//! `LONGEST_PATH`).
+//!
+//! A *box* is a string of modules m₀ → m₁ → … where each step follows a
+//! net from an `out`/`inout` terminal of the predecessor to an
+//! `in`/`inout` terminal of the successor. Placing the string left to
+//! right realises the paper's Rule 3 (signal flow from left to right);
+//! the position in the string is the module's *level*.
+
+use netart_netlist::{ModuleId, Network, Pin};
+
+use crate::PlaceConfig;
+
+/// `CONSTRUCT_ROOTS`: the modules of a partition allowed to start a
+/// string. A module qualifies when it
+///
+/// * connects to a module outside the partition, or
+/// * connects to an `in`/`inout` **system** terminal, or
+/// * reaches other modules through exactly one net (a natural string
+///   end).
+pub fn construct_roots(network: &Network, partition: &[ModuleId]) -> Vec<ModuleId> {
+    partition
+        .iter()
+        .copied()
+        .filter(|&m| {
+            let external = network
+                .connection_count_to_set(m, |o| !partition.contains(&o))
+                > 0;
+            let system_input = network.module_nets(m).iter().any(|&n| {
+                network.net(n).pins().iter().any(|&p| match p {
+                    Pin::System(st) => network.system_term(st).ty().accepts_input(),
+                    Pin::Sub { .. } => false,
+                })
+            });
+            let single_net = {
+                let inter_module: Vec<_> = network
+                    .module_nets(m)
+                    .iter()
+                    .filter(|&&n| network.net_modules(n).iter().any(|&o| o != m))
+                    .collect();
+                inter_module.len() == 1
+            };
+            external || system_input || single_net
+        })
+        .collect()
+}
+
+/// `LONGEST_PATH`: depth-first search for the longest driver→consumer
+/// string starting with `path`, extending only into `available`
+/// modules and never beyond `max_len`.
+fn longest_path(
+    network: &Network,
+    path: &mut Vec<ModuleId>,
+    available: &mut Vec<ModuleId>,
+    max_len: usize,
+) -> Vec<ModuleId> {
+    let mut best = path.clone();
+    if path.len() >= max_len {
+        return best;
+    }
+    let last = *path.last().expect("path never empty");
+    // Deterministic candidate order: by module id.
+    let mut candidates: Vec<ModuleId> = available
+        .iter()
+        .copied()
+        .filter(|&m| network.drives(last, m).is_some())
+        .collect();
+    candidates.sort_unstable();
+    for m in candidates {
+        let idx = available.iter().position(|&x| x == m).expect("candidate");
+        available.swap_remove(idx);
+        path.push(m);
+        let sub = longest_path(network, path, available, max_len);
+        if sub.len() > best.len() {
+            best = sub;
+        }
+        path.pop();
+        available.push(m);
+    }
+    best
+}
+
+/// `BOX_FORMATION` for one partition: repeatedly pick the longest
+/// string from a root and remove its modules, until the partition is
+/// exhausted. Returns the boxes in formation order.
+///
+/// When no designated root remains among the leftover modules, every
+/// leftover module becomes a root candidate — the paper's pseudocode
+/// would spin otherwise; this keeps the procedure total.
+pub fn form_boxes(
+    network: &Network,
+    partition: &[ModuleId],
+    config: &PlaceConfig,
+) -> Vec<Vec<ModuleId>> {
+    let mut remaining: Vec<ModuleId> = partition.to_vec();
+    let mut roots = construct_roots(network, partition);
+    let mut boxes = Vec::new();
+    while !remaining.is_empty() {
+        let mut candidates: Vec<ModuleId> = roots
+            .iter()
+            .copied()
+            .filter(|r| remaining.contains(r))
+            .collect();
+        if candidates.is_empty() {
+            candidates = remaining.clone();
+        }
+        candidates.sort_unstable();
+        let mut best: Vec<ModuleId> = Vec::new();
+        for r in candidates {
+            let mut path = vec![r];
+            let mut avail: Vec<ModuleId> =
+                remaining.iter().copied().filter(|&m| m != r).collect();
+            let found = longest_path(network, &mut path, &mut avail, config.max_box_size.max(1));
+            if found.len() > best.len() {
+                best = found;
+            }
+        }
+        debug_assert!(!best.is_empty());
+        remaining.retain(|m| !best.contains(m));
+        roots.retain(|&r| r != best[0]);
+        boxes.push(best);
+    }
+    boxes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netart_netlist::{Library, NetworkBuilder, Template, TermType};
+
+    /// A linear chain u0 -> u1 -> ... -> u(n-1), with a system input
+    /// into u0.
+    fn chain(n: usize) -> Network {
+        let mut lib = Library::new();
+        let t = lib
+            .add_template(
+                Template::new("buf", (4, 2))
+                    .unwrap()
+                    .with_terminal("a", (0, 1), TermType::In)
+                    .unwrap()
+                    .with_terminal("y", (4, 1), TermType::Out)
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        let ms: Vec<ModuleId> = (0..n)
+            .map(|i| b.add_instance(format!("u{i}"), t).unwrap())
+            .collect();
+        let st = b.add_system_terminal("in", TermType::In).unwrap();
+        b.connect("n_in", st).unwrap();
+        b.connect_pin("n_in", ms[0], "a").unwrap();
+        for w in ms.windows(2) {
+            let name = format!("n_{}", w[0]);
+            b.connect_pin(&name, w[0], "y").unwrap();
+            b.connect_pin(&name, w[1], "a").unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn roots_of_a_chain() {
+        let net = chain(4);
+        let all: Vec<ModuleId> = net.modules().collect();
+        let roots = construct_roots(&net, &all);
+        // u0: system input (in) + single inter-module net -> root.
+        // u3: single inter-module net -> root.
+        // u1, u2: two nets each, no system terminal, no external -> not.
+        assert_eq!(roots, vec![all[0], all[3]]);
+    }
+
+    #[test]
+    fn chain_forms_one_box_in_signal_order() {
+        let net = chain(5);
+        let all: Vec<ModuleId> = net.modules().collect();
+        let cfg = PlaceConfig::default().with_max_box_size(5);
+        let boxes = form_boxes(&net, &all, &cfg);
+        assert_eq!(boxes.len(), 1);
+        assert_eq!(boxes[0], all, "string follows driver order");
+    }
+
+    #[test]
+    fn box_size_limit_splits_chain() {
+        let net = chain(5);
+        let all: Vec<ModuleId> = net.modules().collect();
+        let cfg = PlaceConfig::default().with_max_box_size(2);
+        let boxes = form_boxes(&net, &all, &cfg);
+        assert!(boxes.iter().all(|b| b.len() <= 2), "{boxes:?}");
+        let covered: usize = boxes.iter().map(Vec::len).sum();
+        assert_eq!(covered, 5);
+        // Strings still follow signal flow.
+        for b in &boxes {
+            for w in b.windows(2) {
+                assert!(net.drives(w[0], w[1]).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn box_size_one_gives_singletons() {
+        let net = chain(3);
+        let all: Vec<ModuleId> = net.modules().collect();
+        let boxes = form_boxes(&net, &all, &PlaceConfig::default());
+        assert_eq!(boxes.len(), 3);
+        assert!(boxes.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn every_module_lands_in_exactly_one_box() {
+        let net = chain(7);
+        let all: Vec<ModuleId> = net.modules().collect();
+        for size in [1, 2, 3, 7, 20] {
+            let cfg = PlaceConfig::default().with_max_box_size(size);
+            let boxes = form_boxes(&net, &all, &cfg);
+            let mut covered: Vec<ModuleId> = boxes.iter().flatten().copied().collect();
+            covered.sort_unstable();
+            assert_eq!(covered, all, "size {size}");
+        }
+    }
+
+    #[test]
+    fn cycle_without_roots_still_terminates() {
+        // A 3-cycle of modules with no system terminals and no external
+        // connections: CONSTRUCT_ROOTS finds none, the fallback kicks in.
+        let mut lib = Library::new();
+        let t = lib
+            .add_template(
+                Template::new("r", (4, 2))
+                    .unwrap()
+                    .with_terminal("a", (0, 1), TermType::In)
+                    .unwrap()
+                    .with_terminal("y", (4, 1), TermType::Out)
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        let ms: Vec<ModuleId> = (0..3)
+            .map(|i| b.add_instance(format!("u{i}"), t).unwrap())
+            .collect();
+        for i in 0..3 {
+            let name = format!("n{i}");
+            b.connect_pin(&name, ms[i], "y").unwrap();
+            b.connect_pin(&name, ms[(i + 1) % 3], "a").unwrap();
+        }
+        let net = b.finish().unwrap();
+        let all: Vec<ModuleId> = net.modules().collect();
+        let roots = construct_roots(&net, &all);
+        assert!(roots.is_empty(), "{roots:?}");
+        let cfg = PlaceConfig::default().with_max_box_size(5);
+        let boxes = form_boxes(&net, &all, &cfg);
+        let covered: usize = boxes.iter().map(Vec::len).sum();
+        assert_eq!(covered, 3);
+        // The cycle cannot be one string of 3 plus repetition; it forms
+        // one string covering all three (a cycle broken at one edge).
+        assert_eq!(boxes[0].len(), 3);
+    }
+
+    #[test]
+    fn forked_topology_prefers_longest_string() {
+        // u0 -> u1 -> u2 and u0 -> u3 (a fork): the longest path wins
+        // first, the leftover becomes its own box.
+        let mut lib = Library::new();
+        let t = lib
+            .add_template(
+                Template::new("f", (4, 4))
+                    .unwrap()
+                    .with_terminal("a", (0, 2), TermType::In)
+                    .unwrap()
+                    .with_terminal("y", (4, 1), TermType::Out)
+                    .unwrap()
+                    .with_terminal("z", (4, 3), TermType::Out)
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        let ms: Vec<ModuleId> = (0..4)
+            .map(|i| b.add_instance(format!("u{i}"), t).unwrap())
+            .collect();
+        let st = b.add_system_terminal("in", TermType::In).unwrap();
+        b.connect("nin", st).unwrap();
+        b.connect_pin("nin", ms[0], "a").unwrap();
+        b.connect_pin("n01", ms[0], "y").unwrap();
+        b.connect_pin("n01", ms[1], "a").unwrap();
+        b.connect_pin("n12", ms[1], "y").unwrap();
+        b.connect_pin("n12", ms[2], "a").unwrap();
+        b.connect_pin("n03", ms[0], "z").unwrap();
+        b.connect_pin("n03", ms[3], "a").unwrap();
+        let net = b.finish().unwrap();
+        let all: Vec<ModuleId> = net.modules().collect();
+        let cfg = PlaceConfig::default().with_max_box_size(5);
+        let boxes = form_boxes(&net, &all, &cfg);
+        assert_eq!(boxes[0], vec![all[0], all[1], all[2]]);
+        assert_eq!(boxes[1], vec![all[3]]);
+    }
+}

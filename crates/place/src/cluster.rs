@@ -1,0 +1,234 @@
+//! Generic centre-of-gravity cluster placement.
+//!
+//! Box placement inside a partition (§4.6.5) and partition placement
+//! (§4.6.6) run the very same procedure at two levels: pick the
+//! heaviest cluster as the anchor, then repeatedly place the cluster
+//! most connected to the placed ones at the free position minimising
+//! the distance between the two gravity centres.
+
+use netart_geom::{Point, Rect};
+use netart_netlist::NetId;
+
+use crate::gravity::{centroid, GravityField};
+
+/// One rectangle to place, with the net-connected terminal points it
+/// contains (in cluster-local coordinates).
+#[derive(Debug, Clone)]
+pub(crate) struct Cluster {
+    /// Bounding size.
+    pub size: (i32, i32),
+    /// `(net, local position)` for every connected terminal inside.
+    pub terms: Vec<(NetId, Point)>,
+    /// Number of modules inside — the paper picks the largest cluster
+    /// as the anchor.
+    pub weight: usize,
+}
+
+impl Cluster {
+    fn nets(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.terms.iter().map(|&(n, _)| n)
+    }
+
+    /// Number of distinct nets shared with a placed set's net
+    /// collection.
+    fn shared_net_count(&self, placed_nets: &[NetId]) -> usize {
+        let mut nets: Vec<NetId> = self
+            .nets()
+            .filter(|n| placed_nets.binary_search(n).is_ok())
+            .collect();
+        nets.sort_unstable();
+        nets.dedup();
+        nets.len()
+    }
+}
+
+/// Places all clusters; returns their origins, index-aligned with the
+/// input.
+///
+/// `anchored` optionally pins one cluster at a fixed origin (used for a
+/// preplaced part, Appendix E `-g`); otherwise the heaviest cluster
+/// anchors at the origin.
+pub(crate) fn place_clusters(
+    clusters: &[Cluster],
+    spacing: i32,
+    anchored: Option<(usize, Point)>,
+) -> Vec<Point> {
+    assert!(!clusters.is_empty(), "nothing to place");
+    let mut positions: Vec<Option<Point>> = vec![None; clusters.len()];
+    let mut field = GravityField::new(spacing);
+
+    let (first, first_pos) = anchored.unwrap_or_else(|| {
+        // Heaviest cluster first; ties by lowest index.
+        let first = (0..clusters.len())
+            .max_by_key(|&i| (clusters[i].weight, usize::MAX - i))
+            .expect("non-empty");
+        (first, Point::ORIGIN)
+    });
+    positions[first] = Some(first_pos);
+    field.occupy(Rect::new(first_pos, clusters[first].size.0, clusters[first].size.1));
+
+    // All nets appearing in already-placed clusters, sorted for lookup.
+    let mut placed_nets: Vec<NetId> = clusters[first].nets().collect();
+    placed_nets.sort_unstable();
+    placed_nets.dedup();
+
+    for _ in 1..clusters.len() {
+        let next = (0..clusters.len())
+            .filter(|&i| positions[i].is_none())
+            .max_by_key(|&i| {
+                (
+                    clusters[i].shared_net_count(&placed_nets),
+                    clusters[i].weight,
+                    usize::MAX - i,
+                )
+            })
+            .expect("unplaced cluster remains");
+
+        // Gravity pair over the shared nets.
+        let shared: Vec<NetId> = clusters[next]
+            .nets()
+            .filter(|n| placed_nets.binary_search(n).is_ok())
+            .collect();
+        let is_shared = |n: NetId| shared.contains(&n);
+
+        let g0 = centroid(
+            &clusters[next]
+                .terms
+                .iter()
+                .filter(|&&(n, _)| is_shared(n))
+                .map(|&(_, p)| p)
+                .collect::<Vec<_>>(),
+        );
+        let g1_points: Vec<Point> = positions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, pos)| pos.map(|p| (i, p)))
+            .flat_map(|(i, pos)| {
+                clusters[i]
+                    .terms
+                    .iter()
+                    .filter(|&&(n, _)| is_shared(n))
+                    .map(move |&(_, p)| pos + p)
+            })
+            .collect();
+        let g1 = centroid(&g1_points);
+
+        let desired = match (g0, g1) {
+            (Some(g0), Some(g1)) => g1 - g0,
+            // No shared nets: aim at the centre of what is placed.
+            _ => {
+                let b = field.bounding().expect("anchor placed");
+                b.center()
+                    - Point::new(clusters[next].size.0 / 2, clusters[next].size.1 / 2)
+            }
+        };
+        let pos = field.place(clusters[next].size, desired);
+        positions[next] = Some(pos);
+        placed_nets.extend(clusters[next].nets());
+        placed_nets.sort_unstable();
+        placed_nets.dedup();
+    }
+
+    positions.into_iter().map(|p| p.expect("all placed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(size: (i32, i32), weight: usize, terms: &[(usize, (i32, i32))]) -> Cluster {
+        Cluster {
+            size,
+            weight,
+            terms: terms
+                .iter()
+                .map(|&(n, (x, y))| (NetId::from_index(n), Point::new(x, y)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn heaviest_anchors_at_origin() {
+        let clusters = vec![
+            c((4, 4), 1, &[(0, (4, 2))]),
+            c((6, 6), 3, &[(0, (0, 3))]),
+        ];
+        let pos = place_clusters(&clusters, 0, None);
+        assert_eq!(pos[1], Point::ORIGIN);
+    }
+
+    #[test]
+    fn connected_clusters_placed_adjacent() {
+        let clusters = vec![
+            c((4, 4), 2, &[(0, (4, 2))]),          // net 0 exits on the right
+            c((4, 4), 1, &[(0, (0, 2))]),          // net 0 enters on the left
+            c((4, 4), 1, &[(1, (0, 0)), (0, (0, 3))]),
+        ];
+        let pos = place_clusters(&clusters, 0, None);
+        // No overlaps.
+        let rects: Vec<Rect> = pos
+            .iter()
+            .zip(&clusters)
+            .map(|(&p, c)| Rect::new(p, c.size.0, c.size.1))
+            .collect();
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                assert!(!a.overlaps_strictly(b), "{a} vs {b}");
+            }
+        }
+        // Cluster 1's left terminal ends up near cluster 0's right one.
+        let t0 = pos[0] + Point::new(4, 2);
+        let t1 = pos[1] + Point::new(0, 2);
+        assert!(t0.manhattan(t1) <= 6, "terminals {t0} and {t1} too far");
+    }
+
+    #[test]
+    fn anchored_cluster_stays_fixed() {
+        let clusters = vec![
+            c((4, 4), 1, &[(0, (4, 2))]),
+            c((4, 4), 5, &[(0, (0, 2))]),
+        ];
+        let pin = Point::new(100, 50);
+        let pos = place_clusters(&clusters, 0, Some((0, pin)));
+        assert_eq!(pos[0], pin);
+        // The other cluster lands near the anchor despite being heavier.
+        assert!(pos[1].manhattan(pin) < 30);
+    }
+
+    #[test]
+    fn unconnected_cluster_still_lands_nearby() {
+        let clusters = vec![
+            c((8, 8), 4, &[(0, (4, 4))]),
+            c((2, 2), 1, &[]), // no nets at all
+        ];
+        let pos = place_clusters(&clusters, 1, None);
+        assert!(pos[1].manhattan(pos[0]) < 20, "{:?}", pos);
+    }
+
+    #[test]
+    fn spacing_respected_between_clusters() {
+        let clusters = vec![
+            c((4, 4), 2, &[(0, (4, 2))]),
+            c((4, 4), 1, &[(0, (0, 2))]),
+        ];
+        let pos = place_clusters(&clusters, 3, None);
+        let a = Rect::new(pos[0], 4, 4);
+        let b = Rect::new(pos[1], 4, 4);
+        assert!(!a.inflate(3).overlaps_strictly(&b.inflate(3)), "{a} {b}");
+    }
+
+    #[test]
+    fn many_clusters_all_disjoint() {
+        let clusters: Vec<Cluster> = (0..10)
+            .map(|i| c((3, 3), 1, &[(i % 3, (1, 1))]))
+            .collect();
+        let pos = place_clusters(&clusters, 1, None);
+        for i in 0..pos.len() {
+            for j in i + 1..pos.len() {
+                let a = Rect::new(pos[i], 3, 3);
+                let b = Rect::new(pos[j], 3, 3);
+                assert!(!a.overlaps_strictly(&b));
+            }
+        }
+    }
+}

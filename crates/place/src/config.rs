@@ -1,0 +1,153 @@
+/// Placement options, mirroring the `pablo` command line of Appendix E.
+///
+/// | Field | Flag | Paper default |
+/// |-------|------|---------------|
+/// | `max_part_size` | `-p` | 1 |
+/// | `max_box_size` | `-b` | 1 |
+/// | `max_connections` | `-c` | ∞ |
+/// | `part_spacing` | `-e` | 0 |
+/// | `box_spacing` | `-i` | 0 |
+/// | `module_spacing` | `-s` | 0 |
+///
+/// [`PlaceConfig::default`] uses the paper defaults (which reproduce
+/// figure 6.2's per-module clustering); [`PlaceConfig::strings`] uses
+/// the `-p 7 -b 5` setting of figure 6.4 that forms strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaceConfig {
+    /// Maximum number of modules per partition (`-p`).
+    pub max_part_size: usize,
+    /// Maximum length of a module string inside a partition (`-b`).
+    pub max_box_size: usize,
+    /// Maximum number of nets leaving a partition before it is closed
+    /// (`-c`); `usize::MAX` means unlimited.
+    pub max_connections: usize,
+    /// Extra tracks around each partition (`-e`).
+    pub part_spacing: i32,
+    /// Extra tracks around each box (`-i`).
+    pub box_spacing: i32,
+    /// Extra tracks around each module (`-s`).
+    pub module_spacing: i32,
+    /// Stop growing a partition when no free module has any connection
+    /// to it. The paper's `FORM_PARTITION` would keep absorbing
+    /// unrelated modules up to the size limit; stopping instead keeps
+    /// partitions functional (Rule 1). Disable to match the paper's
+    /// pseudocode to the letter.
+    pub stop_on_zero_affinity: bool,
+}
+
+impl Default for PlaceConfig {
+    fn default() -> Self {
+        PlaceConfig {
+            max_part_size: 1,
+            max_box_size: 1,
+            max_connections: usize::MAX,
+            part_spacing: 0,
+            box_spacing: 0,
+            module_spacing: 0,
+            stop_on_zero_affinity: true,
+        }
+    }
+}
+
+impl PlaceConfig {
+    /// Paper defaults (`-p 1 -b 1`): every module its own partition, as
+    /// in figure 6.2.
+    pub fn new() -> Self {
+        PlaceConfig::default()
+    }
+
+    /// The clustering setting of figure 6.3: `-p 5 -b 1`.
+    pub fn clusters() -> Self {
+        PlaceConfig {
+            max_part_size: 5,
+            ..PlaceConfig::default()
+        }
+    }
+
+    /// The string-forming setting of figure 6.4: `-p 7 -b 5`.
+    pub fn strings() -> Self {
+        PlaceConfig {
+            max_part_size: 7,
+            max_box_size: 5,
+            ..PlaceConfig::default()
+        }
+    }
+
+    /// Sets the partition size limit (`-p`).
+    pub fn with_max_part_size(mut self, n: usize) -> Self {
+        self.max_part_size = n;
+        self
+    }
+
+    /// Sets the box (string) size limit (`-b`).
+    pub fn with_max_box_size(mut self, n: usize) -> Self {
+        self.max_box_size = n;
+        self
+    }
+
+    /// Sets the outgoing-net limit per partition (`-c`).
+    pub fn with_max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n;
+        self
+    }
+
+    /// Sets the extra spacing around partitions (`-e`).
+    pub fn with_part_spacing(mut self, tracks: i32) -> Self {
+        self.part_spacing = tracks;
+        self
+    }
+
+    /// Sets the extra spacing around boxes (`-i`).
+    pub fn with_box_spacing(mut self, tracks: i32) -> Self {
+        self.box_spacing = tracks;
+        self
+    }
+
+    /// Sets the extra spacing around modules (`-s`).
+    pub fn with_module_spacing(mut self, tracks: i32) -> Self {
+        self.module_spacing = tracks;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_appendix_e() {
+        let c = PlaceConfig::default();
+        assert_eq!(c.max_part_size, 1);
+        assert_eq!(c.max_box_size, 1);
+        assert_eq!(c.max_connections, usize::MAX);
+        assert_eq!(c.part_spacing, 0);
+        assert_eq!(c.box_spacing, 0);
+        assert_eq!(c.module_spacing, 0);
+        assert_eq!(PlaceConfig::new(), c);
+    }
+
+    #[test]
+    fn figure_presets() {
+        assert_eq!(PlaceConfig::clusters().max_part_size, 5);
+        assert_eq!(PlaceConfig::clusters().max_box_size, 1);
+        assert_eq!(PlaceConfig::strings().max_part_size, 7);
+        assert_eq!(PlaceConfig::strings().max_box_size, 5);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = PlaceConfig::new()
+            .with_max_part_size(9)
+            .with_max_box_size(4)
+            .with_max_connections(12)
+            .with_part_spacing(2)
+            .with_box_spacing(1)
+            .with_module_spacing(3);
+        assert_eq!(c.max_part_size, 9);
+        assert_eq!(c.max_box_size, 4);
+        assert_eq!(c.max_connections, 12);
+        assert_eq!(c.part_spacing, 2);
+        assert_eq!(c.box_spacing, 1);
+        assert_eq!(c.module_spacing, 3);
+    }
+}

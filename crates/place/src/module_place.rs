@@ -1,0 +1,345 @@
+//! Module placement inside a box (§4.6.4).
+//!
+//! The string's head is rotated so that its driving terminal faces
+//! right; every successor is rotated so that its consuming terminal
+//! faces left, then shifted vertically so that the connecting net needs
+//! as few bends as possible (0 when the driver's terminal faces right,
+//! 1 when it faces up or down, 2 when it faces left — the minimum by
+//! the lemma of §4.6.4). White space proportional to the number of
+//! connected terminals on each side keeps routing room around every
+//! module.
+
+use netart_geom::{Point, Rect, Rotation, Side};
+use netart_netlist::{ModuleId, Network, Pin, TermIdx};
+
+use crate::PlaceConfig;
+
+/// The laid-out geometry of one box: module positions and rotations in
+/// box-local coordinates (lower-left of the box bounding area at the
+/// origin) and the box size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoxLayout {
+    entries: Vec<(ModuleId, Point, Rotation)>,
+    size: (i32, i32),
+}
+
+impl BoxLayout {
+    /// The `(module, box-local position, rotation)` triples, in string
+    /// order.
+    pub fn entries(&self) -> &[(ModuleId, Point, Rotation)] {
+        &self.entries
+    }
+
+    /// The box bounding size including white space.
+    pub fn size(&self) -> (i32, i32) {
+        self.size
+    }
+
+    /// The box bounding rectangle at the origin.
+    pub fn rect(&self) -> Rect {
+        Rect::new(Point::ORIGIN, self.size.0, self.size.1)
+    }
+
+    /// Box-local position of a terminal of a module in this box.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the module is not part of this box.
+    pub fn terminal_pos(&self, network: &Network, m: ModuleId, term: TermIdx) -> Point {
+        let &(_, pos, rot) = self
+            .entries
+            .iter()
+            .find(|(e, _, _)| *e == m)
+            .expect("module not in box");
+        let tpl = network.template_of(m);
+        pos + rot.apply_point(tpl.terminals()[term].offset(), tpl.size())
+    }
+
+    /// The modules of this box in string order.
+    pub fn modules(&self) -> impl Iterator<Item = ModuleId> + '_ {
+        self.entries.iter().map(|&(m, _, _)| m)
+    }
+}
+
+/// Number of *connected* terminals on side `side` of module `m` under
+/// rotation `rot` — the argument of the white-space function `f`.
+fn connected_terms_on_side(network: &Network, m: ModuleId, rot: Rotation, side: Side) -> usize {
+    let tpl = network.template_of(m);
+    (0..tpl.terminal_count())
+        .filter(|&t| {
+            rot.apply_side(tpl.terminal_side(t)) == side
+                && network.pin_net(Pin::Sub { module: m, term: t }).is_some()
+        })
+        .count()
+}
+
+/// The white-space function `f`: tracks added beside a module bounding
+/// as a function of the connected terminals on that side (Appendix E:
+/// "the number of connected terminals on that side plus one", plus the
+/// user's `-s` extra).
+fn f(config: &PlaceConfig, connected: usize) -> i32 {
+    connected as i32 + 1 + config.module_spacing
+}
+
+/// Lays out one string of modules (`MODULE_PLACEMENT` /
+/// `INIT_MODULE_PLACEMENT` / `PLACE_MODULE`).
+///
+/// # Panics
+///
+/// Panics when `string` is empty or consecutive modules lack a
+/// driver→consumer net (boxes from [`crate::form_boxes`] always have
+/// one).
+pub fn layout_box(network: &Network, string: &[ModuleId], config: &PlaceConfig) -> BoxLayout {
+    assert!(!string.is_empty(), "cannot lay out an empty box");
+    let mut entries: Vec<(ModuleId, Point, Rotation)> = Vec::with_capacity(string.len());
+
+    // Head module: rotate its driving terminal to the right (when it
+    // has a successor).
+    let head = string[0];
+    let head_rot = if string.len() >= 2 {
+        let (_, out_t, _) = network
+            .drives(head, string[1])
+            .expect("consecutive box modules are driver-connected");
+        Rotation::mapping(network.template_of(head).terminal_side(out_t), Side::Right)
+    } else {
+        Rotation::R0
+    };
+    let head_size = head_rot.apply_size(network.template_of(head).size());
+    let head_pos = Point::new(
+        f(config, connected_terms_on_side(network, head, head_rot, Side::Left)),
+        f(config, connected_terms_on_side(network, head, head_rot, Side::Down)),
+    );
+    entries.push((head, head_pos, head_rot));
+
+    let mut right = head_pos.x
+        + head_size.0
+        + f(config, connected_terms_on_side(network, head, head_rot, Side::Right));
+    let mut up = head_pos.y
+        + head_size.1
+        + f(config, connected_terms_on_side(network, head, head_rot, Side::Up));
+    let left = 0;
+    let mut down = 0;
+
+    for w in string.windows(2) {
+        let (prev, m) = (w[0], w[1]);
+        let &(_, prev_pos, prev_rot) = entries.last().expect("head placed");
+        let prev_tpl = network.template_of(prev);
+        let (_, t_prev, t) = network
+            .drives(prev, m)
+            .expect("consecutive box modules are driver-connected");
+
+        // Rotate m so the consuming terminal faces left.
+        let tpl = network.template_of(m);
+        let rot = Rotation::mapping(tpl.terminal_side(t), Side::Left);
+        let size = rot.apply_size(tpl.size());
+        let t_pos = rot.apply_point(tpl.terminals()[t].offset(), tpl.size());
+
+        let side_prev = prev_rot.apply_side(prev_tpl.terminal_side(t_prev));
+        let t_prev_pos = prev_rot.apply_point(prev_tpl.terminals()[t_prev].offset(), prev_tpl.size());
+        let prev_h = prev_rot.apply_size(prev_tpl.size()).1;
+
+        // Vertical shift minimising bends (see the lemma of §4.6.4).
+        let y = match side_prev {
+            Side::Right => prev_pos.y + t_prev_pos.y - t_pos.y,
+            Side::Up => prev_pos.y + t_prev_pos.y - t_pos.y + 1,
+            Side::Down => prev_pos.y - 1 - t_pos.y,
+            Side::Left => {
+                if prev_h - t_prev_pos.y > t_prev_pos.y {
+                    prev_pos.y - 1 - t_pos.y
+                } else {
+                    prev_pos.y + prev_h + 1 - t_pos.y
+                }
+            }
+        };
+        let x = right + f(config, connected_terms_on_side(network, m, rot, Side::Left));
+        entries.push((m, Point::new(x, y), rot));
+
+        right = x + size.0 + f(config, connected_terms_on_side(network, m, rot, Side::Right));
+        up = up.max(y + size.1 + f(config, connected_terms_on_side(network, m, rot, Side::Up)));
+        down = down.min(y - f(config, connected_terms_on_side(network, m, rot, Side::Down)));
+    }
+
+    // Normalise: translate so the box's lower-left corner is (0, 0).
+    let delta = Point::new(-left, -down);
+    for (_, pos, _) in &mut entries {
+        *pos += delta;
+    }
+    BoxLayout {
+        entries,
+        size: (right - left, up - down),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netart_netlist::{Library, NetworkBuilder, Template, TermType};
+
+    /// Chain of `n` buffers with aligned left-in / right-out terminals.
+    fn chain(n: usize) -> Network {
+        let mut lib = Library::new();
+        let t = lib
+            .add_template(
+                Template::new("buf", (4, 2))
+                    .unwrap()
+                    .with_terminal("a", (0, 1), TermType::In)
+                    .unwrap()
+                    .with_terminal("y", (4, 1), TermType::Out)
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        let ms: Vec<ModuleId> = (0..n)
+            .map(|i| b.add_instance(format!("u{i}"), t).unwrap())
+            .collect();
+        for w in ms.windows(2) {
+            let name = format!("n_{}", w[0]);
+            b.connect_pin(&name, w[0], "y").unwrap();
+            b.connect_pin(&name, w[1], "a").unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn aligned_chain_needs_no_rotation_and_no_bends() {
+        let net = chain(3);
+        let string: Vec<ModuleId> = net.modules().collect();
+        let layout = layout_box(&net, &string, &PlaceConfig::default());
+        assert_eq!(layout.entries().len(), 3);
+        for (_, _, rot) in layout.entries() {
+            assert_eq!(*rot, Rotation::R0);
+        }
+        // Connecting terminals sit on the same track: zero-bend wires.
+        for w in string.windows(2) {
+            let (n, o, i) = net.drives(w[0], w[1]).unwrap();
+            let _ = n;
+            let from = layout.terminal_pos(&net, w[0], o);
+            let to = layout.terminal_pos(&net, w[1], i);
+            assert_eq!(from.y, to.y, "terminals aligned for a straight wire");
+            assert!(from.x < to.x, "signal flows left to right");
+        }
+    }
+
+    #[test]
+    fn modules_do_not_overlap_and_fit_in_box() {
+        let net = chain(4);
+        let string: Vec<ModuleId> = net.modules().collect();
+        let layout = layout_box(&net, &string, &PlaceConfig::default());
+        let rects: Vec<Rect> = layout
+            .entries()
+            .iter()
+            .map(|&(m, pos, rot)| {
+                let (w, h) = rot.apply_size(net.template_of(m).size());
+                Rect::new(pos, w, h)
+            })
+            .collect();
+        for (i, a) in rects.iter().enumerate() {
+            assert!(layout.rect().contains(a.lower_left()), "{a} outside box");
+            assert!(layout.rect().contains(a.upper_right()), "{a} outside box");
+            for b in &rects[i + 1..] {
+                assert!(!a.overlaps_strictly(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn whitespace_grows_with_connected_terminals() {
+        let net = chain(2);
+        let string: Vec<ModuleId> = net.modules().collect();
+        let tight = layout_box(&net, &string, &PlaceConfig::default());
+        let roomy = layout_box(&net, &string, &PlaceConfig::default().with_module_spacing(3));
+        assert!(roomy.size().0 > tight.size().0);
+        assert!(roomy.size().1 > tight.size().1);
+    }
+
+    #[test]
+    fn head_with_top_output_is_rotated() {
+        // Head's only output is on top; it must rotate so the output
+        // faces right.
+        let mut lib = Library::new();
+        let src = lib
+            .add_template(
+                Template::new("src", (4, 2))
+                    .unwrap()
+                    .with_terminal("y", (2, 2), TermType::Out)
+                    .unwrap(),
+            )
+            .unwrap();
+        let buf = lib
+            .add_template(
+                Template::new("buf", (4, 2))
+                    .unwrap()
+                    .with_terminal("a", (0, 1), TermType::In)
+                    .unwrap()
+                    .with_terminal("y", (4, 1), TermType::Out)
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        let u0 = b.add_instance("u0", src).unwrap();
+        let u1 = b.add_instance("u1", buf).unwrap();
+        b.connect_pin("n", u0, "y").unwrap();
+        b.connect_pin("n", u1, "a").unwrap();
+        let net = b.finish().unwrap();
+        let layout = layout_box(&net, &[u0, u1], &PlaceConfig::default());
+        let (_, _, rot0) = layout.entries()[0];
+        assert_eq!(rot0.apply_side(Side::Up), Side::Right);
+        // u1's input already faces left: no rotation.
+        assert_eq!(layout.entries()[1].2, Rotation::R0);
+        // Terminals aligned (driver faces right after rotation).
+        let from = layout.terminal_pos(&net, u0, 0);
+        let to = layout.terminal_pos(&net, u1, 0);
+        assert_eq!(from.y, to.y);
+    }
+
+    #[test]
+    fn consumer_with_top_input_is_rotated() {
+        let mut lib = Library::new();
+        let src = lib
+            .add_template(
+                Template::new("src", (4, 2))
+                    .unwrap()
+                    .with_terminal("y", (4, 1), TermType::Out)
+                    .unwrap(),
+            )
+            .unwrap();
+        let snk = lib
+            .add_template(
+                Template::new("snk", (4, 2))
+                    .unwrap()
+                    .with_terminal("a", (2, 2), TermType::In)
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        let u0 = b.add_instance("u0", src).unwrap();
+        let u1 = b.add_instance("u1", snk).unwrap();
+        b.connect_pin("n", u0, "y").unwrap();
+        b.connect_pin("n", u1, "a").unwrap();
+        let net = b.finish().unwrap();
+        let layout = layout_box(&net, &[u0, u1], &PlaceConfig::default());
+        let (_, _, rot1) = layout.entries()[1];
+        assert_eq!(rot1.apply_side(Side::Up), Side::Left);
+        let from = layout.terminal_pos(&net, u0, 0);
+        let to = layout.terminal_pos(&net, u1, 0);
+        assert_eq!(from.y, to.y, "aligned after rotation");
+    }
+
+    #[test]
+    fn single_module_box() {
+        let net = chain(2);
+        let m = net.modules().next().unwrap();
+        let layout = layout_box(&net, &[m], &PlaceConfig::default());
+        assert_eq!(layout.entries().len(), 1);
+        assert_eq!(layout.entries()[0].2, Rotation::R0);
+        let (w, h) = layout.size();
+        assert!(w > 4 && h > 2, "white space around the module");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty box")]
+    fn empty_box_panics() {
+        let net = chain(2);
+        let _ = layout_box(&net, &[], &PlaceConfig::default());
+    }
+}

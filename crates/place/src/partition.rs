@@ -1,0 +1,268 @@
+//! Partitioning the design into functional parts (§4.6.3).
+//!
+//! The process repeatedly selects a *seed* — the free module most
+//! heavily connected to the remaining free modules — and grows a cluster
+//! around it by absorbing the free module with the strongest affinity to
+//! the cluster, until the partition size limit or the outgoing-net limit
+//! is exceeded.
+
+use netart_netlist::{ModuleId, Network};
+
+use crate::PlaceConfig;
+
+/// The result of partitioning: disjoint module sets covering all
+/// requested modules, in formation order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    /// The partitions, each a list of modules in absorption order
+    /// (seed first).
+    pub partitions: Vec<Vec<ModuleId>>,
+}
+
+impl Partitioning {
+    /// Number of partitions formed.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// `true` when no partitions were formed.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// The partition index a module belongs to.
+    pub fn partition_of(&self, m: ModuleId) -> Option<usize> {
+        self.partitions.iter().position(|p| p.contains(&m))
+    }
+}
+
+/// `TAKE_A_SEED`: the free module with the most connections to the
+/// other free modules; ties broken by fewest connections to modules
+/// already absorbed into partitions, then by lowest id (the paper's
+/// "arbitrary choice", made deterministic).
+fn take_a_seed(network: &Network, free: &[ModuleId]) -> ModuleId {
+    let is_free = |m: ModuleId| free.contains(&m);
+    *free
+        .iter()
+        .min_by_key(|&&m| {
+            let to_free = network.connection_count_to_set(m, is_free);
+            let to_placed = network.connection_count_to_set(m, |o| !is_free(o));
+            // max to_free, then min to_placed, then min id.
+            (usize::MAX - to_free, to_placed, m)
+        })
+        .expect("take_a_seed requires at least one free module")
+}
+
+/// Number of nets leaving `partition` towards other modules of the
+/// network (the paper's `connections` counter in `FORM_PARTITION`).
+fn external_connections(network: &Network, partition: &[ModuleId]) -> usize {
+    let mut nets: Vec<_> = partition
+        .iter()
+        .flat_map(|&m| network.module_nets(m).iter().copied())
+        .collect();
+    nets.sort_unstable();
+    nets.dedup();
+    nets.into_iter()
+        .filter(|&n| {
+            network
+                .net_modules(n)
+                .iter()
+                .any(|m| !partition.contains(m))
+        })
+        .count()
+}
+
+/// `FORM_PARTITION`: grows a cluster around `seed` from the `free` pool
+/// (which must not contain `seed`), removing absorbed modules from
+/// `free`.
+fn form_partition(
+    network: &Network,
+    free: &mut Vec<ModuleId>,
+    seed: ModuleId,
+    config: &PlaceConfig,
+) -> Vec<ModuleId> {
+    let mut partition = vec![seed];
+    loop {
+        if free.is_empty() || partition.len() >= config.max_part_size {
+            break;
+        }
+        if external_connections(network, &partition) >= config.max_connections {
+            break;
+        }
+        // Most connections into the partition; tie-break fewest to the
+        // outside; then lowest id.
+        let (idx, best) = free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &m)| {
+                let inward = network.connection_count_to_set(m, |o| partition.contains(&o));
+                let outward = network.connection_count_to_set(m, |o| !partition.contains(&o));
+                (usize::MAX - inward, outward, m)
+            })
+            .map(|(i, &m)| (i, m))
+            .expect("free checked non-empty");
+        if config.stop_on_zero_affinity
+            && network.connection_count_to_set(best, |o| partition.contains(&o)) == 0
+        {
+            break;
+        }
+        free.swap_remove(idx);
+        partition.push(best);
+    }
+    partition
+}
+
+/// Partitions the given modules of a network into functional parts.
+///
+/// Every module of `modules` ends up in exactly one partition. The
+/// order of `modules` does not influence the result beyond tie-breaking
+/// by module id.
+pub fn partition(
+    network: &Network,
+    modules: impl IntoIterator<Item = ModuleId>,
+    config: &PlaceConfig,
+) -> Partitioning {
+    let mut free: Vec<ModuleId> = modules.into_iter().collect();
+    free.sort_unstable();
+    free.dedup();
+    let mut partitions = Vec::new();
+    while !free.is_empty() {
+        let seed = take_a_seed(network, &free);
+        free.retain(|&m| m != seed);
+        partitions.push(form_partition(network, &mut free, seed, config));
+    }
+    Partitioning { partitions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netart_netlist::{Library, NetworkBuilder, Template, TermType};
+
+    /// Two 3-module cliques joined by a single bridge net.
+    fn two_cliques() -> Network {
+        let mut lib = Library::new();
+        let t = lib
+            .add_template(
+                Template::new("m", (2, 6))
+                    .unwrap()
+                    .with_terminal("a", (0, 1), TermType::In)
+                    .unwrap()
+                    .with_terminal("b", (0, 3), TermType::In)
+                    .unwrap()
+                    .with_terminal("c", (0, 5), TermType::In)
+                    .unwrap()
+                    .with_terminal("x", (2, 1), TermType::Out)
+                    .unwrap()
+                    .with_terminal("y", (2, 3), TermType::Out)
+                    .unwrap()
+                    .with_terminal("z", (2, 5), TermType::Out)
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        let ms: Vec<ModuleId> = (0..6)
+            .map(|i| b.add_instance(format!("u{i}"), t).unwrap())
+            .collect();
+        // clique 0: u0,u1,u2 fully pairwise connected
+        let pairs = [(0, 1, "x", "a"), (1, 2, "y", "b"), (2, 0, "z", "c")];
+        for (i, (s, d, o, t)) in pairs.iter().enumerate() {
+            let name = format!("c0_{i}");
+            b.connect_pin(&name, ms[*s], o).unwrap();
+            b.connect_pin(&name, ms[*d], t).unwrap();
+        }
+        for (i, (s, d, o, t)) in pairs.iter().enumerate() {
+            let name = format!("c1_{i}");
+            b.connect_pin(&name, ms[s + 3], o).unwrap();
+            b.connect_pin(&name, ms[d + 3], t).unwrap();
+        }
+        // bridge u2 -> u3
+        b.connect_pin("bridge", ms[2], "x").unwrap();
+        b.connect_pin("bridge", ms[3], "a").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn partition_size_one_yields_singletons() {
+        let net = two_cliques();
+        let p = partition(&net, net.modules(), &PlaceConfig::default());
+        assert_eq!(p.len(), 6);
+        assert!(p.partitions.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn cliques_stay_together() {
+        let net = two_cliques();
+        let cfg = PlaceConfig::default().with_max_part_size(3);
+        let p = partition(&net, net.modules(), &cfg);
+        assert_eq!(p.len(), 2, "{p:?}");
+        for part in &p.partitions {
+            assert_eq!(part.len(), 3);
+            // All members of a partition belong to the same clique.
+            let first_clique = part[0].index() / 3;
+            assert!(part.iter().all(|m| m.index() / 3 == first_clique), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn every_module_in_exactly_one_partition() {
+        let net = two_cliques();
+        for size in [1, 2, 3, 4, 10] {
+            let cfg = PlaceConfig::default().with_max_part_size(size);
+            let p = partition(&net, net.modules(), &cfg);
+            let mut all: Vec<ModuleId> = p.partitions.iter().flatten().copied().collect();
+            all.sort_unstable();
+            let expected: Vec<ModuleId> = net.modules().collect();
+            assert_eq!(all, expected, "size {size}");
+        }
+    }
+
+    #[test]
+    fn connection_limit_closes_partitions() {
+        let net = two_cliques();
+        // With the limit at 1 outgoing net, partitions close as soon as
+        // they have any external connection, keeping them small.
+        let cfg = PlaceConfig::default()
+            .with_max_part_size(6)
+            .with_max_connections(1);
+        let p = partition(&net, net.modules(), &cfg);
+        assert!(p.len() >= 2, "{p:?}");
+    }
+
+    #[test]
+    fn partition_of_lookup() {
+        let net = two_cliques();
+        let cfg = PlaceConfig::default().with_max_part_size(3);
+        let p = partition(&net, net.modules(), &cfg);
+        for m in net.modules() {
+            assert!(p.partition_of(m).is_some());
+        }
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn subset_partitioning_ignores_other_modules() {
+        let net = two_cliques();
+        let subset: Vec<ModuleId> = net.modules().take(3).collect();
+        let cfg = PlaceConfig::default().with_max_part_size(3);
+        let p = partition(&net, subset.iter().copied(), &cfg);
+        let placed: Vec<ModuleId> = p.partitions.iter().flatten().copied().collect();
+        assert_eq!(placed.len(), 3);
+        assert!(placed.iter().all(|m| subset.contains(m)));
+    }
+
+    #[test]
+    fn zero_affinity_split_vs_paper_mode() {
+        let net = two_cliques();
+        // Big enough limit to hold everything.
+        let strict = PlaceConfig::default().with_max_part_size(6);
+        let p = partition(&net, net.modules(), &strict);
+        // The bridge net gives the cliques affinity, so one partition.
+        assert_eq!(p.len(), 1);
+
+        let mut paper_mode = strict.clone();
+        paper_mode.stop_on_zero_affinity = false;
+        let p2 = partition(&net, net.modules(), &paper_mode);
+        assert_eq!(p2.len(), 1);
+    }
+}

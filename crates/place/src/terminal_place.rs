@@ -1,0 +1,204 @@
+//! System terminal placement (§4.6.7).
+//!
+//! System terminals go on a ring one track outside the placement's
+//! bounding box, each at the free ring position closest to the gravity
+//! centre of the subsystem terminals on its net. With strings placed
+//! left to right, input terminals naturally gravitate to the left edge
+//! and outputs to the right (Rule 4).
+
+use netart_geom::{Point, Rect};
+use netart_netlist::{Network, Pin, SystemTermId};
+
+use netart_diagram::Placement;
+
+use crate::gravity::centroid;
+
+/// All integer points of the ring one track outside `bb`.
+fn ring_points(bb: Rect) -> Vec<Point> {
+    let r = bb.inflate(1);
+    let ll = r.lower_left();
+    let ur = r.upper_right();
+    let mut pts = Vec::new();
+    for x in ll.x..=ur.x {
+        pts.push(Point::new(x, ll.y));
+        pts.push(Point::new(x, ur.y));
+    }
+    for y in (ll.y + 1)..ur.y {
+        pts.push(Point::new(ll.x, y));
+        pts.push(Point::new(ur.x, y));
+    }
+    pts
+}
+
+/// Places every unplaced system terminal of `network` on the ring
+/// around the current placement's bounding box (`TERMINAL_PLACEMENT`).
+///
+/// Already-placed system terminals (a preplaced part) are left alone
+/// but block their ring position.
+///
+/// # Panics
+///
+/// Panics when the ring is too small to host all terminals (only
+/// possible for degenerate empty placements with many terminals).
+pub fn place_system_terminals(network: &Network, placement: &mut Placement) {
+    let bb = placement
+        .bounding_box(network)
+        .unwrap_or_else(|| Rect::new(Point::ORIGIN, 4, 4));
+    let mut free = ring_points(bb);
+    free.sort_unstable();
+    free.dedup();
+    // Positions already used by preplaced terminals are not free.
+    let taken: Vec<Point> = network
+        .system_terms()
+        .filter_map(|st| placement.system_term(st))
+        .collect();
+    free.retain(|p| !taken.contains(p));
+
+    for st in network.system_terms() {
+        if placement.system_term(st).is_some() {
+            continue;
+        }
+        let gravity = gravity_of(network, placement, st).unwrap_or_else(|| bb.center());
+        let (idx, &best) = free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, p)| (p.dist2(gravity), *p))
+            .expect("ring exhausted: no free position for a system terminal");
+        placement.place_system_term(st, best);
+        free.swap_remove(idx);
+    }
+}
+
+/// `GRAVITY_TERMINAL`: centroid of the placed subsystem terminals on
+/// the same net.
+fn gravity_of(network: &Network, placement: &Placement, st: SystemTermId) -> Option<Point> {
+    let net = network.system_term_net(st)?;
+    let pts: Vec<Point> = network
+        .net(net)
+        .pins()
+        .iter()
+        .filter_map(|&pin| match pin {
+            Pin::Sub { module, term } => {
+                placement.module(module)?;
+                Some(placement.terminal_position(network, module, term))
+            }
+            Pin::System(_) => None,
+        })
+        .collect();
+    centroid(&pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netart_geom::Rotation;
+    use netart_netlist::{Library, NetworkBuilder, Template, TermType};
+
+    fn network() -> Network {
+        let mut lib = Library::new();
+        let t = lib
+            .add_template(
+                Template::new("buf", (4, 2))
+                    .unwrap()
+                    .with_terminal("a", (0, 1), TermType::In)
+                    .unwrap()
+                    .with_terminal("y", (4, 1), TermType::Out)
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        let u0 = b.add_instance("u0", t).unwrap();
+        let u1 = b.add_instance("u1", t).unwrap();
+        let input = b.add_system_terminal("in", TermType::In).unwrap();
+        let output = b.add_system_terminal("out", TermType::Out).unwrap();
+        b.connect("nin", input).unwrap();
+        b.connect_pin("nin", u0, "a").unwrap();
+        b.connect_pin("mid", u0, "y").unwrap();
+        b.connect_pin("mid", u1, "a").unwrap();
+        b.connect("nout", output).unwrap();
+        b.connect_pin("nout", u1, "y").unwrap();
+        b.finish().unwrap()
+    }
+
+    fn placed(network: &Network) -> Placement {
+        let mut p = Placement::new(network);
+        let ms: Vec<_> = network.modules().collect();
+        p.place_module(ms[0], Point::new(0, 0), Rotation::R0);
+        p.place_module(ms[1], Point::new(10, 0), Rotation::R0);
+        p
+    }
+
+    #[test]
+    fn ring_points_surround_the_box() {
+        let pts = ring_points(Rect::new(Point::new(0, 0), 2, 2));
+        // Ring of a 2x2 box inflated to 4x4: 4 sides with 5 points on
+        // top/bottom plus 3 on each side.
+        assert_eq!(pts.len(), 2 * 5 + 2 * 3);
+        for p in &pts {
+            let on_ring =
+                p.x == -1 || p.x == 3 || p.y == -1 || p.y == 3;
+            assert!(on_ring, "{p} not on ring");
+        }
+    }
+
+    #[test]
+    fn input_lands_left_output_lands_right() {
+        let net = network();
+        let mut p = placed(&net);
+        place_system_terminals(&net, &mut p);
+        let input = p.system_term(net.system_term_by_name("in").unwrap()).unwrap();
+        let output = p.system_term(net.system_term_by_name("out").unwrap()).unwrap();
+        // Signal flows left to right: the input terminal must end up on
+        // the left of the output one (Rule 4).
+        assert!(input.x < output.x, "in {input} vs out {output}");
+        assert_eq!(input.x, -1, "input on the left ring edge");
+        assert_eq!(output.x, 15, "output on the right ring edge");
+    }
+
+    #[test]
+    fn terminals_do_not_collide() {
+        let net = network();
+        let mut p = placed(&net);
+        place_system_terminals(&net, &mut p);
+        let a = p.system_term(SystemTermId::from_index(0)).unwrap();
+        let b = p.system_term(SystemTermId::from_index(1)).unwrap();
+        assert_ne!(a, b);
+        assert!(p.overlap_violations(&net).is_empty());
+    }
+
+    #[test]
+    fn preplaced_terminal_is_kept() {
+        let net = network();
+        let mut p = placed(&net);
+        let input = net.system_term_by_name("in").unwrap();
+        p.place_system_term(input, Point::new(-5, -5));
+        place_system_terminals(&net, &mut p);
+        assert_eq!(p.system_term(input), Some(Point::new(-5, -5)));
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn unconnected_terminal_still_gets_a_spot() {
+        let mut lib = Library::new();
+        let t = lib
+            .add_template(
+                Template::new("buf", (4, 2))
+                    .unwrap()
+                    .with_terminal("a", (0, 1), TermType::In)
+                    .unwrap()
+                    .with_terminal("y", (4, 1), TermType::Out)
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut b = NetworkBuilder::new(lib);
+        let u0 = b.add_instance("u0", t).unwrap();
+        let u1 = b.add_instance("u1", t).unwrap();
+        b.connect_pin("n", u0, "y").unwrap();
+        b.connect_pin("n", u1, "a").unwrap();
+        let _dangling = b.add_system_terminal("nc", TermType::In).unwrap();
+        let net = b.finish().unwrap();
+        let mut p = placed(&net);
+        place_system_terminals(&net, &mut p);
+        assert!(p.is_complete());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the placement phase: on arbitrary random
+//! networks, every algorithm upholds the §4.4 postconditions.
+
+use proptest::prelude::*;
+
+use netart_place::{baseline, form_boxes, partition, Pablo, PlaceConfig};
+use netart_workloads::{random_network, RandomSpec};
+
+fn spec_strategy() -> impl Strategy<Value = RandomSpec> {
+    (2usize..14, 1usize..20, 2usize..4, 0usize..3, 0u64..1000).prop_map(
+        |(modules, nets, fanout, terms, seed)| RandomSpec {
+            modules,
+            nets,
+            max_fanout: fanout,
+            system_terminals: terms,
+            seed,
+        },
+    )
+}
+
+fn config_strategy() -> impl Strategy<Value = PlaceConfig> {
+    (1usize..9, 1usize..7, 0i32..3, 0i32..3, 0i32..3).prop_map(|(p, b, e, i, s)| {
+        PlaceConfig::new()
+            .with_max_part_size(p)
+            .with_max_box_size(b)
+            .with_part_spacing(e)
+            .with_box_spacing(i)
+            .with_module_spacing(s)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PABLO places everything, overlap-free, for any options.
+    #[test]
+    fn pablo_postconditions(spec in spec_strategy(), cfg in config_strategy()) {
+        let net = random_network(&spec);
+        let placement = Pablo::new(cfg).place(&net);
+        prop_assert!(placement.is_complete());
+        let violations = placement.overlap_violations(&net);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// Partitioning covers each module exactly once and respects the
+    /// size limit.
+    #[test]
+    fn partitioning_is_a_partition(spec in spec_strategy(), size in 1usize..9) {
+        let net = random_network(&spec);
+        let cfg = PlaceConfig::new().with_max_part_size(size);
+        let parts = partition(&net, net.modules(), &cfg);
+        let mut seen: Vec<_> = parts.partitions.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let all: Vec<_> = net.modules().collect();
+        prop_assert_eq!(seen, all);
+        prop_assert!(parts.partitions.iter().all(|p| p.len() <= size));
+    }
+
+    /// Box formation covers its partition exactly once, strings respect
+    /// the size limit and follow the driver relation.
+    #[test]
+    fn boxes_cover_partitions(spec in spec_strategy(), bsize in 1usize..7) {
+        let net = random_network(&spec);
+        let cfg = PlaceConfig::new().with_max_part_size(9).with_max_box_size(bsize);
+        let parts = partition(&net, net.modules(), &cfg);
+        for part in &parts.partitions {
+            let boxes = form_boxes(&net, part, &cfg);
+            let mut seen: Vec<_> = boxes.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            let mut expect = part.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(seen, expect);
+            for b in &boxes {
+                prop_assert!(b.len() <= bsize.max(1));
+                for w in b.windows(2) {
+                    prop_assert!(net.drives(w[0], w[1]).is_some());
+                }
+            }
+        }
+    }
+
+    /// The baselines fulfil the same non-overlap postcondition.
+    #[test]
+    fn baselines_place_legally(spec in spec_strategy(), spacing in 0i32..3) {
+        let net = random_network(&spec);
+        for placement in [
+            baseline::epitaxial::place(&net, spacing),
+            baseline::mincut::place(&net, spacing),
+            baseline::columnar::place(&net, spacing),
+        ] {
+            prop_assert!(placement.is_complete());
+            let violations = placement.overlap_violations(&net);
+            prop_assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+
+    /// Placement is a pure function of its inputs.
+    #[test]
+    fn pablo_is_deterministic(spec in spec_strategy()) {
+        let net = random_network(&spec);
+        let a = Pablo::new(PlaceConfig::strings()).place(&net);
+        let b = Pablo::new(PlaceConfig::strings()).place(&net);
+        for m in net.modules() {
+            prop_assert_eq!(a.module(m), b.module(m));
+        }
+        for st in net.system_terms() {
+            prop_assert_eq!(a.system_term(st), b.system_term(st));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The left-edge channel router (§5.2.4).
+//!
+//! A channel router solves a restricted problem: pins on the top and
+//! bottom edge of an obstacle-free channel, one horizontal trunk track
+//! per net, vertical branches to the pins. The classic *left-edge*
+//! algorithm sorts the net trunks by their left end and packs each
+//! track greedily as dense as possible.
+//!
+//! The paper rejects this class for the diagram generator because it
+//! needs predefined channels (§5.4) — but it is the fastest of the
+//! three baselines where it applies, and the benchmark suite uses it
+//! to show that trade-off.
+//!
+//! As in the paper's sketch, vertical constraint loops are not
+//! handled: two pins of different nets sharing a column are accepted
+//! and may produce touching verticals (flagged by the caller's checks).
+//!
+//! # Examples
+//!
+//! ```
+//! use netart_route::channel::{assign_tracks, Trunk};
+//!
+//! let trunks = vec![
+//!     Trunk::new(0, 0, 4),
+//!     Trunk::new(1, 2, 8),  // overlaps net 0: next track
+//!     Trunk::new(2, 5, 9),  // fits after net 0 on track 0
+//! ];
+//! let tracks = assign_tracks(&trunks);
+//! assert_eq!(tracks, vec![0, 1, 0]);
+//! ```
+
+use netart_geom::Segment;
+
+use netart_diagram::NetPath;
+
+/// The horizontal extent a net must span inside the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trunk {
+    /// Caller's net identifier (opaque to the router).
+    pub net: usize,
+    /// Leftmost column the net touches.
+    pub left: i32,
+    /// Rightmost column the net touches.
+    pub right: i32,
+}
+
+impl Trunk {
+    /// A trunk for `net` spanning `[left, right]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `left > right`.
+    pub fn new(net: usize, left: i32, right: i32) -> Self {
+        assert!(left <= right, "trunk bounds out of order");
+        Trunk { net, left, right }
+    }
+}
+
+/// Left-edge track assignment: returns one track index per trunk,
+/// index-aligned with the input. Track 0 is filled first.
+pub fn assign_tracks(trunks: &[Trunk]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..trunks.len()).collect();
+    order.sort_by_key(|&i| (trunks[i].left, trunks[i].right, i));
+    let mut assignment = vec![usize::MAX; trunks.len()];
+    let mut track_right: Vec<i32> = Vec::new(); // rightmost occupied column per track
+    for i in order {
+        let t = trunks[i];
+        // First track whose last trunk ends strictly left of ours
+        // (trunks on one track may not touch: they belong to
+        // different nets).
+        let slot = track_right.iter().position(|&r| r < t.left);
+        match slot {
+            Some(s) => {
+                assignment[i] = s;
+                track_right[s] = t.right;
+            }
+            None => {
+                assignment[i] = track_right.len();
+                track_right.push(t.right);
+            }
+        }
+    }
+    assignment
+}
+
+/// Number of tracks the assignment uses.
+pub fn track_count(assignment: &[usize]) -> usize {
+    assignment.iter().map(|&t| t + 1).max().unwrap_or(0)
+}
+
+/// The classic lower bound: the channel density (maximum number of
+/// trunks crossing any column).
+pub fn density(trunks: &[Trunk]) -> usize {
+    let mut events: Vec<(i32, i32)> = Vec::new();
+    for t in trunks {
+        events.push((t.left, 1));
+        events.push((t.right + 1, -1));
+    }
+    events.sort_unstable();
+    let mut cur = 0;
+    let mut max = 0;
+    for (_, d) in events {
+        cur += d;
+        max = max.max(cur);
+    }
+    max as usize
+}
+
+/// One pin on a channel edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelPin {
+    /// Column of the pin.
+    pub column: i32,
+    /// Caller's net identifier.
+    pub net: usize,
+    /// `true` for the top edge, `false` for the bottom.
+    pub top: bool,
+}
+
+/// Routes a full channel: assigns a trunk track per net and emits the
+/// wire geometry. The channel occupies rows `0` (bottom pins) to
+/// `height` (top pins); trunks run on rows `1..`, one per track.
+///
+/// Returns `(paths, track_count)` with one path per distinct net in
+/// first-appearance order; nets whose trunks would not fit below the
+/// top edge still route (the channel "overflows", as the paper notes —
+/// the caller can compare `track_count` against `height - 1`).
+pub fn route_channel(pins: &[ChannelPin], height: i32) -> (Vec<(usize, NetPath)>, usize) {
+    let mut nets: Vec<usize> = Vec::new();
+    for p in pins {
+        if !nets.contains(&p.net) {
+            nets.push(p.net);
+        }
+    }
+    let trunks: Vec<Trunk> = nets
+        .iter()
+        .map(|&n| {
+            let cols: Vec<i32> = pins.iter().filter(|p| p.net == n).map(|p| p.column).collect();
+            Trunk::new(
+                n,
+                cols.iter().copied().min().expect("net has pins"),
+                cols.iter().copied().max().expect("net has pins"),
+            )
+        })
+        .collect();
+    let assignment = assign_tracks(&trunks);
+    let tracks = track_count(&assignment);
+
+    let paths = trunks
+        .iter()
+        .zip(&assignment)
+        .map(|(t, &track)| {
+            let y = 1 + track as i32;
+            let mut segs = Vec::new();
+            if t.left != t.right {
+                segs.push(Segment::horizontal(y, t.left, t.right));
+            }
+            for p in pins.iter().filter(|p| p.net == t.net) {
+                let py = if p.top { height } else { 0 };
+                if py != y {
+                    segs.push(Segment::vertical(p.column, py.min(y), py.max(y)));
+                }
+            }
+            (t.net, NetPath::from_segments(segs))
+        })
+        .collect();
+    (paths, tracks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_trunks_share_a_track() {
+        let trunks = vec![Trunk::new(0, 0, 3), Trunk::new(1, 5, 9)];
+        assert_eq!(assign_tracks(&trunks), vec![0, 0]);
+    }
+
+    #[test]
+    fn touching_trunks_get_distinct_tracks() {
+        // Sharing column 3 would join two nets: not allowed.
+        let trunks = vec![Trunk::new(0, 0, 3), Trunk::new(1, 3, 9)];
+        let a = assign_tracks(&trunks);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn track_count_matches_density_on_interval_graphs() {
+        // Left-edge is optimal without vertical constraints: track
+        // count equals channel density.
+        let trunks = vec![
+            Trunk::new(0, 0, 4),
+            Trunk::new(1, 2, 8),
+            Trunk::new(2, 5, 9),
+            Trunk::new(3, 10, 12),
+            Trunk::new(4, 1, 11),
+        ];
+        let a = assign_tracks(&trunks);
+        assert_eq!(track_count(&a), density(&trunks));
+    }
+
+    #[test]
+    fn density_counts_overlaps() {
+        let trunks = vec![
+            Trunk::new(0, 0, 10),
+            Trunk::new(1, 2, 5),
+            Trunk::new(2, 4, 8),
+        ];
+        assert_eq!(density(&trunks), 3);
+    }
+
+    #[test]
+    fn full_channel_routing_connects_pins() {
+        let pins = vec![
+            ChannelPin { column: 1, net: 0, top: false },
+            ChannelPin { column: 6, net: 0, top: true },
+            ChannelPin { column: 3, net: 1, top: false },
+            ChannelPin { column: 9, net: 1, top: true },
+        ];
+        let (paths, tracks) = route_channel(&pins, 6);
+        assert_eq!(paths.len(), 2);
+        assert!(tracks >= 1);
+        for (net, path) in &paths {
+            let pts: Vec<netart_geom::Point> = pins
+                .iter()
+                .filter(|p| p.net == *net)
+                .map(|p| netart_geom::Point::new(p.column, if p.top { 6 } else { 0 }))
+                .collect();
+            assert!(path.connects(&pts), "net {net}: {:?}", path.segments());
+        }
+    }
+
+    #[test]
+    fn single_pin_column_net() {
+        // Net with both pins in one column: a straight vertical, no trunk.
+        let pins = vec![
+            ChannelPin { column: 4, net: 0, top: false },
+            ChannelPin { column: 4, net: 0, top: true },
+        ];
+        let (paths, _) = route_channel(&pins, 5);
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].1.connects(&[
+            netart_geom::Point::new(4, 0),
+            netart_geom::Point::new(4, 5)
+        ]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn bad_trunk_panics() {
+        let _ = Trunk::new(0, 5, 2);
+    }
+}

@@ -1,0 +1,154 @@
+/// The order nets are attempted in. The paper routes in definition
+/// order and notes in §7 that "it is probably better to construct a
+/// certain criterion for selecting the next net to be routed" — these
+/// are the obvious criteria, benchmarked in the ablation suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetOrder {
+    /// Net-list definition order (the paper's behaviour).
+    #[default]
+    Definition,
+    /// Widest nets first: many-pin nets route while the plane is
+    /// still empty.
+    MostPinsFirst,
+    /// Narrow nets first.
+    FewestPinsFirst,
+}
+
+/// Routing options, mirroring the `eureka` command line of Appendix F.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteConfig {
+    /// Tracks between the diagram bounding box and the routing plane
+    /// border on each side `[left, right, down, up]`. The `-l`, `-r`,
+    /// `-d`, `-u` flags of Appendix F fix a border *at* the box
+    /// (margin 2: the border sits one track beyond the single remaining
+    /// routing track), forcing outgoing nets to hug the box edge.
+    pub margins: [i32; 4],
+    /// Enable claimpoints (§5.7). On by default; the paper reports a
+    /// ~75% drop in unroutable nets from this extension.
+    pub claimpoints: bool,
+    /// Retry nets that failed in the first pass after lifting every
+    /// remaining claimpoint (§5.7, figure 6.14/6.15 discussion).
+    pub retry_failed: bool,
+    /// Swap the tie-break order (`-s`): prefer minimum wire length over
+    /// minimum crossovers among the minimum-bend paths.
+    pub swap_tiebreak: bool,
+    /// Safety valve: abandon a connection after this many bend
+    /// generations. Generous enough to never trigger on real diagrams.
+    pub max_bends: u32,
+    /// The order nets are attempted in (§7 extension).
+    pub order: NetOrder,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        RouteConfig {
+            margins: [4; 4],
+            claimpoints: true,
+            retry_failed: true,
+            swap_tiebreak: false,
+            max_bends: 64,
+            order: NetOrder::Definition,
+        }
+    }
+}
+
+impl RouteConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        RouteConfig::default()
+    }
+
+    /// Disables claimpoints (for the §5.7 ablation).
+    pub fn without_claimpoints(mut self) -> Self {
+        self.claimpoints = false;
+        self
+    }
+
+    /// Disables the retry pass.
+    pub fn without_retry(mut self) -> Self {
+        self.retry_failed = false;
+        self
+    }
+
+    /// Swaps the tie-break order (`-s`).
+    pub fn with_swapped_tiebreak(mut self) -> Self {
+        self.swap_tiebreak = true;
+        self
+    }
+
+    /// Sets a uniform plane margin.
+    pub fn with_margin(mut self, tracks: i32) -> Self {
+        self.margins = [tracks.max(1); 4];
+        self
+    }
+
+    /// Fixes the left border at the diagram box (`-l`).
+    pub fn with_fixed_left(mut self) -> Self {
+        self.margins[0] = 2;
+        self
+    }
+
+    /// Fixes the right border at the diagram box (`-r`).
+    pub fn with_fixed_right(mut self) -> Self {
+        self.margins[1] = 2;
+        self
+    }
+
+    /// Fixes the lower border at the diagram box (`-d`).
+    pub fn with_fixed_down(mut self) -> Self {
+        self.margins[2] = 2;
+        self
+    }
+
+    /// Fixes the upper border at the diagram box (`-u`).
+    pub fn with_fixed_up(mut self) -> Self {
+        self.margins[3] = 2;
+        self
+    }
+
+    /// Sets the net selection order (§7 extension).
+    pub fn with_order(mut self, order: NetOrder) -> Self {
+        self.order = order;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = RouteConfig::default();
+        assert_eq!(c.margins, [4; 4]);
+        assert!(c.claimpoints);
+        assert!(c.retry_failed);
+        assert!(!c.swap_tiebreak);
+        assert_eq!(RouteConfig::new(), c);
+    }
+
+    #[test]
+    fn builders() {
+        let c = RouteConfig::new()
+            .without_claimpoints()
+            .without_retry()
+            .with_swapped_tiebreak()
+            .with_margin(7)
+            .with_fixed_left()
+            .with_fixed_up();
+        assert!(!c.claimpoints && !c.retry_failed && c.swap_tiebreak);
+        assert_eq!(c.margins, [2, 7, 7, 2]);
+    }
+
+    #[test]
+    fn margin_clamped_to_one() {
+        assert_eq!(RouteConfig::new().with_margin(0).margins, [1; 4]);
+    }
+
+    #[test]
+    fn order_defaults_to_definition() {
+        assert_eq!(RouteConfig::new().order, NetOrder::Definition);
+        let c = RouteConfig::new().with_order(NetOrder::MostPinsFirst);
+        assert_eq!(c.order, NetOrder::MostPinsFirst);
+    }
+}

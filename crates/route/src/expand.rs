@@ -1,0 +1,1088 @@
+//! The line-expansion search engine (§5.5–§5.6).
+//!
+//! One [`Search`] routes one connection: either a two-terminal
+//! initiation with two wavefronts (`INIT_NET`) or a single front
+//! expanding towards the already-routed part of the net (`EXPAND_NET`).
+//!
+//! An *active segment* is a set of reached collinear points with an
+//! expansion direction. Expanding it sweeps the whole span
+//! perpendicular, track by track, splitting at obstacles:
+//!
+//! * module edges, the plane border and claimpoints block,
+//! * other nets block at their endpoints (bends) and are crossed in
+//!   their interior (counted),
+//! * same-front actives block and are trimmed (every zone is searched
+//!   once),
+//! * opposite-front actives and segments of the net under construction
+//!   are solutions.
+//!
+//! The borders of the newly reached zone become the next generation of
+//! active segments (one more bend). Fronts advance a generation at a
+//! time, alternating, so the first generation that produces solution
+//! candidates contains the minimum-bend paths; among those candidates
+//! the best (fewest crossovers, then shortest — or swapped under `-s`)
+//! is reconstructed by walking originator links.
+
+use std::collections::BTreeMap;
+
+use netart_geom::{Axis, Dir, Interval, Point, Segment};
+use netart_netlist::NetId;
+
+use crate::{ObstacleKind, ObstacleMap};
+
+/// Which wavefront an active segment belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Front {
+    /// The front grown from the first terminal (the only front in
+    /// `EXPAND_NET` mode).
+    A,
+    /// The front grown from the second terminal.
+    B,
+}
+
+impl Front {
+    fn idx(self) -> usize {
+        match self {
+            Front::A => 0,
+            Front::B => 1,
+        }
+    }
+
+    fn other(self) -> Front {
+        match self {
+            Front::A => Front::B,
+            Front::B => Front::A,
+        }
+    }
+}
+
+/// An active segment (the paper's ten-tuple, with the originator held
+/// as an arena link).
+#[derive(Debug, Clone)]
+struct Active {
+    parent: Option<usize>,
+    front: Front,
+    dir: Dir,
+    /// Fixed coordinate: y for horizontal segments (dir up/down), x for
+    /// vertical ones (dir left/right).
+    track: i32,
+    /// Range along the segment.
+    span: Interval,
+    /// Wave number: bends used to reach this segment.
+    bends: u32,
+    /// Nets crossed on the way here.
+    crossings: u32,
+    alive: bool,
+    expanded: bool,
+}
+
+impl Active {
+    fn axis(&self) -> Axis {
+        self.dir.segment_axis()
+    }
+
+    /// The plane point at span-coordinate `s`.
+    fn point_at(&self, s: i32) -> Point {
+        match self.axis() {
+            Axis::Horizontal => Point::new(s, self.track),
+            Axis::Vertical => Point::new(self.track, s),
+        }
+    }
+}
+
+/// How the far side of a solution candidate connects.
+#[derive(Debug, Clone, Copy)]
+enum FarSide {
+    /// Met an active of the opposite front: trace it back too.
+    Active { id: usize, entry: i32 },
+    /// Met a segment of the net under construction: just join it.
+    Net,
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    /// Geometric bends of the reconstructed wire (computed at creation).
+    bends: u32,
+    crossings: u32,
+    length: u32,
+    /// `false` when the joint avoids creating a branching node.
+    branches: bool,
+    near: usize,
+    near_entry: i32,
+    bridge: Option<Segment>,
+    far: FarSide,
+}
+
+/// The routed geometry of one successful connection.
+#[derive(Debug, Clone)]
+pub(crate) struct Connection {
+    /// The wire segments, collinear-merged, zero-length pieces dropped.
+    pub segments: Vec<Segment>,
+    /// Crossings with other nets along the chosen path (exposed for
+    /// the engine's own tests; diagrams recount crossings from
+    /// geometry).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub crossings: u32,
+}
+
+/// One connection search over a fixed obstacle configuration.
+pub(crate) struct Search<'a> {
+    map: &'a ObstacleMap,
+    net: NetId,
+    swap_tiebreak: bool,
+    max_bends: u32,
+    arena: Vec<Active>,
+    /// `index[front][axis]`: occupied tracks → active ids, for sweeps
+    /// and meet detection.
+    index: [[BTreeMap<i32, Vec<usize>>; 2]; 2],
+    /// `covered[front][dir]`: track → union of spans ever activated
+    /// *with that expansion direction*. A front never re-activates
+    /// covered ground — the paper's "every zone is searched just once"
+    /// made airtight, which also bounds the total work of an exhaustive
+    /// (unroutable) search by four times the plane area. Keyed per
+    /// direction because the same segment expanding up and expanding
+    /// down explores different half-planes.
+    covered: [[BTreeMap<i32, Vec<Interval>>; 4]; 2],
+    pending: [Vec<usize>; 2],
+    candidates: Vec<Candidate>,
+}
+
+/// Removes the union of `covered` from `span`, returning the leftover
+/// pieces in ascending order.
+fn subtract_all(span: Interval, covered: &[Interval]) -> Vec<Interval> {
+    let mut pieces = vec![span];
+    for &c in covered {
+        pieces = pieces
+            .into_iter()
+            .flat_map(|p| {
+                let (l, r) = p.subtract(c);
+                l.into_iter().chain(r)
+            })
+            .collect();
+    }
+    pieces
+}
+
+fn axis_idx(axis: Axis) -> usize {
+    match axis {
+        Axis::Horizontal => 0,
+        Axis::Vertical => 1,
+    }
+}
+
+fn dir_idx(dir: Dir) -> usize {
+    match dir {
+        Dir::Left => 0,
+        Dir::Right => 1,
+        Dir::Up => 2,
+        Dir::Down => 3,
+    }
+}
+
+impl<'a> Search<'a> {
+    pub(crate) fn new(map: &'a ObstacleMap, net: NetId, swap_tiebreak: bool, max_bends: u32) -> Self {
+        Search {
+            map,
+            net,
+            swap_tiebreak,
+            max_bends,
+            arena: Vec::new(),
+            index: Default::default(),
+            covered: Default::default(),
+            pending: [Vec::new(), Vec::new()],
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Seeds a front with the degenerate active of a terminal point
+    /// expanding towards `dir` (`INIT_ACTIVES`). System terminals call
+    /// this once per direction.
+    pub(crate) fn seed(&mut self, front: Front, p: Point, dir: Dir) {
+        let (track, coord) = match dir.segment_axis() {
+            Axis::Horizontal => (p.y, p.x),
+            Axis::Vertical => (p.x, p.y),
+        };
+        self.push_active(Active {
+            parent: None,
+            front,
+            dir,
+            track,
+            span: Interval::point(coord),
+            bends: 0,
+            crossings: 0,
+            alive: true,
+            expanded: false,
+        });
+    }
+
+    fn push_active(&mut self, a: Active) {
+        // Only the uncovered parts of the span become active; the rest
+        // was reached before with no more bends than now.
+        let cov = self.covered[a.front.idx()][dir_idx(a.dir)]
+            .entry(a.track)
+            .or_default();
+        let pieces = subtract_all(a.span, cov);
+        cov.extend(pieces.iter().copied());
+        for span in pieces {
+            let id = self.arena.len();
+            let mut piece = a.clone();
+            piece.span = span;
+            self.index[piece.front.idx()][axis_idx(piece.axis())]
+                .entry(piece.track)
+                .or_default()
+                .push(id);
+            self.pending[piece.front.idx()].push(id);
+            self.arena.push(piece);
+            self.check_meets(id);
+        }
+    }
+
+    /// Runs the alternating wavefront search. `two_front` distinguishes
+    /// `INIT_NET` (meet the other front) from `EXPAND_NET` (meet the
+    /// net's own routed segments).
+    pub(crate) fn run(&mut self) -> Option<Connection> {
+        let mut gen = 0u32;
+        loop {
+            // A candidate is final once no unexpanded active (all of
+            // bend generation >= gen) can start a cheaper path.
+            // A candidate becomes final once the generation counter
+            // reaches its geometric bend count: zero-length trace hops
+            // can merge segments, so later generations occasionally
+            // hold a path with fewer geometric bends, which is why the
+            // paper promises minimal bends only "in most cases" (§5.8).
+            let best = self.candidates.iter().map(|c| c.bends).min();
+            if let Some(best) = best {
+                if best <= gen {
+                    return Some(self.reconstruct());
+                }
+            }
+            if gen > self.max_bends {
+                return (!self.candidates.is_empty()).then(|| self.reconstruct());
+            }
+            let mut any = false;
+            for front in [Front::A, Front::B] {
+                loop {
+                    let batch: Vec<usize> = {
+                        let pending = &mut self.pending[front.idx()];
+                        let mut batch = Vec::new();
+                        let mut keep = Vec::new();
+                        for id in pending.drain(..) {
+                            let a = &self.arena[id];
+                            if a.alive && !a.expanded && a.bends == gen {
+                                batch.push(id);
+                            } else if a.alive && !a.expanded {
+                                keep.push(id);
+                            }
+                        }
+                        *pending = keep;
+                        batch
+                    };
+                    if batch.is_empty() {
+                        break;
+                    }
+                    any = true;
+                    for id in batch {
+                        if self.arena[id].alive && !self.arena[id].expanded {
+                            self.expand(id);
+                        }
+                    }
+                }
+            }
+            if !any {
+                // Both fronts exhausted: the best meeting found, if any.
+                return (!self.candidates.is_empty()).then(|| self.reconstruct());
+            }
+            gen += 1;
+        }
+    }
+
+    /// The next track beyond `from` in `dir` holding static obstacles
+    /// or active segments of either front.
+    fn next_track(&self, dir: Dir, from: i32) -> Option<i32> {
+        let axis = axis_idx(dir.segment_axis());
+        let mut best = self.map.next_track(dir, from);
+        for f in 0..2 {
+            let lanes = &self.index[f][axis];
+            let cand = match dir {
+                Dir::Up | Dir::Right => lanes.range(from + 1..).next().map(|(&t, _)| t),
+                Dir::Down | Dir::Left => lanes.range(..from).next_back().map(|(&t, _)| t),
+            };
+            best = match (best, cand) {
+                (None, c) => c,
+                (b, None) => b,
+                (Some(b), Some(c)) => Some(match dir {
+                    Dir::Up | Dir::Right => b.min(c),
+                    Dir::Down | Dir::Left => b.max(c),
+                }),
+            };
+        }
+        best
+    }
+
+    /// Expands one active segment (`EXPAND_SEGMENT`).
+    fn expand(&mut self, id: usize) {
+        self.arena[id].expanded = true;
+        let a = self.arena[id].clone();
+        let dir = a.dir;
+        let step = dir.sign();
+
+        // The swept pieces: (columns, crossings accumulated).
+        let mut pieces: Vec<(Interval, u32)> = vec![(a.span, a.crossings)];
+        // Where each group of columns stopped: (columns, last reached track).
+        let mut ends: Vec<(Interval, i32)> = Vec::new();
+        // Nets crossed during this sweep: (track, columns).
+        let mut crossed: Vec<(i32, Interval)> = Vec::new();
+
+        let mut track = a.track;
+        while !pieces.is_empty() {
+            let Some(next) = self.next_track(dir, track) else {
+                // No plane border? Terminate everything here (the
+                // router always installs a border, so this is a guard).
+                ends.extend(pieces.drain(..).map(|(iv, _)| (iv, track)));
+                break;
+            };
+            track = next;
+            pieces = self.sweep_track(&a, id, track, step, pieces, &mut ends, &mut crossed);
+        }
+
+        self.make_borders(&a, id, &ends, &crossed);
+    }
+
+    /// Processes all obstacles on one track against the live pieces;
+    /// returns the pieces that continue past it.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_track(
+        &mut self,
+        a: &Active,
+        a_id: usize,
+        track: i32,
+        step: i32,
+        pieces: Vec<(Interval, u32)>,
+        ends: &mut Vec<(Interval, i32)>,
+        crossed: &mut Vec<(i32, Interval)>,
+    ) -> Vec<(Interval, u32)> {
+        #[derive(Clone, Copy)]
+        enum Action {
+            Block,
+            BlockOwn(usize),
+            Target,
+            Meet(usize),
+            Cross,
+        }
+
+        // Gather entries at this track, blocking kinds first so that a
+        // module edge shadowing a net wins.
+        let mut entries: Vec<(Interval, Action)> = Vec::new();
+        for o in self.map.at(a.axis(), track) {
+            let action = match o.kind {
+                ObstacleKind::Module | ObstacleKind::Claim(_) => Action::Block,
+                ObstacleKind::Net(n) if n == self.net => Action::Target,
+                ObstacleKind::Net(_) => Action::Cross,
+            };
+            entries.push((o.span, action));
+        }
+        for f in [a.front, a.front.other()] {
+            if let Some(ids) = self.index[f.idx()][axis_idx(a.axis())].get(&track) {
+                for &oid in ids {
+                    if oid == a_id || !self.arena[oid].alive {
+                        continue;
+                    }
+                    let act = &self.arena[oid];
+                    let action = if f == a.front {
+                        Action::BlockOwn(oid)
+                    } else {
+                        Action::Meet(oid)
+                    };
+                    entries.push((act.span, action));
+                }
+            }
+        }
+        let rank = |e: &Action| match e {
+            Action::Block => 0,
+            Action::BlockOwn(_) => 1,
+            Action::Target => 2,
+            Action::Meet(_) => 3,
+            Action::Cross => 4,
+        };
+        entries.sort_by_key(|(_, e)| rank(e));
+
+        let stop = track - step;
+        let mut work = pieces;
+        for (span, action) in entries {
+            let mut next_work: Vec<(Interval, u32)> = Vec::new();
+            for (iv, cr) in work {
+                let Some(ov) = iv.intersect(span) else {
+                    next_work.push((iv, cr));
+                    continue;
+                };
+                let (left, right) = iv.subtract(span);
+                next_work.extend(left.map(|l| (l, cr)));
+                next_work.extend(right.map(|r| (r, cr)));
+                match action {
+                    Action::Block => ends.push((ov, stop)),
+                    Action::BlockOwn(oid) => {
+                        ends.push((ov, stop));
+                        self.trim(oid, ov);
+                    }
+                    Action::Target => {
+                        ends.push((ov, stop));
+                        self.candidate_net(a, a_id, ov, span, track, cr);
+                    }
+                    Action::Meet(oid) => {
+                        ends.push((ov, stop));
+                        self.candidate_meet(a, a_id, oid, ov, track, cr);
+                    }
+                    Action::Cross => {
+                        // Net endpoints (bends) block; the interior is
+                        // crossed and counted.
+                        for e in [span.lo(), span.hi()] {
+                            if ov.contains(e) {
+                                ends.push((Interval::point(e), stop));
+                            }
+                        }
+                        let lo = if ov.contains(span.lo()) { span.lo() + 1 } else { ov.lo() };
+                        let hi = if ov.contains(span.hi()) { span.hi() - 1 } else { ov.hi() };
+                        if lo <= hi {
+                            let interior = Interval::new(lo, hi);
+                            crossed.push((track, interior));
+                            next_work.push((interior, cr + 1));
+                        }
+                    }
+                }
+            }
+            work = next_work;
+        }
+        work
+    }
+
+    /// Cuts `ov` out of a same-front active reached by a sweep
+    /// (`OWN_OBSTACLE`): its zone is already covered.
+    fn trim(&mut self, id: usize, ov: Interval) {
+        let (left, right) = self.arena[id].span.subtract(ov);
+        match (left, right) {
+            (Some(l), Some(r)) => {
+                self.arena[id].span = l;
+                let mut sibling = self.arena[id].clone();
+                sibling.span = r;
+                // Re-register the sibling; `push_active` puts it back in
+                // the pending list when still unexpanded.
+                let sid = self.arena.len();
+                self.index[sibling.front.idx()][axis_idx(sibling.axis())]
+                    .entry(sibling.track)
+                    .or_default()
+                    .push(sid);
+                if !sibling.expanded {
+                    self.pending[sibling.front.idx()].push(sid);
+                }
+                self.arena.push(sibling);
+            }
+            (Some(l), None) => self.arena[id].span = l,
+            (None, Some(r)) => self.arena[id].span = r,
+            (None, None) => self.arena[id].alive = false,
+        }
+    }
+
+    /// Completes a candidate by measuring the geometric bends of its
+    /// wire, then records it.
+    fn push_candidate(&mut self, mut c: Candidate) {
+        let geometry = self.build(&c);
+        c.bends = netart_diagram::NetPath::from_segments(geometry).bends();
+        self.candidates.push(c);
+    }
+
+    /// Length of the path from the point at span-coordinate `s` on
+    /// active `id` back to its root (`PATH_LENGTH`).
+    fn trace_len(&self, id: usize, s: i32) -> u32 {
+        let mut len = 0u32;
+        let mut cur = id;
+        let mut coord = s;
+        while let Some(parent) = self.arena[cur].parent {
+            let pt = self.arena[parent].track;
+            len += coord.abs_diff(pt);
+            coord = self.arena[cur].track;
+            cur = parent;
+        }
+        len
+    }
+
+    /// First-hop kink: the span coordinate towards which the trace from
+    /// this active gets shorter (the parent's track, or the root point).
+    fn pull(&self, id: usize) -> i32 {
+        match self.arena[id].parent {
+            Some(p) => self.arena[p].track,
+            None => self.arena[id].span.lo(), // roots are points
+        }
+    }
+
+    /// Candidate against a segment of the net under construction.
+    fn candidate_net(
+        &mut self,
+        a: &Active,
+        near: usize,
+        ov: Interval,
+        target: Interval,
+        track: i32,
+        cr: u32,
+    ) {
+        let mut entries = vec![ov.clamp(self.pull(near)), ov.lo(), ov.hi()];
+        entries.dedup();
+        for s in entries {
+            // Joining at an endpoint of the existing segment avoids a
+            // new branching node (§5.6.3 UPDATE_SOLUTION).
+            let branches = s != target.lo() && s != target.hi();
+            let bridge = self.bridge(a, s, track);
+            self.push_candidate(Candidate {
+                bends: 0,
+                crossings: cr,
+                length: a.track.abs_diff(track) + self.trace_len(near, s),
+                branches,
+                near,
+                near_entry: s,
+                bridge,
+                far: FarSide::Net,
+            });
+        }
+    }
+
+    /// Candidate against an opposite-front active.
+    fn candidate_meet(
+        &mut self,
+        a: &Active,
+        near: usize,
+        oid: usize,
+        ov: Interval,
+        track: i32,
+        cr: u32,
+    ) {
+        let far_cross = self.arena[oid].crossings;
+        let mut entries = vec![
+            ov.clamp(self.pull(near)),
+            ov.clamp(self.pull(oid)),
+            ov.lo(),
+            ov.hi(),
+        ];
+        entries.sort_unstable();
+        entries.dedup();
+        for s in entries {
+            let bridge = self.bridge(a, s, track);
+            self.push_candidate(Candidate {
+                bends: 0,
+                crossings: cr + far_cross,
+                length: a.track.abs_diff(track)
+                    + self.trace_len(near, s)
+                    + self.trace_len(oid, s),
+                branches: false,
+                near,
+                near_entry: s,
+                bridge,
+                far: FarSide::Active { id: oid, entry: s },
+            });
+        }
+    }
+
+    /// The bridging segment from active `a` to the meeting track, at
+    /// span coordinate `s`.
+    fn bridge(&self, a: &Active, s: i32, track: i32) -> Option<Segment> {
+        let from = a.point_at(s);
+        let to = match a.axis() {
+            Axis::Horizontal => Point::new(s, track),
+            Axis::Vertical => Point::new(track, s),
+        };
+        Segment::between(from, to)
+    }
+
+    /// Creates the next generation from the sweep's end events
+    /// (`NEW_ACTIVES`): the perpendicular borders of the reached zone,
+    /// with crossing points cut out.
+    fn make_borders(&mut self, a: &Active, id: usize, ends: &[(Interval, i32)], crossed: &[(i32, Interval)]) {
+        if a.bends + 1 > self.max_bends {
+            return;
+        }
+        let step = a.dir.sign();
+        // reach(column) relative: convert "last reached track" into a
+        // signed progression so one code path serves all directions.
+        let prog = |t: i32| (t - a.track) * step; // 0 = no progress
+        let mut events: Vec<(Interval, i32)> = ends
+            .iter()
+            .map(|&(iv, reach)| (iv, prog(reach)))
+            .collect();
+        events.push((Interval::point(a.span.lo() - 1), 0));
+        events.push((Interval::point(a.span.hi() + 1), 0));
+        events.sort_by_key(|&(iv, _)| iv.lo());
+
+        for w in events.windows(2) {
+            let (iv1, r1) = w[0];
+            let (iv2, r2) = w[1];
+            if r1 == r2 {
+                continue;
+            }
+            // Border at the edge column of the taller side, spanning the
+            // rows the shorter side did not reach, expanding towards the
+            // shorter side.
+            let (col, lo_p, hi_p, out_dir) = if r1 < r2 {
+                (iv2.lo(), r1 + 1, r2, border_dir(a.dir, true))
+            } else {
+                (iv1.hi(), r2 + 1, r1, border_dir(a.dir, false))
+            };
+            if lo_p > hi_p {
+                continue;
+            }
+            // Back to absolute tracks along the sweep direction.
+            let t0 = a.track + lo_p * step;
+            let t1 = a.track + hi_p * step;
+            let span = Interval::new(t0.min(t1), t0.max(t1));
+            // Cut out the rows where this sweep crossed a net at `col`.
+            let mut sub_spans = vec![span];
+            for &(ct, civ) in crossed {
+                if !civ.contains(col) {
+                    continue;
+                }
+                sub_spans = sub_spans
+                    .into_iter()
+                    .flat_map(|sp| {
+                        let (l, r) = sp.subtract(Interval::point(ct));
+                        l.into_iter().chain(r)
+                    })
+                    .collect();
+            }
+            for sp in sub_spans {
+                // Crossings below the border piece: nets crossed by the
+                // escape line from the originator up to the piece.
+                let cr = a.crossings
+                    + crossed
+                        .iter()
+                        .filter(|&&(ct, civ)| civ.contains(col) && prog(ct) < prog_of(sp, a, step))
+                        .count() as u32;
+                self.push_active(Active {
+                    parent: Some(id),
+                    front: a.front,
+                    dir: out_dir,
+                    track: col,
+                    span: sp,
+                    bends: a.bends + 1,
+                    crossings: cr,
+                    alive: true,
+                    expanded: false,
+                });
+            }
+        }
+    }
+
+    /// Completeness backstop: a freshly created active that geometrically
+    /// touches the opposite front (collinear or crossing) is a meeting
+    /// the track sweeps may only discover a generation later.
+    fn check_meets(&mut self, id: usize) {
+        let a = self.arena[id].clone();
+        if a.parent.is_none() {
+            return; // roots are seeded before the other front exists
+        }
+        let other = a.front.other();
+        // Collinear: same axis, same track, overlapping span.
+        if let Some(ids) = self.index[other.idx()][axis_idx(a.axis())].get(&a.track) {
+            for oid in ids.clone() {
+                let b = &self.arena[oid];
+                if !b.alive {
+                    continue;
+                }
+                if let Some(ov) = a.span.intersect(b.span) {
+                    let b_cross = b.crossings;
+                    for s in [ov.clamp(self.pull(id)), ov.clamp(self.pull(oid))] {
+                        self.push_candidate(Candidate {
+                            bends: 0,
+                            crossings: a.crossings + b_cross,
+                            length: self.trace_len(id, s) + self.trace_len(oid, s),
+                            branches: false,
+                            near: id,
+                            near_entry: s,
+                            bridge: None,
+                            far: FarSide::Active { id: oid, entry: s },
+                        });
+                    }
+                }
+            }
+        }
+        // Crossing: perpendicular active of the other front through us.
+        let perp = a.axis().perpendicular();
+        let lanes = &self.index[other.idx()][axis_idx(perp)];
+        let mut hits: Vec<(usize, i32, i32)> = Vec::new();
+        for (&t, ids) in lanes.range(a.span.lo()..=a.span.hi()) {
+            for &oid in ids {
+                let b = &self.arena[oid];
+                if b.alive && b.span.contains(a.track) {
+                    hits.push((oid, t, a.track));
+                }
+            }
+        }
+        for (oid, s_near, s_far) in hits {
+            let b_cross = self.arena[oid].crossings;
+            self.push_candidate(Candidate {
+                bends: 0,
+                crossings: a.crossings + b_cross,
+                length: self.trace_len(id, s_near) + self.trace_len(oid, s_far),
+                branches: false,
+                near: id,
+                near_entry: s_near,
+                bridge: None,
+                far: FarSide::Active { id: oid, entry: s_far },
+            });
+        }
+    }
+
+    /// Builds the wire geometry of one candidate.
+    fn build(&self, c: &Candidate) -> Vec<Segment> {
+        let mut segments = Vec::new();
+        if let Some(b) = c.bridge {
+            if !b.is_point() {
+                segments.push(b);
+            }
+        }
+        self.trace_into(c.near, c.near_entry, &mut segments);
+        if let FarSide::Active { id, entry } = c.far {
+            self.trace_into(id, entry, &mut segments);
+        }
+        merge_collinear(segments)
+    }
+
+    /// Builds the wire for the best candidate
+    /// (`RECONSTRUCT_SOLUTION` / `RECONSTRUCT_PATH`).
+    ///
+    /// Candidates of one terminating generation can still differ in
+    /// total bends (the two fronts' generations mix), so the actual
+    /// geometric bend count ranks first — the paper's primary
+    /// objective — followed by crossovers and length (swapped under
+    /// `-s`), then the branch-avoidance preference.
+    fn reconstruct(&mut self) -> Connection {
+        if std::env::var_os("NETART_DEBUG_CANDIDATES").is_some() {
+            for c in &self.candidates {
+                eprintln!("cand bends={} cr={} len={} near={} entry={} far={:?}", c.bends, c.crossings, c.length, c.near, c.near_entry, c.far);
+            }
+        }
+        let swap = self.swap_tiebreak;
+        let best = self
+            .candidates
+            .iter()
+            .min_by_key(|c| {
+                let (x, y) = if swap {
+                    (c.length, c.crossings)
+                } else {
+                    (c.crossings, c.length)
+                };
+                (c.bends, x, y, c.branches as u32, c.near_entry)
+            })
+            .expect("reconstruct called with candidates")
+            .clone();
+        Connection {
+            segments: self.build(&best),
+            crossings: best.crossings,
+        }
+    }
+
+    fn trace_into(&self, id: usize, entry: i32, out: &mut Vec<Segment>) {
+        let mut cur = id;
+        let mut coord = entry;
+        while let Some(parent) = self.arena[cur].parent {
+            let a = &self.arena[cur];
+            let pt = self.arena[parent].track;
+            if coord != pt {
+                out.push(Segment::on_axis(
+                    a.axis(),
+                    a.track,
+                    Interval::new(coord.min(pt), coord.max(pt)),
+                ));
+            }
+            coord = a.track;
+            cur = parent;
+        }
+    }
+}
+
+/// Direction a border active expands in: perpendicular borders of an
+/// up/down sweep expand left or right; of a left/right sweep, down or
+/// up. `towards_low` selects the lower-coordinate side.
+fn border_dir(sweep: Dir, towards_low: bool) -> Dir {
+    match (sweep.axis(), towards_low) {
+        (Axis::Vertical, true) => Dir::Left,
+        (Axis::Vertical, false) => Dir::Right,
+        (Axis::Horizontal, true) => Dir::Down,
+        (Axis::Horizontal, false) => Dir::Up,
+    }
+}
+
+/// Progress (in sweep steps from the originator) of the nearest point
+/// of a border piece.
+fn prog_of(span: Interval, a: &Active, step: i32) -> i32 {
+    let d0 = (span.lo() - a.track) * step;
+    let d1 = (span.hi() - a.track) * step;
+    d0.min(d1)
+}
+
+/// Splits segments at every junction point (an endpoint of one segment
+/// lying on another), so that all bends *and branch nodes* of a net are
+/// segment endpoints in the obstacle map. The sweep's endpoint-blocking
+/// rule then protects T-junctions of multipoint nets from other nets
+/// sliding along them.
+pub(crate) fn split_at_junctions(segs: &[Segment]) -> Vec<Segment> {
+    let endpoints: Vec<Point> = segs
+        .iter()
+        .flat_map(|s| {
+            let (a, b) = s.endpoints();
+            [a, b]
+        })
+        .collect();
+    let mut out = Vec::with_capacity(segs.len());
+    for s in segs {
+        let mut cuts: Vec<i32> = endpoints
+            .iter()
+            .filter(|p| s.contains(**p))
+            .map(|p| match s.axis() {
+                Axis::Horizontal => p.x,
+                Axis::Vertical => p.y,
+            })
+            .collect();
+        cuts.push(s.span().lo());
+        cuts.push(s.span().hi());
+        cuts.sort_unstable();
+        cuts.dedup();
+        if cuts.len() <= 2 {
+            out.push(*s);
+            continue;
+        }
+        for w in cuts.windows(2) {
+            out.push(Segment::on_axis(s.axis(), s.track(), Interval::new(w[0], w[1])));
+        }
+    }
+    out
+}
+
+/// Merges collinear touching segments and drops zero-length ones.
+pub(crate) fn merge_collinear(mut segs: Vec<Segment>) -> Vec<Segment> {
+    segs.retain(|s| !s.is_point());
+    let mut out: Vec<Segment> = Vec::new();
+    'next: for s in segs {
+        for o in &mut out {
+            if let Some(m) = o.merge(&s) {
+                *o = m;
+                continue 'next;
+            }
+        }
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid() -> NetId {
+        NetId::from_index(0)
+    }
+
+    /// An empty plane bounded by a border box.
+    fn bounded(w: i32, h: i32) -> ObstacleMap {
+        let mut m = ObstacleMap::new();
+        m.add_rect(
+            &netart_geom::Rect::new(Point::new(0, 0), w, h),
+            ObstacleKind::Module,
+        );
+        m
+    }
+
+    fn route_two(map: &ObstacleMap, a: (Point, Dir), b: (Point, Dir)) -> Option<Connection> {
+        let mut s = Search::new(map, nid(), false, 32);
+        s.seed(Front::A, a.0, a.1);
+        s.seed(Front::B, b.0, b.1);
+        s.run()
+    }
+
+    fn covers(conn: &Connection, p: Point) -> bool {
+        conn.segments.iter().any(|s| s.contains(p))
+    }
+
+    #[test]
+    fn straight_line_between_facing_points() {
+        let map = bounded(20, 10);
+        let conn = route_two(
+            &map,
+            (Point::new(2, 5), Dir::Right),
+            (Point::new(15, 5), Dir::Left),
+        )
+        .expect("straight route");
+        assert_eq!(conn.segments.len(), 1);
+        assert_eq!(conn.segments[0], Segment::horizontal(5, 2, 15));
+        assert_eq!(conn.crossings, 0);
+    }
+
+    #[test]
+    fn l_route_between_perpendicular_points() {
+        let map = bounded(20, 20);
+        let conn = route_two(
+            &map,
+            (Point::new(5, 5), Dir::Right),
+            (Point::new(12, 12), Dir::Down),
+        )
+        .expect("L route");
+        assert!(covers(&conn, Point::new(5, 5)), "{:?}", conn.segments);
+        assert!(covers(&conn, Point::new(12, 12)), "{:?}", conn.segments);
+        // Minimum-bend path: a single corner.
+        let path = netart_diagram::NetPath::from_segments(conn.segments.clone());
+        assert_eq!(path.bends(), 1, "{:?}", conn.segments);
+        assert!(path.connects(&[Point::new(5, 5), Point::new(12, 12)]));
+    }
+
+    #[test]
+    fn routes_around_a_wall() {
+        let mut map = bounded(30, 20);
+        // A wall with a gap at the top.
+        map.add(Segment::vertical(15, 0, 16), ObstacleKind::Module);
+        let conn = route_two(
+            &map,
+            (Point::new(5, 5), Dir::Right),
+            (Point::new(25, 5), Dir::Left),
+        )
+        .expect("detour");
+        let path = netart_diagram::NetPath::from_segments(conn.segments.clone());
+        assert!(path.connects(&[Point::new(5, 5), Point::new(25, 5)]));
+        // Must climb above y = 16 to clear the wall.
+        assert!(
+            conn.segments.iter().any(|s| s.span().hi() >= 17 || s.track() >= 17),
+            "{:?}",
+            conn.segments
+        );
+        // Both terminals leave horizontally at y = 5, so the detour
+        // needs an up-over-down excursion: 4 bends is the minimum.
+        assert_eq!(path.bends(), 4, "minimal detour");
+    }
+
+    #[test]
+    fn no_route_through_closed_box() {
+        let mut map = bounded(30, 20);
+        // Fully enclose the target point.
+        map.add_rect(
+            &netart_geom::Rect::new(Point::new(20, 5), 6, 6),
+            ObstacleKind::Module,
+        );
+        let conn = route_two(
+            &map,
+            (Point::new(5, 8), Dir::Right),
+            (Point::new(23, 8), Dir::Right),
+        );
+        assert!(conn.is_none());
+    }
+
+    #[test]
+    fn crossing_a_net_is_allowed_and_counted() {
+        let mut map = bounded(20, 10);
+        // A foreign net crossing the straight path vertically.
+        map.add(
+            Segment::vertical(10, 1, 9),
+            ObstacleKind::Net(NetId::from_index(7)),
+        );
+        let conn = route_two(
+            &map,
+            (Point::new(2, 5), Dir::Right),
+            (Point::new(17, 5), Dir::Left),
+        )
+        .expect("crossing allowed");
+        assert_eq!(conn.segments.len(), 1, "still straight: {:?}", conn.segments);
+        assert_eq!(conn.crossings, 1);
+    }
+
+    #[test]
+    fn net_endpoints_block() {
+        let mut map = bounded(20, 10);
+        // Foreign net whose endpoint (a bend) sits right on the path.
+        map.add(
+            Segment::vertical(10, 5, 9),
+            ObstacleKind::Net(NetId::from_index(7)),
+        );
+        let conn = route_two(
+            &map,
+            (Point::new(2, 5), Dir::Right),
+            (Point::new(17, 5), Dir::Left),
+        )
+        .expect("detour around the endpoint");
+        let path = netart_diagram::NetPath::from_segments(conn.segments.clone());
+        assert!(path.connects(&[Point::new(2, 5), Point::new(17, 5)]));
+        assert!(path.bends() >= 2, "{:?}", conn.segments);
+        // The wire never touches the blocked endpoint.
+        assert!(!covers(&conn, Point::new(10, 5)), "{:?}", conn.segments);
+    }
+
+    #[test]
+    fn claims_block_until_lifted() {
+        let mut map = bounded(20, 10);
+        map.add_point(Point::new(10, 5), ObstacleKind::Claim(NetId::from_index(3)));
+        let conn = route_two(
+            &map,
+            (Point::new(2, 5), Dir::Right),
+            (Point::new(17, 5), Dir::Left),
+        )
+        .expect("detour around claim");
+        assert!(!covers(&conn, Point::new(10, 5)));
+        map.remove_claims_of(NetId::from_index(3));
+        let conn = route_two(
+            &map,
+            (Point::new(2, 5), Dir::Right),
+            (Point::new(17, 5), Dir::Left),
+        )
+        .expect("straight after lifting");
+        assert_eq!(conn.segments.len(), 1);
+    }
+
+    #[test]
+    fn expand_net_joins_existing_segment() {
+        let mut map = bounded(20, 20);
+        map.add(Segment::horizontal(10, 5, 15), ObstacleKind::Net(nid()));
+        let mut s = Search::new(&map, nid(), false, 32);
+        s.seed(Front::A, Point::new(10, 3), Dir::Up);
+        let conn = s.run().expect("join own net");
+        let path = netart_diagram::NetPath::from_segments(conn.segments.clone());
+        assert!(path.connects(&[Point::new(10, 3)]));
+        // The join lands on the existing wire.
+        assert!(
+            conn.segments
+                .iter()
+                .any(|s| s.contains(Point::new(10, 10))
+                    || Segment::horizontal(10, 5, 15).crossing(s).is_some()),
+            "{:?}",
+            conn.segments
+        );
+    }
+
+    #[test]
+    fn min_bend_path_preferred_over_shorter() {
+        // A scenario where the geometrically shortest route needs more
+        // bends: line expansion returns the bend-minimal one.
+        let mut map = bounded(40, 30);
+        // Comb obstacles forcing a zig-zag on the direct corridor.
+        map.add(Segment::vertical(10, 0, 14), ObstacleKind::Module);
+        map.add(Segment::vertical(20, 6, 30), ObstacleKind::Module);
+        map.add(Segment::vertical(30, 0, 14), ObstacleKind::Module);
+        let conn = route_two(
+            &map,
+            (Point::new(2, 10), Dir::Right),
+            (Point::new(38, 10), Dir::Left),
+        )
+        .expect("route exists");
+        let path = netart_diagram::NetPath::from_segments(conn.segments.clone());
+        assert!(path.connects(&[Point::new(2, 10), Point::new(38, 10)]));
+        // Every wall reaches a border, so the path must zig-zag: above
+        // y=14 at x=10, below y=6 at x=20, above y=14 at x=30. Any such
+        // rectilinear path starting and ending horizontally at y=10 has
+        // at least 8 bends; line expansion must find exactly that.
+        assert_eq!(path.bends(), 8, "{:?}", conn.segments);
+    }
+
+    #[test]
+    fn merge_collinear_compacts() {
+        let merged = merge_collinear(vec![
+            Segment::horizontal(0, 0, 3),
+            Segment::horizontal(0, 3, 6),
+            Segment::vertical(6, 0, 0), // zero-length: dropped
+            Segment::vertical(6, 0, 4),
+        ]);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.contains(&Segment::horizontal(0, 0, 6)));
+    }
+}

@@ -1,0 +1,310 @@
+//! The obstacle configuration of the routing plane (§5.6.2).
+//!
+//! Obstacles are axis-aligned segments indexed per axis and track:
+//! `horizontal-segments` and `vertical-segments` in the paper. Module
+//! boundary edges, the plane border, system terminal points, routed net
+//! segments and claimpoints all live here. A sweep moving vertically
+//! consults horizontal obstacles and vice versa.
+
+use std::collections::BTreeMap;
+
+use netart_geom::{Axis, Dir, Interval, Point, Rect, Segment};
+use netart_netlist::NetId;
+
+/// What an obstacle is; the router reacts differently to each kind
+/// (§5.6.3 `EXPAND_SEGMENT`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObstacleKind {
+    /// A module bounding edge, plane border or system terminal point:
+    /// blocks expansion outright.
+    Module,
+    /// A routed net segment: its endpoints (bends) block, its interior
+    /// may be crossed perpendicular.
+    Net(NetId),
+    /// A claimpoint reserving the track in front of a terminal of the
+    /// given net (§5.7): blocks like a module until lifted.
+    Claim(NetId),
+}
+
+/// One obstacle: a span on a track with a kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Obstacle {
+    /// The range along the track's axis.
+    pub span: Interval,
+    /// What it is.
+    pub kind: ObstacleKind,
+}
+
+/// Per-axis, per-track obstacle store.
+///
+/// # Examples
+///
+/// ```
+/// use netart_geom::{Axis, Interval, Point, Rect};
+/// use netart_route::{ObstacleKind, ObstacleMap};
+///
+/// let mut map = ObstacleMap::new();
+/// map.add_rect(&Rect::new(Point::new(2, 2), 4, 2), ObstacleKind::Module);
+/// // The module's bottom edge blocks an upward sweep at y = 2.
+/// let hit = map.at(Axis::Horizontal, 2);
+/// assert_eq!(hit.len(), 1);
+/// assert_eq!(hit[0].span, Interval::new(2, 6));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ObstacleMap {
+    horizontal: BTreeMap<i32, Vec<Obstacle>>, // key: y; spans are x ranges
+    vertical: BTreeMap<i32, Vec<Obstacle>>,   // key: x; spans are y ranges
+}
+
+impl ObstacleMap {
+    /// An empty plane.
+    pub fn new() -> Self {
+        ObstacleMap::default()
+    }
+
+    fn lanes(&self, axis: Axis) -> &BTreeMap<i32, Vec<Obstacle>> {
+        match axis {
+            Axis::Horizontal => &self.horizontal,
+            Axis::Vertical => &self.vertical,
+        }
+    }
+
+    fn lanes_mut(&mut self, axis: Axis) -> &mut BTreeMap<i32, Vec<Obstacle>> {
+        match axis {
+            Axis::Horizontal => &mut self.horizontal,
+            Axis::Vertical => &mut self.vertical,
+        }
+    }
+
+    /// Adds a segment obstacle.
+    ///
+    /// Net segments are automatically *capped*: their two endpoints are
+    /// also registered as degenerate obstacles on the perpendicular
+    /// axis. Endpoints are the bends/terminals of a wire, which the
+    /// paper's model blocks from every direction — without the caps, a
+    /// sweep running parallel to the segment could slide onto it past
+    /// an endpoint. (Wires produced by the router are structurally
+    /// capped already; the explicit caps make hand-built maps equally
+    /// safe.)
+    pub fn add(&mut self, seg: Segment, kind: ObstacleKind) {
+        self.lanes_mut(seg.axis())
+            .entry(seg.track())
+            .or_default()
+            .push(Obstacle { span: seg.span(), kind });
+        if matches!(kind, ObstacleKind::Net(_)) && !seg.is_point() {
+            let (a, b) = seg.endpoints();
+            for p in [a, b] {
+                let cap = match seg.axis() {
+                    Axis::Horizontal => Segment::vertical(p.x, p.y, p.y),
+                    Axis::Vertical => Segment::horizontal(p.y, p.x, p.x),
+                };
+                self.lanes_mut(cap.axis())
+                    .entry(cap.track())
+                    .or_default()
+                    .push(Obstacle { span: cap.span(), kind });
+            }
+        }
+    }
+
+    /// Adds the four boundary edges of a rectangle (a module bounding
+    /// or the plane border). A degenerate rectangle adds point
+    /// obstacles on both axes, matching the paper's treatment of system
+    /// terminals.
+    pub fn add_rect(&mut self, rect: &Rect, kind: ObstacleKind) {
+        if rect.width() == 0 && rect.height() == 0 {
+            self.add_point(rect.lower_left(), kind);
+            return;
+        }
+        for e in rect.edges() {
+            self.add(e, kind);
+        }
+    }
+
+    /// Adds a point obstacle visible to sweeps on both axes.
+    pub fn add_point(&mut self, p: Point, kind: ObstacleKind) {
+        self.add(Segment::horizontal(p.y, p.x, p.x), kind);
+        self.add(Segment::vertical(p.x, p.y, p.y), kind);
+    }
+
+    /// The obstacles on a track, in insertion order (empty slice when
+    /// the track is clear).
+    pub fn at(&self, axis: Axis, track: i32) -> &[Obstacle] {
+        self.lanes(axis)
+            .get(&track)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The next track strictly beyond `from` in direction `dir` that
+    /// holds any obstacle of the axis perpendicular to `dir` — the "next
+    /// row with obstacles" step of the sweep. For `Dir::Up`/`Down` this
+    /// walks horizontal tracks, for `Left`/`Right` vertical ones.
+    pub fn next_track(&self, dir: Dir, from: i32) -> Option<i32> {
+        let lanes = self.lanes(dir.segment_axis());
+        match dir {
+            Dir::Up | Dir::Right => lanes.range(from + 1..).next().map(|(&t, _)| t),
+            Dir::Down | Dir::Left => lanes.range(..from).next_back().map(|(&t, _)| t),
+        }
+    }
+
+    /// Removes every obstacle matching `pred`. Returns how many were
+    /// dropped.
+    pub fn retain_not(&mut self, mut pred: impl FnMut(Axis, i32, &Obstacle) -> bool) -> usize {
+        let mut removed = 0;
+        for (axis, lanes) in [
+            (Axis::Horizontal, &mut self.horizontal),
+            (Axis::Vertical, &mut self.vertical),
+        ] {
+            lanes.retain(|&track, v| {
+                let before = v.len();
+                v.retain(|o| !pred(axis, track, o));
+                removed += before - v.len();
+                !v.is_empty()
+            });
+        }
+        removed
+    }
+
+    /// Removes all obstacles belonging to a net (segments and claims).
+    pub fn remove_net(&mut self, net: NetId) -> usize {
+        self.retain_not(|_, _, o| matches!(o.kind, ObstacleKind::Net(n) if n == net))
+    }
+
+    /// Lifts the claimpoints of one net (§5.7: "when the routing of A
+    /// and B starts, both their claimpoints are removed").
+    pub fn remove_claims_of(&mut self, net: NetId) -> usize {
+        self.retain_not(|_, _, o| matches!(o.kind, ObstacleKind::Claim(n) if n == net))
+    }
+
+    /// Lifts every remaining claimpoint (before the retry pass).
+    pub fn remove_all_claims(&mut self) -> usize {
+        self.retain_not(|_, _, o| matches!(o.kind, ObstacleKind::Claim(_)))
+    }
+
+    /// `true` when `p` lies on an obstacle for which `pred` holds, on
+    /// either axis.
+    pub fn point_matches(&self, p: Point, mut pred: impl FnMut(&Obstacle) -> bool) -> bool {
+        self.at(Axis::Horizontal, p.y)
+            .iter()
+            .any(|o| o.span.contains(p.x) && pred(o))
+            || self
+                .at(Axis::Vertical, p.x)
+                .iter()
+                .any(|o| o.span.contains(p.y) && pred(o))
+    }
+
+    /// Total number of stored obstacles (diagnostics).
+    pub fn len(&self) -> usize {
+        self.horizontal.values().map(Vec::len).sum::<usize>()
+            + self.vertical.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// `true` when the plane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(i: usize) -> NetId {
+        NetId::from_index(i)
+    }
+
+    #[test]
+    fn rect_contributes_four_edges() {
+        let mut m = ObstacleMap::new();
+        m.add_rect(&Rect::new(Point::new(0, 0), 4, 2), ObstacleKind::Module);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.at(Axis::Horizontal, 0).len(), 1); // bottom
+        assert_eq!(m.at(Axis::Horizontal, 2).len(), 1); // top
+        assert_eq!(m.at(Axis::Vertical, 0).len(), 1); // left
+        assert_eq!(m.at(Axis::Vertical, 4).len(), 1); // right
+        assert!(m.at(Axis::Horizontal, 1).is_empty());
+    }
+
+    #[test]
+    fn degenerate_rect_is_a_point_obstacle() {
+        let mut m = ObstacleMap::new();
+        m.add_rect(&Rect::new(Point::new(3, 5), 0, 0), ObstacleKind::Module);
+        assert_eq!(m.at(Axis::Horizontal, 5).len(), 1);
+        assert_eq!(m.at(Axis::Vertical, 3).len(), 1);
+        assert!(m.point_matches(Point::new(3, 5), |_| true));
+        assert!(!m.point_matches(Point::new(3, 6), |_| true));
+    }
+
+    #[test]
+    fn next_track_walks_in_both_directions() {
+        let mut m = ObstacleMap::new();
+        m.add(Segment::horizontal(2, 0, 4), ObstacleKind::Module);
+        m.add(Segment::horizontal(7, 0, 4), ObstacleKind::Module);
+        assert_eq!(m.next_track(Dir::Up, 0), Some(2));
+        assert_eq!(m.next_track(Dir::Up, 2), Some(7));
+        assert_eq!(m.next_track(Dir::Up, 7), None);
+        assert_eq!(m.next_track(Dir::Down, 9), Some(7));
+        assert_eq!(m.next_track(Dir::Down, 2), None);
+        // Vertical walks look at the other lane set.
+        assert_eq!(m.next_track(Dir::Right, 0), None);
+        m.add(Segment::vertical(5, 0, 4), ObstacleKind::Module);
+        assert_eq!(m.next_track(Dir::Right, 0), Some(5));
+        assert_eq!(m.next_track(Dir::Left, 9), Some(5));
+    }
+
+    #[test]
+    fn removal_by_net_and_claims() {
+        let mut m = ObstacleMap::new();
+        // Each non-degenerate net segment also registers two endpoint
+        // caps on the perpendicular axis: 3 entries per net.
+        m.add(Segment::horizontal(0, 0, 4), ObstacleKind::Net(net(0)));
+        m.add(Segment::horizontal(1, 0, 4), ObstacleKind::Net(net(1)));
+        m.add_point(Point::new(9, 9), ObstacleKind::Claim(net(0)));
+        m.add_point(Point::new(8, 8), ObstacleKind::Claim(net(1)));
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.remove_claims_of(net(0)), 2);
+        assert_eq!(m.remove_net(net(0)), 3);
+        assert_eq!(m.remove_all_claims(), 2);
+        assert_eq!(m.len(), 3);
+        assert_eq!(
+            m.at(Axis::Horizontal, 1)[0].kind,
+            ObstacleKind::Net(net(1))
+        );
+        // The caps sit on the vertical axis at the endpoints.
+        assert_eq!(m.at(Axis::Vertical, 0).len(), 1);
+        assert_eq!(m.at(Axis::Vertical, 4).len(), 1);
+    }
+
+    #[test]
+    fn net_caps_block_sliding_along() {
+        let mut m = ObstacleMap::new();
+        m.add(Segment::vertical(5, 2, 8), ObstacleKind::Net(net(0)));
+        // The endpoints appear in the horizontal lanes as degenerate
+        // obstacles, so vertical sweeps at x=5 stop there.
+        assert!(m
+            .at(Axis::Horizontal, 2)
+            .iter()
+            .any(|o| o.span == Interval::point(5)));
+        assert!(m
+            .at(Axis::Horizontal, 8)
+            .iter()
+            .any(|o| o.span == Interval::point(5)));
+    }
+
+    #[test]
+    fn point_matches_filters_by_kind() {
+        let mut m = ObstacleMap::new();
+        m.add(Segment::vertical(2, 0, 5), ObstacleKind::Net(net(3)));
+        let on_net = |o: &Obstacle| matches!(o.kind, ObstacleKind::Net(_));
+        assert!(m.point_matches(Point::new(2, 3), on_net));
+        assert!(!m.point_matches(Point::new(2, 3), |o| o.kind == ObstacleKind::Module));
+    }
+
+    #[test]
+    fn empty_map() {
+        let m = ObstacleMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.next_track(Dir::Up, 0), None);
+        assert!(m.at(Axis::Vertical, 0).is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Behavioural tests for the Appendix F option set: the `-s` swapped
+//! tie-break and the fixed plane borders.
+
+use netart_diagram::Placement;
+use netart_geom::{Dir, Point, Rect, Rotation, Segment};
+use netart_netlist::{Library, NetId, NetworkBuilder, Template, TermType};
+use netart_route::{line_expansion, Eureka, ObstacleKind, ObstacleMap, RouteConfig};
+
+/// A plane with a central wall pierced by two corridors. The lower
+/// corridor is the shorter detour but a foreign vertical net runs
+/// across it; the upper corridor is longer and clean. Both detours use
+/// the same (minimum) number of bends and are discovered in the same
+/// wavefront generation, so the crossings-versus-length tie-break picks
+/// between them.
+fn tradeoff_plane() -> ObstacleMap {
+    let mut map = ObstacleMap::new();
+    map.add_rect(&Rect::new(Point::new(0, 0), 40, 30), ObstacleKind::Module);
+    // Wall at x=20: lower corridor at y in [1, 3], upper at y in [28, 29].
+    map.add(Segment::vertical(20, 4, 27), ObstacleKind::Module);
+    map.add_point(Point::new(20, 0), ObstacleKind::Module);
+    map.add_point(Point::new(20, 30), ObstacleKind::Module);
+    // Foreign net across the lower corridor.
+    map.add(
+        Segment::vertical(21, 0, 4),
+        ObstacleKind::Net(NetId::from_index(9)),
+    );
+    map
+}
+
+fn crosses_foreign(path: &netart_diagram::NetPath) -> bool {
+    let foreign = netart_diagram::NetPath::from_segments(vec![Segment::vertical(21, 0, 4)]);
+    !path.crossings_with(&foreign).is_empty()
+}
+
+#[test]
+fn default_tiebreak_prefers_fewer_crossings() {
+    let map = tradeoff_plane();
+    let path = line_expansion::route_two_points_with(
+        &map,
+        (Point::new(2, 15), &[Dir::Right]),
+        (Point::new(38, 15), &[Dir::Left]),
+        NetId::from_index(0),
+        false,
+        32,
+    )
+    .expect("routable");
+    assert!(path.connects(&[Point::new(2, 15), Point::new(38, 15)]));
+    assert!(
+        !crosses_foreign(&path),
+        "crossing-free detour expected: {:?}",
+        path.segments()
+    );
+}
+
+#[test]
+fn swapped_tiebreak_prefers_shorter_wire() {
+    let map = tradeoff_plane();
+    let default_path = line_expansion::route_two_points_with(
+        &map,
+        (Point::new(2, 15), &[Dir::Right]),
+        (Point::new(38, 15), &[Dir::Left]),
+        NetId::from_index(0),
+        false,
+        32,
+    )
+    .expect("routable");
+    let swapped_path = line_expansion::route_two_points_with(
+        &map,
+        (Point::new(2, 15), &[Dir::Right]),
+        (Point::new(38, 15), &[Dir::Left]),
+        NetId::from_index(0),
+        true,
+        32,
+    )
+    .expect("routable");
+    assert_eq!(
+        default_path.bends(),
+        swapped_path.bends(),
+        "both use the minimum bends"
+    );
+    assert!(
+        swapped_path.length() < default_path.length(),
+        "swapped: {} !< default: {}",
+        swapped_path.length(),
+        default_path.length()
+    );
+    assert!(crosses_foreign(&swapped_path), "{:?}", swapped_path.segments());
+}
+
+/// Two stacked modules whose connecting terminals sit on their top
+/// edges: the natural route arcs over the top.
+fn top_heavy_diagram() -> netart_diagram::Diagram {
+    let mut lib = Library::new();
+    let t = lib
+        .add_template(
+            Template::new("m", (4, 4))
+                .unwrap()
+                .with_terminal("a", (1, 4), TermType::In)
+                .unwrap()
+                .with_terminal("y", (3, 4), TermType::Out)
+                .unwrap(),
+        )
+        .unwrap();
+    let mut b = NetworkBuilder::new(lib);
+    let u0 = b.add_instance("u0", t).unwrap();
+    let u1 = b.add_instance("u1", t).unwrap();
+    b.connect_pin("n", u0, "y").unwrap();
+    b.connect_pin("n", u1, "a").unwrap();
+    let network = b.finish().unwrap();
+    let mut placement = Placement::new(&network);
+    placement.place_module(u0, Point::new(0, 0), Rotation::R0);
+    placement.place_module(u1, Point::new(10, 0), Rotation::R0);
+    netart_diagram::Diagram::new(network, placement)
+}
+
+#[test]
+fn fixed_upper_border_limits_the_route() {
+    // Unconstrained: the route may climb up to 4 tracks above the
+    // modules. With `-u` the ceiling is one track.
+    let mut free = top_heavy_diagram();
+    let report = Eureka::new(RouteConfig::default()).route(&mut free);
+    assert!(report.failed.is_empty());
+
+    let mut fixed = top_heavy_diagram();
+    let report = Eureka::new(RouteConfig::default().with_fixed_up()).route(&mut fixed);
+    assert!(report.failed.is_empty(), "still routable under the low ceiling");
+    let bb = fixed
+        .placement()
+        .bounding_box(fixed.network())
+        .expect("placed");
+    let ceiling = bb.upper_right().y + 1;
+    for (_, path) in fixed.routes() {
+        for seg in path.segments() {
+            let top = match seg.axis() {
+                netart_geom::Axis::Horizontal => seg.track(),
+                netart_geom::Axis::Vertical => seg.span().hi(),
+            };
+            assert!(top <= ceiling, "wire above the fixed border: {seg:?}");
+        }
+    }
+    assert!(fixed.check().is_ok(), "{}", fixed.check());
+}
+
+#[test]
+fn all_borders_fixed_still_routes_simple_cases() {
+    let mut d = top_heavy_diagram();
+    let cfg = RouteConfig::default()
+        .with_fixed_up()
+        .with_fixed_down()
+        .with_fixed_left()
+        .with_fixed_right();
+    let report = Eureka::new(cfg).route(&mut d);
+    assert!(report.failed.is_empty(), "{report:?}");
+    assert!(d.check().is_ok(), "{}", d.check());
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the routing phase: on arbitrary placed
+//! random networks, EUREKA's output always satisfies the §5.3
+//! postconditions (verified by the diagram checker), under any option
+//! combination.
+
+use proptest::prelude::*;
+
+use netart_diagram::Diagram;
+use netart_place::{Pablo, PlaceConfig};
+use netart_route::{Eureka, NetOrder, RouteConfig};
+use netart_workloads::{random_network, RandomSpec};
+
+fn spec_strategy() -> impl Strategy<Value = RandomSpec> {
+    (2usize..12, 1usize..18, 2usize..4, 0usize..3, 0u64..500).prop_map(
+        |(modules, nets, fanout, terms, seed)| RandomSpec {
+            modules,
+            nets,
+            max_fanout: fanout,
+            system_terminals: terms,
+            seed,
+        },
+    )
+}
+
+fn route_config_strategy() -> impl Strategy<Value = RouteConfig> {
+    (
+        2i32..8,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        prop::sample::select(vec![
+            NetOrder::Definition,
+            NetOrder::MostPinsFirst,
+            NetOrder::FewestPinsFirst,
+        ]),
+    )
+        .prop_map(|(margin, claims, retry, swap, order)| {
+            let mut c = RouteConfig::new().with_margin(margin).with_order(order);
+            c.claimpoints = claims;
+            c.retry_failed = retry;
+            c.swap_tiebreak = swap;
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever EUREKA routes is structurally sound: connected trees
+    /// over exactly the right pins, no module entry, only perpendicular
+    /// crossings between nets. Failed nets stay empty.
+    #[test]
+    fn routed_diagrams_pass_the_checker(
+        spec in spec_strategy(),
+        route in route_config_strategy(),
+    ) {
+        let net = random_network(&spec);
+        let placement = Pablo::new(PlaceConfig::strings().with_module_spacing(1)).place(&net);
+        let mut diagram = Diagram::new(net, placement);
+        let report = Eureka::new(route).route(&mut diagram);
+        let check = diagram.check();
+        prop_assert!(check.is_ok(), "{check}");
+        for n in &report.failed {
+            prop_assert!(diagram.route(*n).is_none(), "failed net has no wires");
+        }
+        for n in &report.routed {
+            prop_assert!(diagram.route(*n).is_some());
+        }
+        prop_assert_eq!(
+            report.routed.len() + report.failed.len(),
+            diagram.network().net_count()
+        );
+    }
+
+    /// Routing is deterministic.
+    #[test]
+    fn routing_is_deterministic(spec in spec_strategy()) {
+        let net = random_network(&spec);
+        let placement = Pablo::new(PlaceConfig::strings()).place(&net);
+        let mut d1 = Diagram::new(net.clone(), placement.clone());
+        let mut d2 = Diagram::new(net.clone(), placement);
+        Eureka::new(RouteConfig::default()).route(&mut d1);
+        Eureka::new(RouteConfig::default()).route(&mut d2);
+        for n in net.nets() {
+            let a = d1.route(n).map(|p| p.segments().to_vec());
+            let b = d2.route(n).map(|p| p.segments().to_vec());
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Prerouted nets survive a second routing pass untouched, and the
+    /// rest still routes around them.
+    #[test]
+    fn rerouting_respects_existing_wires(spec in spec_strategy()) {
+        let net = random_network(&spec);
+        let placement = Pablo::new(PlaceConfig::strings().with_module_spacing(1)).place(&net);
+        let mut diagram = Diagram::new(net.clone(), placement);
+        Eureka::new(RouteConfig::default()).route(&mut diagram);
+        let before: Vec<_> = net
+            .nets()
+            .map(|n| diagram.route(n).map(|p| p.segments().to_vec()))
+            .collect();
+        // Drop the last routed net and reroute: everything else stays.
+        if let Some(last) = net.nets().filter(|&n| diagram.route(n).is_some()).last() {
+            diagram.clear_route(last);
+            Eureka::new(RouteConfig::default()).route(&mut diagram);
+            prop_assert!(diagram.check().is_ok());
+            for n in net.nets() {
+                if n != last {
+                    let now = diagram.route(n).map(|p| p.segments().to_vec());
+                    prop_assert_eq!(now, before[n.index()].clone(), "net {} changed", n);
+                }
+            }
+        }
+    }
+}

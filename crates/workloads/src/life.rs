@@ -1,0 +1,352 @@
+//! The game-of-LIFE network of figures 6.6/6.7 (example 3 of §6).
+//!
+//! The paper routes a LIFE circuit of **27 modules and 222 nets** —
+//! first over a hand placement (figure 6.6, two unroutable nets),
+//! then fully automatically (figure 6.7, markedly slower routing).
+//! The original netlist was never published; this module reconstructs
+//! a circuit of exactly that size and character: a 5×5 cell array with
+//! per-neighbour two-point nets, a horizontal carry chain, a serpentine
+//! state shift chain, row/column select and sense lines, global clock
+//! and mode nets, a controller and a clock generator, plus 15 system
+//! terminals for the command interface.
+//!
+//! Net budget: 144 neighbour nets + 20 carry + 26 shift + 5 row select
+//! \+ 5 row data + 5 column sense + 1 clock + 1 mode + 15 I/O = **222**.
+//! Modules: 25 cells + controller + clock generator = **27**.
+
+use netart_geom::{Point, Rotation};
+use netart_netlist::{Library, ModuleId, Network, NetworkBuilder, Template, TermType};
+
+use netart_diagram::Placement;
+
+/// Grid side of the cell array.
+pub const GRID: usize = 5;
+
+/// Neighbour direction deltas `(dx, dy)`, indexed 0..8 such that the
+/// opposite of direction `k` is `7 - k`.
+const DIRS: [(i32, i32); 8] = [
+    (-1, 1),  // 0: NW
+    (0, 1),   // 1: N
+    (1, 1),   // 2: NE
+    (-1, 0),  // 3: W
+    (1, 0),   // 4: E
+    (-1, -1), // 5: SW
+    (0, -1),  // 6: S
+    (1, -1),  // 7: SE
+];
+
+fn cell_template() -> Template {
+    use TermType::{In, Out};
+    let pins: &[(&str, (i32, i32), TermType)] = &[
+        // left edge
+        ("n5", (0, 1), In),
+        ("o3", (0, 2), Out),
+        ("carry_in", (0, 3), In),
+        ("n3", (0, 5), In),
+        ("d", (0, 7), In),
+        ("shift_in", (0, 9), In),
+        ("n0", (0, 11), In),
+        // right edge
+        ("o7", (10, 1), Out),
+        ("carry_out", (10, 3), Out),
+        ("n4", (10, 5), In),
+        ("o4", (10, 7), Out),
+        ("shift_out", (10, 9), Out),
+        ("o2", (10, 11), Out),
+        // top edge
+        ("o0", (2, 12), Out),
+        ("n1", (4, 12), In),
+        ("o1", (6, 12), Out),
+        ("n2", (8, 12), In),
+        ("sense", (9, 12), Out),
+        // bottom edge
+        ("clk", (1, 0), In),
+        ("o5", (2, 0), Out),
+        ("n6", (4, 0), In),
+        ("sel", (5, 0), In),
+        ("o6", (6, 0), Out),
+        ("n7", (8, 0), In),
+        ("mode", (9, 0), In),
+    ];
+    let mut t = Template::new("cell", (10, 12)).expect("static template");
+    for &(name, pos, ty) in pins {
+        t.add_terminal(name, pos, ty).expect("static template");
+    }
+    t
+}
+
+fn controller_template() -> Template {
+    use TermType::{In, Out};
+    let mut t = Template::new("lifectl", (10, 16)).expect("static template");
+    for i in 0..8 {
+        t.add_terminal(format!("cmd{i}"), (0, 1 + i), In).expect("static");
+    }
+    for i in 0..4 {
+        t.add_terminal(format!("addr{i}"), (0, 9 + i), In).expect("static");
+    }
+    t.add_terminal("start", (0, 13), In).expect("static");
+    t.add_terminal("reset", (0, 14), In).expect("static");
+    for i in 0..5 {
+        t.add_terminal(format!("row{i}"), (10, 1 + i), Out).expect("static");
+        t.add_terminal(format!("rowdata{i}"), (10, 6 + i), Out).expect("static");
+    }
+    t.add_terminal("mode", (10, 11), Out).expect("static");
+    for i in 0..5i32 {
+        t.add_terminal(format!("col{i}"), (1 + i, 16), In).expect("static");
+    }
+    t.add_terminal("done", (7, 16), Out).expect("static");
+    t.add_terminal("serial", (8, 16), Out).expect("static");
+    t.add_terminal("clk", (1, 0), In).expect("static");
+    t.add_terminal("chain", (3, 0), In).expect("static");
+    t
+}
+
+fn clock_template() -> Template {
+    Template::new("clkgen", (4, 2))
+        .expect("static template")
+        .with_terminal("en", (0, 1), TermType::In)
+        .expect("static template")
+        .with_terminal("clk", (4, 1), TermType::Out)
+        .expect("static template")
+}
+
+fn cell_name(r: usize, c: usize) -> String {
+    format!("cell_{r}_{c}")
+}
+
+/// Builds the LIFE network: 27 modules, 222 nets, 15 system terminals.
+///
+/// # Examples
+///
+/// ```
+/// let net = netart_workloads::life::network();
+/// assert_eq!(net.module_count(), 27);
+/// assert_eq!(net.net_count(), 222);
+/// ```
+pub fn network() -> Network {
+    let mut lib = Library::new();
+    lib.add_template(cell_template()).expect("fresh library");
+    lib.add_template(controller_template()).expect("fresh library");
+    lib.add_template(clock_template()).expect("fresh library");
+    let cell_t = lib.template_by_name("cell").expect("added");
+    let ctl_t = lib.template_by_name("lifectl").expect("added");
+    let clk_t = lib.template_by_name("clkgen").expect("added");
+
+    let mut b = NetworkBuilder::new(lib);
+    let mut cells = [[None::<ModuleId>; GRID]; GRID];
+    for (r, row) in cells.iter_mut().enumerate() {
+        for (c, slot) in row.iter_mut().enumerate() {
+            *slot = Some(b.add_instance(cell_name(r, c), cell_t).expect("unique"));
+        }
+    }
+    let cell = |r: usize, c: usize| cells[r][c].expect("filled above");
+    let ctl = b.add_instance("ctl", ctl_t).expect("unique");
+    let clk = b.add_instance("clk", clk_t).expect("unique");
+
+    // 144 neighbour nets: one two-point net per directed adjacency.
+    for r in 0..GRID {
+        for c in 0..GRID {
+            for (k, (dx, dy)) in DIRS.iter().enumerate() {
+                let (tr, tc) = (r as i32 + dy, c as i32 + dx);
+                if !(0..GRID as i32).contains(&tr) || !(0..GRID as i32).contains(&tc) {
+                    continue;
+                }
+                let name = format!("e_{r}_{c}_{k}");
+                b.connect_pin(&name, cell(r, c), &format!("o{k}")).expect("cell pin");
+                b.connect_pin(&name, cell(tr as usize, tc as usize), &format!("n{}", 7 - k))
+                    .expect("cell pin");
+            }
+        }
+    }
+
+    // 20 carry-chain nets, left to right within each row.
+    for r in 0..GRID {
+        for c in 0..GRID - 1 {
+            let name = format!("carry_{r}_{c}");
+            b.connect_pin(&name, cell(r, c), "carry_out").expect("cell pin");
+            b.connect_pin(&name, cell(r, c + 1), "carry_in").expect("cell pin");
+        }
+    }
+
+    // 26 shift nets: a serpentine through all cells, seeded from the
+    // controller's serial output and ending at its chain input.
+    let mut order: Vec<(usize, usize)> = Vec::new();
+    for r in 0..GRID {
+        let cols: Vec<usize> = if r % 2 == 0 {
+            (0..GRID).collect()
+        } else {
+            (0..GRID).rev().collect()
+        };
+        for c in cols {
+            order.push((r, c));
+        }
+    }
+    for (i, w) in order.windows(2).enumerate() {
+        let name = format!("shift_{i}");
+        b.connect_pin(&name, cell(w[0].0, w[0].1), "shift_out").expect("cell pin");
+        b.connect_pin(&name, cell(w[1].0, w[1].1), "shift_in").expect("cell pin");
+    }
+    let (lr, lc) = *order.last().expect("non-empty order");
+    b.connect_pin("shift_end", cell(lr, lc), "shift_out").expect("cell pin");
+    b.connect_pin("shift_end", ctl, "chain").expect("ctl pin");
+    b.connect_pin("shift_seed", ctl, "serial").expect("ctl pin");
+    b.connect_pin("shift_seed", cell(order[0].0, order[0].1), "shift_in").expect("cell pin");
+
+    // 5 row-select + 5 row-data nets.
+    for r in 0..GRID {
+        let sel = format!("rowsel_{r}");
+        b.connect_pin(&sel, ctl, &format!("row{r}")).expect("ctl pin");
+        let data = format!("rowdat_{r}");
+        b.connect_pin(&data, ctl, &format!("rowdata{r}")).expect("ctl pin");
+        for c in 0..GRID {
+            b.connect_pin(&sel, cell(r, c), "sel").expect("cell pin");
+            b.connect_pin(&data, cell(r, c), "d").expect("cell pin");
+        }
+    }
+
+    // 5 column sense nets.
+    for c in 0..GRID {
+        let name = format!("colsense_{c}");
+        b.connect_pin(&name, ctl, &format!("col{c}")).expect("ctl pin");
+        for r in 0..GRID {
+            b.connect_pin(&name, cell(r, c), "sense").expect("cell pin");
+        }
+    }
+
+    // Global clock (26 loads) and mode (25 loads).
+    b.connect_pin("clknet", clk, "clk").expect("clk pin");
+    b.connect_pin("clknet", ctl, "clk").expect("ctl pin");
+    for r in 0..GRID {
+        for c in 0..GRID {
+            b.connect_pin("clknet", cell(r, c), "clk").expect("cell pin");
+            b.connect_pin("modenet", cell(r, c), "mode").expect("cell pin");
+        }
+    }
+    b.connect_pin("modenet", ctl, "mode").expect("ctl pin");
+
+    // 15 I/O nets through system terminals.
+    let io = |name: &str, ty: TermType, inst: ModuleId, pin: &str, b: &mut NetworkBuilder| {
+        let st = b.add_system_terminal(name, ty).expect("unique");
+        let net = format!("io_{name}");
+        b.connect(&net, st).expect("fresh net");
+        b.connect_pin(&net, inst, pin).expect("pin");
+    };
+    for i in 0..8 {
+        io(&format!("cmd{i}"), TermType::In, ctl, &format!("cmd{i}"), &mut b);
+    }
+    for i in 0..4 {
+        io(&format!("addr{i}"), TermType::In, ctl, &format!("addr{i}"), &mut b);
+    }
+    io("start", TermType::In, ctl, "start", &mut b);
+    io("reset", TermType::In, ctl, "reset", &mut b);
+    io("done", TermType::Out, ctl, "done", &mut b);
+    let _ = clk; // the generator's enable pin stays unconnected
+
+    b.finish().expect("LIFE network is well-formed")
+}
+
+/// The hand placement of figure 6.6: cells on a regular 5×5 raster,
+/// controller and clock generator on the left, system terminals along
+/// the left edge. The designer's layout the paper routed first.
+pub fn hand_placement(network: &Network) -> Placement {
+    let mut p = Placement::new(network);
+    let (x0, y0) = (24, 0);
+    let (px, py) = (10 + 10, 12 + 10);
+    for r in 0..GRID {
+        for c in 0..GRID {
+            let m = network
+                .module_by_name(&cell_name(r, c))
+                .expect("LIFE network");
+            p.place_module(
+                m,
+                Point::new(x0 + c as i32 * px, y0 + r as i32 * py),
+                Rotation::R0,
+            );
+        }
+    }
+    let ctl = network.module_by_name("ctl").expect("LIFE network");
+    p.place_module(ctl, Point::new(0, 48), Rotation::R0);
+    let clk = network.module_by_name("clk").expect("LIFE network");
+    p.place_module(clk, Point::new(2, 24), Rotation::R0);
+    // The designer lines the I/O pads up with the controller pins:
+    // cmd0..7, addr0..3, start and reset sit opposite their left-edge
+    // pins (y = 49..62); done goes above the controller near its top
+    // pin.
+    for (i, st) in network.system_terms().enumerate() {
+        let pos = if network.system_term(st).name() == "done" {
+            Point::new(7, 68)
+        } else {
+            Point::new(-6, 49 + i as i32)
+        };
+        p.place_system_term(st, pos);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes() {
+        let net = network();
+        assert_eq!(net.module_count(), 27, "figure 6.6: 27 modules");
+        assert_eq!(net.net_count(), 222, "table 6.1: 222 nets");
+        assert_eq!(net.system_term_count(), 15);
+    }
+
+    #[test]
+    fn neighbour_nets_are_two_point() {
+        let net = network();
+        let mut neighbour = 0;
+        for n in net.nets() {
+            if net.net(n).name().starts_with("e_") {
+                neighbour += 1;
+                assert_eq!(net.net(n).pins().len(), 2, "{}", net.net(n).name());
+            }
+        }
+        assert_eq!(neighbour, 144);
+    }
+
+    #[test]
+    fn corner_cells_have_three_neighbours() {
+        let net = network();
+        let corner = net.module_by_name("cell_0_0").unwrap();
+        let outgoing = net
+            .nets()
+            .filter(|&n| {
+                net.net(n).name().starts_with("e_0_0_") && net.net_modules(n).contains(&corner)
+            })
+            .count();
+        assert_eq!(outgoing, 3);
+    }
+
+    #[test]
+    fn clock_reaches_everything() {
+        let net = network();
+        let clknet = net.net_by_name("clknet").unwrap();
+        assert_eq!(net.net(clknet).pins().len(), 27, "clock + ctl + 25 cells");
+    }
+
+    #[test]
+    fn shift_chain_is_connected_order() {
+        let net = network();
+        // 24 internal + seed + end = 26 shift nets; all two-point.
+        let shift: Vec<_> = net
+            .nets()
+            .filter(|&n| net.net(n).name().starts_with("shift"))
+            .collect();
+        assert_eq!(shift.len(), 26);
+        for n in shift {
+            assert_eq!(net.net(n).pins().len(), 2);
+        }
+    }
+
+    #[test]
+    fn hand_placement_is_complete_and_legal() {
+        let net = network();
+        let p = hand_placement(&net);
+        assert!(p.is_complete());
+        assert_eq!(p.overlap_violations(&net), Vec::<String>::new());
+    }
+}

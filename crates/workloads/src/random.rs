@@ -1,0 +1,225 @@
+//! Seeded random network generation for property tests and scaling
+//! sweeps.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use netart_netlist::{Library, ModuleId, Network, NetworkBuilder, Template, TermType};
+
+/// Parameters of a random network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomSpec {
+    /// Number of modules.
+    pub modules: usize,
+    /// Number of nets (each with 2–`max_fanout` pins).
+    pub nets: usize,
+    /// Maximum pins per net (at least 2).
+    pub max_fanout: usize,
+    /// Number of system terminals (each on its own extra net).
+    pub system_terminals: usize,
+    /// RNG seed: identical specs produce identical networks.
+    pub seed: u64,
+}
+
+impl Default for RandomSpec {
+    fn default() -> Self {
+        RandomSpec {
+            modules: 12,
+            nets: 18,
+            max_fanout: 3,
+            system_terminals: 2,
+            seed: 1,
+        }
+    }
+}
+
+impl RandomSpec {
+    /// A spec with the given module and net counts, defaults otherwise.
+    pub fn new(modules: usize, nets: usize) -> Self {
+        RandomSpec {
+            modules,
+            nets,
+            ..RandomSpec::default()
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the maximum fanout.
+    pub fn with_max_fanout(mut self, fanout: usize) -> Self {
+        self.max_fanout = fanout.max(2);
+        self
+    }
+}
+
+/// Generates a random network: every module is a 4-in / 4-out block;
+/// each requested net picks one driver pin and 1..`max_fanout`-1
+/// distinct sink pins. Pins are never reused, so the generator caps
+/// the realised net count at pin availability (8 pins per module).
+///
+/// # Examples
+///
+/// ```
+/// use netart_workloads::{random_network, RandomSpec};
+///
+/// let a = random_network(&RandomSpec::new(10, 15));
+/// let b = random_network(&RandomSpec::new(10, 15));
+/// assert_eq!(a.net_count(), b.net_count()); // deterministic
+/// assert_eq!(a.module_count(), 10);
+/// ```
+pub fn random_network(spec: &RandomSpec) -> Network {
+    assert!(spec.modules >= 2, "random networks need at least 2 modules");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let mut lib = Library::new();
+    let mut t = Template::new("blk", (6, 10)).expect("static template");
+    for i in 0..4 {
+        t.add_terminal(format!("i{i}"), (0, 1 + 2 * i), TermType::In)
+            .expect("static template");
+        t.add_terminal(format!("o{i}"), (6, 1 + 2 * i), TermType::Out)
+            .expect("static template");
+    }
+    let blk = lib.add_template(t).expect("fresh library");
+
+    let mut b = NetworkBuilder::new(lib);
+    let ms: Vec<ModuleId> = (0..spec.modules)
+        .map(|i| b.add_instance(format!("u{i}"), blk).expect("unique"))
+        .collect();
+
+    // Free pin pools: (module, pin name).
+    let mut free_out: Vec<(ModuleId, String)> = Vec::new();
+    let mut free_in: Vec<(ModuleId, String)> = Vec::new();
+    for &m in &ms {
+        for i in 0..4 {
+            free_out.push((m, format!("o{i}")));
+            free_in.push((m, format!("i{i}")));
+        }
+    }
+    free_out.shuffle(&mut rng);
+    free_in.shuffle(&mut rng);
+
+    let mut made = 0;
+    while made < spec.nets && !free_out.is_empty() && !free_in.is_empty() {
+        let (driver, dpin) = free_out.pop().expect("checked non-empty");
+        // Choose the sinks before connecting anything, so a net is only
+        // created once it is guaranteed at least two pins. Sinks avoid
+        // the driver module (self-loop nets are legal but visually
+        // silly).
+        let wanted = rng.gen_range(1..spec.max_fanout.max(2));
+        let mut sinks = Vec::new();
+        while sinks.len() < wanted {
+            let Some(pos) = free_in.iter().rposition(|(m, _)| *m != driver) else {
+                break;
+            };
+            sinks.push(free_in.remove(pos));
+        }
+        if sinks.is_empty() {
+            break;
+        }
+        let name = format!("n{made}");
+        b.connect_pin(&name, driver, &dpin).expect("pin is free");
+        for (sink, spin) in sinks {
+            b.connect_pin(&name, sink, &spin).expect("pin is free");
+        }
+        made += 1;
+    }
+
+    for i in 0..spec.system_terminals {
+        if free_in.is_empty() {
+            break;
+        }
+        let st = b
+            .add_system_terminal(format!("io{i}"), TermType::In)
+            .expect("unique");
+        let name = format!("io_n{i}");
+        b.connect(&name, st).expect("fresh net");
+        let (sink, spin) = free_in.pop().expect("checked non-empty");
+        b.connect_pin(&name, sink, &spin).expect("pin is free");
+    }
+
+    b.finish().expect("random network is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = RandomSpec::new(10, 14).with_seed(42);
+        let a = random_network(&spec);
+        let b = random_network(&spec);
+        assert_eq!(a.net_count(), b.net_count());
+        for n in a.nets() {
+            assert_eq!(a.net(n).pins(), b.net(n).pins());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_network(&RandomSpec::new(10, 14).with_seed(1));
+        let b = random_network(&RandomSpec::new(10, 14).with_seed(2));
+        let same = a
+            .nets()
+            .all(|n| b.net_by_name(a.net(n).name()).is_some_and(|m| b.net(m).pins() == a.net(n).pins()));
+        assert!(!same, "seeds should shuffle connectivity");
+    }
+
+    #[test]
+    fn respects_requested_sizes() {
+        let net = random_network(&RandomSpec::new(20, 30));
+        assert_eq!(net.module_count(), 20);
+        // 30 nets need 30 drivers out of 80 out-pins: always realised.
+        assert_eq!(net.net_count(), 30 + 2);
+        assert_eq!(net.system_term_count(), 2);
+    }
+
+    #[test]
+    fn caps_at_pin_availability() {
+        // 2 modules = 8 out pins, 8 in pins: at most 8 nets.
+        let net = random_network(&RandomSpec {
+            modules: 2,
+            nets: 100,
+            max_fanout: 2,
+            system_terminals: 0,
+            seed: 7,
+        });
+        assert!(net.net_count() <= 8, "{}", net.net_count());
+        for n in net.nets() {
+            assert!(net.net(n).pins().len() >= 2);
+        }
+    }
+
+    #[test]
+    fn no_self_loop_two_point_nets() {
+        let net = random_network(&RandomSpec::new(6, 10).with_seed(3));
+        for n in net.nets() {
+            let has_system = net
+                .net(n)
+                .pins()
+                .iter()
+                .any(|p| matches!(p, netart_netlist::Pin::System(_)));
+            if has_system {
+                continue;
+            }
+            let ms = net.net_modules(n);
+            assert!(
+                ms.len() >= 2,
+                "net {} connects only {:?}",
+                net.net(n).name(),
+                ms
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_spec_rejected() {
+        let _ = random_network(&RandomSpec::new(1, 1));
+    }
+}

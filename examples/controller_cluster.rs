@@ -1,0 +1,56 @@
+//! The paper's figures 6.2–6.4: the same 16-module / 24-net network
+//! placed with three different settings of the partition (`-p`) and
+//! box (`-b`) size options.
+//!
+//! ```sh
+//! cargo run --example controller_cluster
+//! ```
+//!
+//! Writes `cluster_p1b1.svg`, `cluster_p5b1.svg` and `cluster_p7b5.svg`
+//! so the three styles — per-module clustering, functional groups, and
+//! strings with left-to-right signal flow — can be compared side by
+//! side, and prints the structure and quality numbers of each.
+
+use std::error::Error;
+
+use netart::place::PlaceConfig;
+use netart::{diagram, Generator};
+use netart_workloads::controller_cluster;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let presets = [
+        ("fig 6.2 (-p 1 -b 1)", "cluster_p1b1.svg", PlaceConfig::default()),
+        ("fig 6.3 (-p 5 -b 1)", "cluster_p5b1.svg", PlaceConfig::clusters()),
+        ("fig 6.4 (-p 7 -b 5)", "cluster_p7b5.svg", PlaceConfig::strings()),
+    ];
+    for (label, file, cfg) in presets {
+        let network = controller_cluster();
+        let outcome = Generator::new().with_placing(cfg).generate(network);
+        let s = outcome
+            .diagram
+            .placement()
+            .structure()
+            .expect("pablo attaches its structure");
+        println!("{label}:");
+        println!(
+            "  {} partitions, {} boxes, longest string {}",
+            s.partition_count(),
+            s.box_count(),
+            s.longest_string()
+        );
+        println!(
+            "  routed {}/{} nets (place {:?}, route {:?})",
+            outcome.report.routed.len(),
+            outcome.report.routed.len() + outcome.report.failed.len(),
+            outcome.place_time,
+            outcome.route_time
+        );
+        println!("  {}", outcome.diagram.metrics());
+        let check = outcome.diagram.check();
+        println!("  {check}");
+        // The figure-4.5 view: dashed partition and box outlines.
+        std::fs::write(file, diagram::svg::render_with_structure(&outcome.diagram))?;
+        println!("  wrote {file}");
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! The paper's example 3 (figures 6.6 and 6.7): routing the
+//! game-of-LIFE network — 27 modules, 222 nets — first over the
+//! designer's hand placement, then fully automatically.
+//!
+//! ```sh
+//! cargo run --release --example life_game
+//! ```
+//!
+//! (Release mode recommended: the dense LIFE plane is the heaviest
+//! workload in the paper.) Writes `life_hand.svg` and `life_auto.svg`.
+
+use std::error::Error;
+
+use netart::place::PlaceConfig;
+use netart::route::RouteConfig;
+use netart::{diagram, Generator};
+use netart_workloads::life;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Figure 6.6: the modules were placed by hand, the router adds the
+    // nets.
+    let network = life::network();
+    println!(
+        "LIFE network: {} modules, {} nets, {} system terminals",
+        network.module_count(),
+        network.net_count(),
+        network.system_term_count()
+    );
+    let hand = life::hand_placement(&network);
+    let outcome = Generator::new().route_only(network, hand);
+    println!("\nfigure 6.6 — hand placement:");
+    println!(
+        "  routed {}/222 nets in {:?}",
+        outcome.report.routed.len(),
+        outcome.route_time
+    );
+    for &n in &outcome.report.failed {
+        println!("  unroutable: {}", outcome.diagram.network().net(n).name());
+    }
+    println!("  {}", outcome.diagram.metrics());
+    std::fs::write("life_hand.svg", diagram::svg::render(&outcome.diagram))?;
+    println!("  wrote life_hand.svg");
+
+    // Figure 6.7: completely automatic generation. The paper leaves
+    // extra routing space around dense parts ("there should always be
+    // enough routing space between the modules"), which the spacing
+    // options provide.
+    let network = life::network();
+    let outcome = Generator::new()
+        .with_placing(
+            PlaceConfig::strings()
+                .with_module_spacing(2)
+                .with_box_spacing(3)
+                .with_part_spacing(5),
+        )
+        .with_routing(RouteConfig::new().with_margin(8))
+        .generate(network);
+    println!("\nfigure 6.7 — automatic placement:");
+    println!(
+        "  placed in {:?}, routed {}/222 nets in {:?}",
+        outcome.place_time,
+        outcome.report.routed.len(),
+        outcome.route_time
+    );
+    for &n in &outcome.report.failed {
+        println!("  unroutable: {}", outcome.diagram.network().net(n).name());
+    }
+    println!("  {}", outcome.diagram.metrics());
+    std::fs::write("life_auto.svg", diagram::svg::render(&outcome.diagram))?;
+    println!("  wrote life_auto.svg");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: from a hand-built netlist to schematic artwork.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a tiny arithmetic datapath, runs the full generator
+//! (placement + routing), prints the quality metrics and writes the
+//! diagram as `quickstart.svg`.
+
+use std::error::Error;
+
+use netart::netlist::{Library, NetworkBuilder, Template, TermType};
+use netart::{diagram, Generator};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Describe the module symbols (normally loaded from a library).
+    let mut lib = Library::new();
+    let adder = lib.add_template(
+        Template::new("add", (6, 6))?
+            .with_terminal("a", (0, 1), TermType::In)?
+            .with_terminal("b", (0, 5), TermType::In)?
+            .with_terminal("sum", (6, 3), TermType::Out)?,
+    )?;
+    let reg = lib.add_template(
+        Template::new("reg", (4, 4))?
+            .with_terminal("d", (0, 2), TermType::In)?
+            .with_terminal("q", (4, 2), TermType::Out)?,
+    )?;
+
+    // 2. Instantiate and connect: an accumulator loop with I/O.
+    let mut b = NetworkBuilder::new(lib);
+    let add = b.add_instance("add0", adder)?;
+    let acc = b.add_instance("acc", reg)?;
+    let input = b.add_system_terminal("din", TermType::In)?;
+    let output = b.add_system_terminal("dout", TermType::Out)?;
+    b.connect("n_in", input)?;
+    b.connect_pin("n_in", add, "a")?;
+    b.connect_pin("n_sum", add, "sum")?;
+    b.connect_pin("n_sum", acc, "d")?;
+    b.connect_pin("n_acc", acc, "q")?;
+    b.connect_pin("n_acc", add, "b")?;
+    b.connect("n_acc", output)?;
+    let network = b.finish()?;
+
+    // 3. Generate the diagram.
+    let outcome = Generator::strings().generate(network);
+    println!(
+        "placed {} modules in {:?}, routed {}/{} nets in {:?}",
+        outcome.diagram.network().module_count(),
+        outcome.place_time,
+        outcome.report.routed.len(),
+        outcome.report.routed.len() + outcome.report.failed.len(),
+        outcome.route_time,
+    );
+    println!("quality: {}", outcome.diagram.metrics());
+    let check = outcome.diagram.check();
+    println!("{check}");
+
+    // 4. Show it right here...
+    println!("{}", diagram::ascii::render(&outcome.diagram));
+
+    // ...and save the artwork.
+    let svg = diagram::svg::render(&outcome.diagram);
+    std::fs::write("quickstart.svg", &svg)?;
+    println!("wrote quickstart.svg ({} bytes)", svg.len());
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Round-trip tests for the Appendix A/B/D file formats across the
+//! whole pipeline: write a network to its record files, read it back,
+//! generate, write the diagram, read it back.
+
+use netart::diagram::escher;
+use netart::netlist::format;
+use netart::Generator;
+use netart_workloads::{controller_cluster, life, string_chain};
+
+fn library_of(net: &netart::netlist::Network) -> netart::netlist::Library {
+    net.library().clone()
+}
+
+#[test]
+fn appendix_a_round_trip_on_all_workloads() {
+    for net in [string_chain(6), controller_cluster(), life::network()] {
+        let calls = format::write_call_file(&net);
+        let io = format::write_io_file(&net);
+        let nets = format::write_net_list_file(&net);
+        let restored = format::parse_network(library_of(&net), &nets, &calls, Some(&io))
+            .expect("round trip parses");
+        assert_eq!(restored.module_count(), net.module_count());
+        assert_eq!(restored.net_count(), net.net_count());
+        assert_eq!(restored.system_term_count(), net.system_term_count());
+        for n in net.nets() {
+            let rn = restored.net_by_name(net.net(n).name()).expect("net survives");
+            assert_eq!(
+                restored.net(rn).pins().len(),
+                net.net(n).pins().len(),
+                "net {}",
+                net.net(n).name()
+            );
+        }
+    }
+}
+
+#[test]
+fn parsed_network_generates_identically() {
+    let net = controller_cluster();
+    let calls = format::write_call_file(&net);
+    let io = format::write_io_file(&net);
+    let nets = format::write_net_list_file(&net);
+    let reparsed = format::parse_network(library_of(&net), &nets, &calls, Some(&io)).unwrap();
+
+    let a = Generator::strings().generate(net);
+    let b = Generator::strings().generate(reparsed);
+    assert_eq!(a.report.routed.len(), b.report.routed.len());
+    assert_eq!(a.diagram.metrics(), b.diagram.metrics(), "fully deterministic");
+}
+
+#[test]
+fn quinto_round_trip_for_every_library_template() {
+    let net = life::network();
+    for (_, tpl) in net.library().iter() {
+        let text = format::quinto::write_module(tpl);
+        let back = format::quinto::parse_module(&text).expect("quinto parses its own output");
+        assert_eq!(&back, tpl, "template {}", tpl.name());
+    }
+}
+
+#[test]
+fn escher_file_reloads_into_equal_diagram() {
+    let out = Generator::strings().generate(string_chain(6));
+    let text = escher::write_diagram("fig6_1", &out.diagram);
+    assert!(text.starts_with(escher::HEADER));
+    let restored = escher::parse_diagram(out.diagram.network().clone(), &text).unwrap();
+    for m in out.diagram.network().modules() {
+        assert_eq!(
+            out.diagram.placement().module(m),
+            restored.placement().module(m)
+        );
+    }
+    for n in out.diagram.network().nets() {
+        let a = out.diagram.route(n).map(|p| p.length());
+        let b = restored.route(n).map(|p| p.length());
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn escher_reload_can_seed_rerouting() {
+    // The paper's designer loop: dump the diagram, clear one net's
+    // route in the file model, reroute only that net.
+    let out = Generator::strings().generate(controller_cluster());
+    let text = escher::write_diagram("cluster", &out.diagram);
+    let mut diagram = escher::parse_diagram(out.diagram.network().clone(), &text).unwrap();
+    let some_net = diagram.network().nets().next().unwrap();
+    diagram.clear_route(some_net);
+    let report = netart::route::Eureka::new(netart::route::RouteConfig::default())
+        .route(&mut diagram);
+    assert!(report.failed.is_empty(), "{report:?}");
+    assert!(diagram.route(some_net).is_some());
+    assert!(diagram.check().is_ok(), "{}", diagram.check());
+}
+
+#[test]
+fn malformed_inputs_are_rejected_with_line_numbers() {
+    let net = string_chain(2);
+    let e = format::parse_network(
+        library_of(&net),
+        "n0 u0 y\nn0 u1 a\n",
+        "u0 buf\nmalformed\n",
+        None,
+    )
+    .unwrap_err();
+    assert_eq!(e.line, 2);
+
+    let e = escher::parse_diagram(net, "#WRONG-HEADER\n").unwrap_err();
+    assert_eq!(e.line, 1);
+}

@@ -1,0 +1,171 @@
+//! End-to-end pipeline tests: netlist → placement → routing → checked
+//! diagram, across the paper's workloads and configurations.
+
+use netart::place::PlaceConfig;
+use netart::route::RouteConfig;
+use netart::Generator;
+use netart_workloads::{controller_cluster, life, random_network, string_chain, RandomSpec};
+
+/// Generates and validates; returns (routed, total, diagram).
+fn run(g: &Generator, net: netart::netlist::Network) -> (usize, usize, netart::diagram::Diagram) {
+    let total = net.net_count();
+    let out = g.generate(net);
+    let check = out.diagram.check();
+    assert!(check.is_ok(), "structural check failed: {check}");
+    (out.report.routed.len(), total, out.diagram)
+}
+
+#[test]
+fn string_chain_routes_fully_with_zero_extra_bends() {
+    // Figure 6.1: one partition, one box of all six modules (the box
+    // limit must admit the whole string), minimal bends.
+    let g = Generator::new()
+        .with_placing(PlaceConfig::strings().with_max_box_size(6));
+    let (routed, total, diagram) = run(&g, string_chain(6));
+    assert_eq!(routed, total);
+    let m = diagram.metrics();
+    let s = diagram.placement().structure().expect("pablo structure");
+    assert_eq!(s.partition_count(), 1);
+    assert_eq!(s.box_count(), 1);
+    assert_eq!(s.longest_string(), 6);
+    assert!(m.total_bends <= 2, "expected nearly straight wires: {m}");
+    assert_eq!(m.crossovers, 0);
+}
+
+#[test]
+fn cluster_all_presets_route_fully() {
+    for cfg in [
+        PlaceConfig::default(),
+        PlaceConfig::clusters(),
+        PlaceConfig::strings(),
+    ] {
+        let g = Generator::new().with_placing(cfg.clone());
+        let (routed, total, _) = run(&g, controller_cluster());
+        assert_eq!(routed, total, "preset {cfg:?}");
+    }
+}
+
+#[test]
+fn cluster_partition_structure_matches_figures() {
+    // Figure 6.2: -p 1 -b 1 → 16 singleton partitions.
+    let out = Generator::new().generate(controller_cluster());
+    let s = out.diagram.placement().structure().unwrap();
+    assert_eq!(s.partition_count(), 16);
+
+    // Figure 6.3: -p 5 -b 1 → partitions of at most 5 forming groups.
+    let out = Generator::new()
+        .with_placing(PlaceConfig::clusters())
+        .generate(controller_cluster());
+    let s = out.diagram.placement().structure().unwrap();
+    assert!(s.partitions.iter().all(|p| p.len() <= 5));
+    assert!(s.partition_count() >= 4, "{}", s.partition_count());
+    assert_eq!(s.longest_string(), 1, "-b 1 forbids strings");
+
+    // Figure 6.4: -p 7 -b 5 → strings of connected modules appear.
+    let out = Generator::strings().generate(controller_cluster());
+    let s = out.diagram.placement().structure().unwrap();
+    assert!(s.longest_string() >= 3, "strings expected: {}", s.longest_string());
+}
+
+#[test]
+fn signal_flow_is_left_to_right_in_strings() {
+    let out = Generator::strings().generate(string_chain(5));
+    let d = &out.diagram;
+    let net = d.network();
+    let s = d.placement().structure().unwrap();
+    for part in &s.partitions {
+        for string in part {
+            for w in string.windows(2) {
+                let a = d.placement().module(w[0]).unwrap().position;
+                let b = d.placement().module(w[1]).unwrap().position;
+                assert!(a.x < b.x, "driver left of consumer");
+            }
+        }
+    }
+    // Rule 4: the output system terminal ends up on the right edge.
+    let out_term = net.system_term_by_name("out").unwrap();
+    let pos = d.placement().system_term(out_term).unwrap();
+    let bb = d.placement().bounding_box(net).unwrap();
+    assert_eq!(pos.x, bb.upper_right().x, "output on the right ring edge");
+}
+
+#[test]
+fn preplaced_flow_reproduces_figure_6_5() {
+    // Generate the figure 6.2 diagram, move one module far away by
+    // hand, regenerate around it: the edit survives, everything routes.
+    let first = Generator::new().generate(controller_cluster());
+    let (network, mut placement, _) = first.diagram.into_parts();
+    let victim = network.module_by_name("g0_pe0").unwrap();
+    let bb = placement.bounding_box(&network).unwrap();
+    let target = netart::geom::Point::new(bb.lower_left().x - 30, bb.upper_right().y + 10);
+    // Keep only the victim placed; everything else re-places around it.
+    let mut preplaced = netart::diagram::Placement::new(&network);
+    preplaced.place_module(victim, target, netart::geom::Rotation::R0);
+    placement = preplaced;
+    let out = Generator::new().generate_with_preplaced(network, placement);
+    assert_eq!(out.diagram.placement().module(victim).unwrap().position, target);
+    let check = out.diagram.check();
+    assert!(check.is_ok(), "{check}");
+}
+
+#[test]
+fn random_networks_route_overwhelmingly() {
+    let mut total_nets = 0;
+    let mut total_routed = 0;
+    for seed in 0..6 {
+        let net = random_network(&RandomSpec::new(10, 14).with_seed(seed));
+        let g = Generator::strings()
+            .with_routing(RouteConfig::new().with_margin(5));
+        let total = net.net_count();
+        let out = g.generate(net);
+        let check = out.diagram.check();
+        assert!(check.is_ok(), "seed {seed}: {check}");
+        total_nets += total;
+        total_routed += out.report.routed.len();
+    }
+    assert!(
+        total_routed * 100 >= total_nets * 95,
+        "only {total_routed}/{total_nets} routed"
+    );
+}
+
+#[test]
+fn life_hand_placement_routes_like_the_paper() {
+    // Figure 6.6: hand placement, 222 nets, almost everything routes.
+    let net = life::network();
+    let hand = life::hand_placement(&net);
+    let out = Generator::new().route_only(net, hand);
+    let check = out.diagram.check();
+    assert!(check.is_ok(), "{check}");
+    let routed = out.report.routed.len();
+    assert!(
+        routed >= 215,
+        "paper routed 220/222 on its hand placement; got {routed}/222"
+    );
+}
+
+#[test]
+fn metrics_and_svg_on_generated_diagram() {
+    let out = Generator::strings().generate(controller_cluster());
+    let m = out.diagram.metrics();
+    assert_eq!(m.routed_nets, 24);
+    assert!(m.total_length > 100);
+    assert!(m.bounding_area > 0);
+    let svg = netart::diagram::svg::render(&out.diagram);
+    assert!(svg.starts_with("<svg"));
+    // One line element per wire segment.
+    let segs: usize = out.diagram.routes().map(|(_, p)| p.segments().len()).sum();
+    assert_eq!(netart::diagram::svg::wire_segment_count(&svg), segs);
+}
+
+#[test]
+fn escher_round_trip_preserves_generated_diagram() {
+    let out = Generator::strings().generate(controller_cluster());
+    let text = netart::diagram::escher::write_diagram("cluster", &out.diagram);
+    let restored =
+        netart::diagram::escher::parse_diagram(out.diagram.network().clone(), &text).unwrap();
+    let m0 = out.diagram.metrics();
+    let m1 = restored.metrics();
+    assert_eq!(m0, m1, "metrics survive the ESCHER round trip");
+    assert!(restored.check().is_ok());
+}
