@@ -33,7 +33,8 @@ fn failures(claims: bool) -> (usize, usize) {
     route.claimpoints = claims;
     let out = Generator::new()
         .with_routing(route)
-        .route_only(network.clone(), life::hand_placement(&network));
+        .route_only(network.clone(), life::hand_placement(&network))
+        .expect("hand placement is complete");
     failed += out.report.failed.len();
     (failed, total)
 }
@@ -62,6 +63,7 @@ fn bench_claims(c: &mut Criterion) {
                 Generator::new()
                     .with_routing(route)
                     .route_only(network.clone(), life::hand_placement(&network))
+                    .expect("hand placement is complete")
             })
         });
     }

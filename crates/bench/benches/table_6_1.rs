@@ -44,7 +44,9 @@ fn bench_rows(c: &mut Criterion) {
         b.iter(|| {
             let network = life::network();
             let hand = life::hand_placement(&network);
-            Generator::new().route_only(network, hand)
+            Generator::new()
+                .route_only(network, hand)
+                .expect("hand placement is complete")
         })
     });
     g.bench_function("fig6_7_life_auto_full", |b| {

@@ -110,7 +110,8 @@ fn claimpoint_ablation() {
         route.claimpoints = claims;
         let out = Generator::new()
             .with_routing(route)
-            .route_only(network.clone(), life::hand_placement(&network));
+            .route_only(network.clone(), life::hand_placement(&network))
+            .expect("hand placement is complete");
         *acc += out.report.failed.len();
     }
     let reduction = if without_fail > 0 {
@@ -133,7 +134,8 @@ fn net_order_ablation() {
         let t = Instant::now();
         let out = Generator::new()
             .with_routing(RouteConfig::new().with_order(order))
-            .route_only(network, hand);
+            .route_only(network, hand)
+            .expect("hand placement is complete");
         println!(
             "  {order:?}: routed {}/222 in {:.3}s",
             out.report.routed.len(),

@@ -100,7 +100,9 @@ pub fn fig6_5() -> (Row, Diagram) {
         Point::new(bb.lower_left().x - 16, bb.upper_right().y + 6),
         Rotation::R0,
     );
-    let outcome = Generator::new().route_only(network, placement);
+    let outcome = Generator::new()
+        .route_only(network, placement)
+        .expect("placement is complete");
     (Row::from_outcome("fig 6.5", &outcome, false), outcome.diagram)
 }
 
@@ -109,7 +111,9 @@ pub fn fig6_5() -> (Row, Diagram) {
 pub fn fig6_6() -> (Row, Diagram) {
     let network = life::network();
     let hand = life::hand_placement(&network);
-    let outcome = Generator::new().route_only(network, hand);
+    let outcome = Generator::new()
+        .route_only(network, hand)
+        .expect("hand placement is complete");
     (Row::from_outcome("fig 6.6", &outcome, false), outcome.diagram)
 }
 

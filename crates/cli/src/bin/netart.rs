@@ -1,14 +1,17 @@
 //! The `netart` umbrella program: the full pipeline in one invocation;
 //! see [`netart_cli::run_netart`].
+//!
+//! Exit codes: 0 clean, 2 degraded (salvaged or ghost-wired nets, or a
+//! recovered phase crash; 1 under `--strict`), 1 failed outright.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match netart_cli::run_netart(&argv) {
-        Ok(message) => {
-            println!("{message}");
-            ExitCode::SUCCESS
+        Ok(out) => {
+            println!("{}", out.message);
+            out.exit_code()
         }
         Err(e) => {
             eprintln!("netart: {e}");

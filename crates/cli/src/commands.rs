@@ -4,14 +4,68 @@ use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
 
 use netart::diagram::{escher, svg, Diagram};
 use netart::netlist::format::{self, quinto};
 use netart::netlist::{Library, Network};
 use netart::place::{Pablo, PlaceConfig};
-use netart::route::{Eureka, NetOrder, RouteConfig};
+use netart::route::{Budget, Eureka, NetOrder, RouteConfig};
 
 use crate::{ArgError, ParsedArgs};
+
+/// What a routing command produced, and how the process should exit.
+///
+/// The routing binaries distinguish three outcomes: a *clean* run
+/// (exit 0), a *degraded* run that still produced a diagram but needed
+/// fallbacks — salvaged or ghost-wired nets (exit 2, or exit 1 under
+/// `--strict`) — and a *failed* run that produced nothing (a
+/// [`CliError`], exit 1).
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The human-readable summary to print.
+    pub message: String,
+    /// `true` when the run needed fallbacks (salvage, ghost wires, or
+    /// outright unroutable nets).
+    pub degraded: bool,
+    /// `true` when `--strict` was given: degradation becomes failure.
+    pub strict: bool,
+}
+
+impl RunOutput {
+    /// The process exit code for this outcome: 0 clean, 2 degraded,
+    /// 1 degraded under `--strict`.
+    pub fn exit_code(&self) -> ExitCode {
+        match (self.degraded, self.strict) {
+            (false, _) => ExitCode::SUCCESS,
+            (true, false) => ExitCode::from(2),
+            (true, true) => ExitCode::FAILURE,
+        }
+    }
+}
+
+/// Parses the shared robustness flags: `--route-timeout <ms>` and
+/// `--max-nodes <n>` build the per-net routing [`Budget`], `--strict`
+/// is read by the caller.
+fn budget_from_args(args: &ParsedArgs) -> Result<Budget, ArgError> {
+    let mut budget = Budget::new();
+    if let Some(ms) = args.value("route-timeout") {
+        let ms: u64 = ms.parse().map_err(|_| ArgError::BadValue {
+            flag: "route-timeout".into(),
+            value: ms.into(),
+        })?;
+        budget = budget.with_time_limit(Duration::from_millis(ms));
+    }
+    if let Some(n) = args.value("max-nodes") {
+        let n: u64 = n.parse().map_err(|_| ArgError::BadValue {
+            flag: "max-nodes".into(),
+            value: n.into(),
+        })?;
+        budget = budget.with_node_limit(n);
+    }
+    Ok(budget)
+}
 
 /// Any failure of a CLI run.
 #[derive(Debug)]
@@ -122,9 +176,16 @@ fn load_network(args: &ParsedArgs) -> Result<Network, CliError> {
         Some(f) => Some(read(Path::new(f))?),
         None => None,
     };
-    format::parse_network(lib, &net_list, &calls, io.as_deref()).map_err(|e| CliError::Parse {
-        path: PathBuf::from(&files[0]),
-        message: e.to_string(),
+    format::parse_network_tagged(lib, &net_list, &calls, io.as_deref()).map_err(|(file, e)| {
+        let which = match file {
+            format::NetworkFile::NetList => 0,
+            format::NetworkFile::Calls => 1,
+            format::NetworkFile::Io => 2,
+        };
+        CliError::Parse {
+            path: PathBuf::from(files.get(which).unwrap_or(&files[0])),
+            message: e.to_string(),
+        }
     })
 }
 
@@ -208,21 +269,25 @@ pub fn run_pablo(argv: &[String]) -> Result<String, CliError> {
 }
 
 /// `eureka [-u] [-d] [-r] [-l] [-s] [-m margin] [--order def|most|few]
-/// [--no-claims] [-L libdir] [-o name] --diagram placed.esc net-list
-/// call-file [io-file]`
+/// [--no-claims] [--route-timeout ms] [--max-nodes n] [--strict]
+/// [-L libdir] [-o name] --diagram placed.esc net-list call-file
+/// [io-file]`
 ///
 /// Routes the nets of a placed diagram (Appendix F). The placement
 /// comes from `--diagram` (a pablo or hand-edited ESCHER file, possibly
 /// with prerouted nets); the netlist files supply the connection rules.
+/// `--route-timeout`/`--max-nodes` bound the per-net search effort (the
+/// salvage cascade handles nets that bust the budget); see
+/// [`RunOutput`] for how degraded runs exit.
 ///
 /// # Errors
 ///
 /// Any [`CliError`] condition.
-pub fn run_eureka(argv: &[String]) -> Result<String, CliError> {
+pub fn run_eureka(argv: &[String]) -> Result<RunOutput, CliError> {
     let args = ParsedArgs::parse(
         argv,
-        &["m", "order", "L", "o", "diagram"],
-        &["u", "d", "r", "l", "s", "no-claims"],
+        &["m", "order", "L", "o", "diagram", "route-timeout", "max-nodes"],
+        &["u", "d", "r", "l", "s", "no-claims", "no-salvage", "strict"],
         (2, 3),
     )?;
     let network = load_network(&args)?;
@@ -237,7 +302,9 @@ pub fn run_eureka(argv: &[String]) -> Result<String, CliError> {
             message: e.to_string(),
         })?;
 
-    let mut config = RouteConfig::new().with_margin(args.parsed("m", 4i32)?);
+    let mut config = RouteConfig::new()
+        .with_margin(args.parsed("m", 4i32)?)
+        .with_budget(budget_from_args(&args)?);
     if args.has("u") {
         config = config.with_fixed_up();
     }
@@ -255,6 +322,9 @@ pub fn run_eureka(argv: &[String]) -> Result<String, CliError> {
     }
     if args.has("no-claims") {
         config = config.without_claimpoints();
+    }
+    if args.has("no-salvage") {
+        config = config.without_salvage();
     }
     config = config.with_order(match args.value("order").unwrap_or("def") {
         "def" => NetOrder::Definition,
@@ -275,33 +345,61 @@ pub fn run_eureka(argv: &[String]) -> Result<String, CliError> {
         report.routed.len(),
         report.routed.len() + report.failed.len()
     );
+    summary.push_str(&salvage_summary(&diagram, &report));
+    let files = emit_diagram(&args, "eureka_out", &diagram)?;
+    Ok(RunOutput {
+        message: format!("{summary}\n{}\n{files}", diagram.metrics()),
+        degraded: !report.failed.is_empty() || !report.salvaged.is_empty(),
+        strict: args.has("strict"),
+    })
+}
+
+/// Warning lines for nets that needed the salvage cascade or stayed
+/// unroutable.
+fn salvage_summary(diagram: &Diagram, report: &netart::route::RouteReport) -> String {
+    use netart::route::SalvageStep;
+    let mut out = String::new();
+    for record in &report.salvaged {
+        let name = diagram.network().net(record.net).name();
+        let how = match record.step {
+            SalvageStep::RipUpRetry => "salvaged by rip-up and retry",
+            SalvageStep::LeeFallback => "salvaged by the Lee fallback router",
+            SalvageStep::GhostWire => "unroutable; drawn as a ghost wire",
+        };
+        out.push_str(&format!("\nwarning: net `{name}` {how}"));
+    }
     for &n in &report.failed {
-        summary.push_str(&format!(
+        if report.salvaged.iter().any(|r| r.net == n) {
+            continue;
+        }
+        out.push_str(&format!(
             "\nwarning: net `{}` is unroutable",
             diagram.network().net(n).name()
         ));
     }
-    let files = emit_diagram(&args, "eureka_out", &diagram)?;
-    Ok(format!("{summary}\n{}\n{files}", diagram.metrics()))
+    out
 }
 
 /// `netart [-p n] [-b n] [-c n] [-e n] [-i n] [-s n] [-m margin]
-/// [--order def|most|few] [--no-claims] [--art] [-L libdir] [-o name]
-/// net-list call-file [io-file]`
+/// [--order def|most|few] [--no-claims] [--route-timeout ms]
+/// [--max-nodes n] [--strict] [--art] [-L libdir] [-o name] net-list
+/// call-file [io-file]`
 ///
 /// The full pipeline — PABLO placement followed by EUREKA routing — in
 /// one invocation. `--art` appends an ASCII rendering of the finished
 /// diagram to the output. Writes `<name>.esc` / `<name>.svg` (with the
 /// partition/box structure overlaid in the SVG).
+/// `--route-timeout`/`--max-nodes` bound the per-net search effort; see
+/// [`RunOutput`] for how degraded runs exit.
 ///
 /// # Errors
 ///
 /// Any [`CliError`] condition.
-pub fn run_netart(argv: &[String]) -> Result<String, CliError> {
+pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
     let args = ParsedArgs::parse(
         argv,
-        &["p", "b", "c", "e", "i", "s", "m", "order", "L", "o"],
-        &["no-claims", "art"],
+        &["p", "b", "c", "e", "i", "s", "m", "order", "L", "o", "route-timeout", "max-nodes"],
+        &["no-claims", "no-salvage", "art", "strict"],
         (2, 3),
     )?;
     let network = load_network(&args)?;
@@ -318,9 +416,14 @@ pub fn run_netart(argv: &[String]) -> Result<String, CliError> {
             value: c.into(),
         })?);
     }
-    let mut route = RouteConfig::new().with_margin(args.parsed("m", 4i32)?);
+    let mut route = RouteConfig::new()
+        .with_margin(args.parsed("m", 4i32)?)
+        .with_budget(budget_from_args(&args)?);
     if args.has("no-claims") {
         route = route.without_claimpoints();
+    }
+    if args.has("no-salvage") {
+        route = route.without_salvage();
     }
     route = route.with_order(match args.value("order").unwrap_or("def") {
         "def" => NetOrder::Definition,
@@ -359,17 +462,32 @@ pub fn run_netart(argv: &[String]) -> Result<String, CliError> {
         outcome.route_time,
         diagram.metrics(),
     );
-    for &n in &outcome.report.failed {
-        summary.push_str(&format!(
-            "\nwarning: net `{}` is unroutable",
-            diagram.network().net(n).name()
-        ));
+    summary.push_str(&salvage_summary(diagram, &outcome.report));
+    for d in &outcome.degradations {
+        match d {
+            netart::Degradation::PlacementRecovered(msg) => {
+                summary.push_str(&format!(
+                    "\nwarning: placer crashed ({msg}); used a fallback grid placement"
+                ));
+            }
+            netart::Degradation::RoutingAborted(msg) => {
+                summary.push_str(&format!(
+                    "\nwarning: router crashed ({msg}); diagram has no wires"
+                ));
+            }
+            // Per-net degradations already covered by salvage_summary.
+            netart::Degradation::NetSalvaged { .. } | netart::Degradation::NetUnrouted(_) => {}
+        }
     }
     if args.has("art") {
         summary.push('\n');
         summary.push_str(&netart::diagram::ascii::render(diagram));
     }
-    Ok(summary)
+    Ok(RunOutput {
+        message: summary,
+        degraded: !outcome.is_clean(),
+        strict: args.has("strict"),
+    })
 }
 
 /// `quinto [-L libdir] description.qto […]`
@@ -456,11 +574,13 @@ mod tests {
 
         let routed_out = dir.join("routed").to_string_lossy().into_owned();
         let esc = dir.join("placed.esc").to_string_lossy().into_owned();
-        let msg = run_eureka(&argv(&[
+        let out = run_eureka(&argv(&[
             "-L", &lib, "--diagram", &esc, "-o", &routed_out, &nets, &calls, &io,
         ]))
         .expect("eureka runs");
-        assert!(msg.contains("routed 2/2"), "{msg}");
+        assert!(out.message.contains("routed 2/2"), "{}", out.message);
+        assert!(!out.degraded, "clean run: {}", out.message);
+        assert_eq!(out.exit_code(), std::process::ExitCode::SUCCESS);
         assert!(dir.join("routed.esc").exists());
         assert!(dir.join("routed.svg").exists());
         let _ = fs::remove_dir_all(dir);
@@ -488,12 +608,14 @@ mod tests {
         let dir = scratch("umbrella");
         let (lib, nets, calls, io) = write_inputs(&dir);
         let out = dir.join("full").to_string_lossy().into_owned();
-        let msg = run_netart(&argv(&[
+        let run = run_netart(&argv(&[
             "-p", "7", "-b", "5", "--art", "-L", &lib, "-o", &out, &nets, &calls, &io,
         ]))
         .expect("netart runs");
+        let msg = &run.message;
         assert!(msg.contains("routed 2/2"), "{msg}");
         assert!(msg.contains("u0"), "ASCII art appended: {msg}");
+        assert!(!run.degraded, "{msg}");
         assert!(dir.join("full.esc").exists());
         assert!(dir.join("full.svg").exists());
         let _ = fs::remove_dir_all(dir);
@@ -544,12 +666,13 @@ mod tests {
         run_pablo(&argv(&["-L", &lib, "-o", &out, &nets, &calls, &io])).unwrap();
         let esc = dir.join("p.esc").to_string_lossy().into_owned();
         let routed = dir.join("r").to_string_lossy().into_owned();
-        let msg = run_eureka(&argv(&[
+        let out = run_eureka(&argv(&[
             "-L", &lib, "--diagram", &esc, "-o", &routed, "-u", "-s", "-m", "6", "--order",
-            "few", "--no-claims", &nets, &calls, &io,
+            "few", "--no-claims", "--no-salvage", "--route-timeout", "5000", "--max-nodes",
+            "100000", &nets, &calls, &io,
         ]))
         .expect("eureka with options");
-        assert!(msg.contains("routed"), "{msg}");
+        assert!(out.message.contains("routed"), "{}", out.message);
         let err = run_eureka(&argv(&[
             "-L", &lib, "--diagram", &esc, "--order", "sideways", &nets, &calls, &io,
         ]))

@@ -28,4 +28,4 @@ mod args;
 mod commands;
 
 pub use args::{ArgError, ParsedArgs};
-pub use commands::{run_eureka, run_netart, run_pablo, run_quinto, CliError};
+pub use commands::{run_eureka, run_netart, run_pablo, run_quinto, CliError, RunOutput};

@@ -55,13 +55,16 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+use std::panic::{self, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use netart_diagram::{Diagram, Placement};
-use netart_netlist::Network;
+use netart_geom::{Point, Rotation};
+use netart_netlist::{NetId, Network};
 use netart_place::{Pablo, PlaceConfig};
-use netart_route::{Eureka, RouteConfig, RouteReport};
+use netart_route::{Eureka, RouteConfig, RouteReport, SalvageStep};
 
 /// Re-export of the geometry substrate.
 pub use netart_geom as geom;
@@ -82,9 +85,65 @@ pub use netart_diagram::{DiagramMetrics, NetPath};
 pub use netart_place::PlaceConfig as Placing;
 pub use netart_route::RouteConfig as Routing;
 
+/// A hard failure of the pipeline: the run could not produce a usable
+/// diagram at all. Soft failures — individual nets degraded or lost —
+/// are reported as [`Degradation`]s on a successful [`Outcome`]
+/// instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The placement handed to [`Generator::route_only`] leaves modules
+    /// or system terminals unplaced, so routing cannot start.
+    IncompletePlacement,
+    /// The routing phase panicked (a bug, not a property of the input);
+    /// the payload is the panic message.
+    RoutingPanicked(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::IncompletePlacement => {
+                write!(f, "placement is incomplete: every module and system terminal must be placed before routing")
+            }
+            PipelineError::RoutingPanicked(msg) => {
+                write!(f, "routing phase panicked: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// A soft failure recorded on an [`Outcome`]: the run finished, but
+/// some part of the result is degraded relative to a clean run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Degradation {
+    /// The placer panicked; a plain fallback grid placement was used
+    /// instead. The payload is the panic message.
+    PlacementRecovered(String),
+    /// The router panicked; the diagram keeps its placement but has no
+    /// routes. The payload is the panic message.
+    RoutingAborted(String),
+    /// A net needed the salvage cascade. `routed` tells whether the
+    /// salvage produced a real route (rip-up retry or Lee fallback) or
+    /// only a ghost-wire placeholder.
+    NetSalvaged {
+        /// The net that failed its regular routing passes.
+        net: NetId,
+        /// The cascade step that settled it.
+        step: SalvageStep,
+        /// `true` for a real (if suboptimal) route, `false` for a
+        /// ghost wire.
+        routed: bool,
+    },
+    /// A net could not be routed and salvage was disabled, so it has
+    /// neither a route nor a ghost wire.
+    NetUnrouted(NetId),
+}
+
 /// Everything a generator run produces: the finished diagram, the
-/// routing report, and the phase timings (the quantities of the
-/// paper's table 6.1).
+/// routing report, the phase timings (the quantities of the paper's
+/// table 6.1), and any [`Degradation`]s the run had to accept.
 #[derive(Debug)]
 pub struct Outcome {
     /// The generated schematic diagram.
@@ -95,6 +154,96 @@ pub struct Outcome {
     pub place_time: Duration,
     /// Wall-clock time of the routing phase.
     pub route_time: Duration,
+    /// Everything that went wrong without stopping the run, in the
+    /// order it happened. Empty on a clean run.
+    pub degradations: Vec<Degradation>,
+}
+
+impl Outcome {
+    /// `true` when the run needed no fallbacks at all: every net routed
+    /// by the regular passes and no phase misbehaved.
+    pub fn is_clean(&self) -> bool {
+        self.degradations.is_empty()
+    }
+}
+
+/// Degradations implied by a routing report: one entry per salvaged
+/// net, one per net that stayed unrouted without even a ghost.
+fn route_degradations(report: &RouteReport) -> Vec<Degradation> {
+    let mut out: Vec<Degradation> = report
+        .salvaged
+        .iter()
+        .map(|s| Degradation::NetSalvaged {
+            net: s.net,
+            step: s.step,
+            routed: !matches!(s.step, SalvageStep::GhostWire),
+        })
+        .collect();
+    for &n in &report.failed {
+        if !report.salvaged.iter().any(|s| s.net == n) {
+            out.push(Degradation::NetUnrouted(n));
+        }
+    }
+    out
+}
+
+/// Renders a caught panic payload as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The placement of last resort: every unplaced module on a plain grid
+/// (row-major, square-ish), every unplaced system terminal along the
+/// left edge. Ugly but complete, so routing can still run.
+fn fallback_grid_placement(network: &Network, mut placement: Placement) -> Placement {
+    let unplaced: Vec<_> = network
+        .modules()
+        .filter(|&m| placement.module(m).is_none())
+        .collect();
+    if !unplaced.is_empty() {
+        let cols = (unplaced.len() as f64).sqrt().ceil() as usize;
+        let cell_w = unplaced
+            .iter()
+            .map(|&m| network.template_of(m).size().0)
+            .max()
+            .unwrap_or(4)
+            + 6;
+        let cell_h = unplaced
+            .iter()
+            .map(|&m| network.template_of(m).size().1)
+            .max()
+            .unwrap_or(2)
+            + 6;
+        // Clear of anything already placed.
+        let origin = placement
+            .bounding_box(network)
+            .map_or(Point::ORIGIN, |bb| {
+                Point::new(bb.lower_left().x, bb.upper_right().y + cell_h)
+            });
+        for (i, &m) in unplaced.iter().enumerate() {
+            let (col, row) = (i % cols, i / cols);
+            let p = origin
+                + Point::new(col as i32 * cell_w, row as i32 * cell_h);
+            placement.place_module(m, p, Rotation::R0);
+        }
+    }
+    let edge = placement
+        .bounding_box(network)
+        .map_or(Point::ORIGIN, |bb| bb.lower_left() + Point::new(-4, 0));
+    let mut y = edge.y;
+    for st in network.system_terms() {
+        if placement.system_term(st).is_none() {
+            placement.place_system_term(st, Point::new(edge.x, y));
+            y += 4;
+        }
+    }
+    placement
 }
 
 /// The automatic schematic diagram generator of figure 3.2: placement
@@ -155,21 +304,55 @@ impl Generator {
     /// part: the `-g` mechanism of Appendix E. Preplaced modules and
     /// terminals keep their positions; everything else is placed around
     /// them, then all nets are routed.
+    ///
+    /// Each phase runs isolated: a panic inside the placer falls back
+    /// to a plain grid placement, a panic inside the router leaves the
+    /// diagram placed but unrouted. Either is recorded as a
+    /// [`Degradation`] on the returned [`Outcome`] rather than
+    /// propagated.
     pub fn generate_with_preplaced(&self, network: Network, preplaced: Placement) -> Outcome {
+        let mut degradations = Vec::new();
+
         let t0 = Instant::now();
-        let placement = Pablo::new(self.place.clone()).place_with_preplaced(&network, preplaced);
+        let placement = match panic::catch_unwind(AssertUnwindSafe(|| {
+            Pablo::new(self.place.clone()).place_with_preplaced(&network, preplaced.clone())
+        })) {
+            Ok(p) => p,
+            Err(payload) => {
+                degradations.push(Degradation::PlacementRecovered(panic_message(payload)));
+                fallback_grid_placement(&network, preplaced)
+            }
+        };
         let place_time = t0.elapsed();
 
         let mut diagram = Diagram::new(network, placement);
         let t1 = Instant::now();
-        let report = Eureka::new(self.route.clone()).route(&mut diagram);
+        let report = match panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut scratch = diagram.clone();
+            let report = Eureka::new(self.route.clone()).route(&mut scratch);
+            (scratch, report)
+        })) {
+            Ok((routed, report)) => {
+                diagram = routed;
+                report
+            }
+            Err(payload) => {
+                degradations.push(Degradation::RoutingAborted(panic_message(payload)));
+                RouteReport {
+                    failed: diagram.network().nets().collect(),
+                    ..RouteReport::default()
+                }
+            }
+        };
         let route_time = t1.elapsed();
+        degradations.extend(route_degradations(&report));
 
         Outcome {
             diagram,
             report,
             place_time,
             route_time,
+            degradations,
         }
     }
 
@@ -177,20 +360,36 @@ impl Generator {
     /// paper's `eureka`-only flow used for figure 6.6 (hand placement)
     /// and figure 6.5 (edited placement).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the placement is incomplete.
-    pub fn route_only(&self, network: Network, placement: Placement) -> Outcome {
+    /// [`PipelineError::IncompletePlacement`] when modules or system
+    /// terminals are missing positions, and
+    /// [`PipelineError::RoutingPanicked`] if the router hits a bug —
+    /// this entry point surfaces hard failures instead of degrading,
+    /// because a hand placement is worth fixing, not papering over.
+    pub fn route_only(
+        &self,
+        network: Network,
+        placement: Placement,
+    ) -> Result<Outcome, PipelineError> {
+        if !placement.is_complete() {
+            return Err(PipelineError::IncompletePlacement);
+        }
         let mut diagram = Diagram::new(network, placement);
         let t1 = Instant::now();
-        let report = Eureka::new(self.route.clone()).route(&mut diagram);
+        let report = panic::catch_unwind(AssertUnwindSafe(|| {
+            Eureka::new(self.route.clone()).route(&mut diagram)
+        }))
+        .map_err(|payload| PipelineError::RoutingPanicked(panic_message(payload)))?;
         let route_time = t1.elapsed();
-        Outcome {
+        let degradations = route_degradations(&report);
+        Ok(Outcome {
             diagram,
             report,
             place_time: Duration::ZERO,
             route_time,
-        }
+            degradations,
+        })
     }
 }
 
@@ -226,11 +425,56 @@ mod tests {
         let net = network();
         let placement = netart_place::Pablo::new(PlaceConfig::strings()).place(&net);
         let snapshot: Vec<_> = net.modules().map(|m| placement.module(m)).collect();
-        let outcome = Generator::new().route_only(net, placement);
+        let outcome = Generator::new().route_only(net, placement).unwrap();
         assert_eq!(outcome.place_time, Duration::ZERO);
         for (m, before) in outcome.diagram.network().modules().zip(snapshot) {
             assert_eq!(outcome.diagram.placement().module(m), before);
         }
+    }
+
+    #[test]
+    fn route_only_rejects_incomplete_placement() {
+        let net = network();
+        let empty = Placement::new(&net);
+        let err = Generator::new().route_only(net, empty).unwrap_err();
+        assert_eq!(err, PipelineError::IncompletePlacement);
+        assert!(err.to_string().contains("incomplete"));
+    }
+
+    #[test]
+    fn clean_run_has_no_degradations() {
+        let outcome = Generator::strings().generate(network());
+        assert!(outcome.is_clean(), "{:?}", outcome.degradations);
+    }
+
+    #[test]
+    fn fallback_grid_placement_is_complete() {
+        let net = netart_workloads::controller_cluster();
+        let placement = fallback_grid_placement(&net, Placement::new(&net));
+        assert!(placement.is_complete());
+        // And routable enough to produce a diagram without panicking.
+        let mut diagram = Diagram::new(net, placement);
+        let _ = Eureka::new(RouteConfig::default()).route(&mut diagram);
+    }
+
+    #[test]
+    fn salvaged_nets_surface_as_degradations() {
+        let report = RouteReport {
+            routed: vec![NetId::from_index(0)],
+            failed: vec![NetId::from_index(1), NetId::from_index(2)],
+            salvaged: vec![netart_route::SalvageRecord {
+                net: NetId::from_index(1),
+                step: SalvageStep::GhostWire,
+                over_budget: true,
+            }],
+        };
+        let degradations = route_degradations(&report);
+        assert_eq!(degradations.len(), 2);
+        assert!(matches!(
+            degradations[0],
+            Degradation::NetSalvaged { step: SalvageStep::GhostWire, routed: false, .. }
+        ));
+        assert!(matches!(degradations[1], Degradation::NetUnrouted(n) if n.index() == 2));
     }
 
     #[test]

@@ -151,6 +151,25 @@ pub fn render(diagram: &Diagram) -> String {
         }
     }
 
+    // Ghost wires: unroutable nets drawn as `~` placeholder lines
+    // (possibly diagonal) so the missing connection stays visible.
+    for (_, ghost) in diagram.ghosts() {
+        for &(a, b) in &ghost.lines {
+            let (dx, dy) = (b.x - a.x, b.y - a.y);
+            let steps = dx.abs().max(dy.abs());
+            for i in 0..=steps {
+                let p = if steps == 0 {
+                    a
+                } else {
+                    Point::new(a.x + dx * i / steps, a.y + dy * i / steps)
+                };
+                if canvas.get(p) == ' ' {
+                    canvas.put(p, '~');
+                }
+            }
+        }
+    }
+
     for m in network.modules() {
         let r = placement.module_rect(network, m);
         let (ll, ur) = (r.lower_left(), r.upper_right());
@@ -249,6 +268,21 @@ mod tests {
         assert!(art.contains("---"), "{art}");
         // Module corners exist.
         assert!(art.contains('+'), "{art}");
+    }
+
+    #[test]
+    fn ghost_wires_render_as_tildes() {
+        let mut d = diagram();
+        let m = d.network().net_by_name("m").unwrap();
+        d.clear_route(m);
+        d.set_ghost(
+            m,
+            crate::GhostWire {
+                lines: vec![(Point::new(-3, 4), Point::new(2, 4))],
+            },
+        );
+        let art = render(&d);
+        assert!(art.contains("~~~"), "{art}");
     }
 
     #[test]

@@ -1,6 +1,18 @@
+use netart_geom::Point;
 use netart_netlist::{NetId, Network};
 
 use crate::{CheckReport, DiagramMetrics, NetPath, Placement};
+
+/// A straight-line placeholder for a net that could not be routed: the
+/// degraded-output mode of the salvage cascade. Ghost wires ignore the
+/// rectilinear wiring rules — each pair is rendered as a direct
+/// (possibly diagonal) dashed line — and are kept apart from real
+/// routes so checks and metrics never mistake them for wiring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GhostWire {
+    /// Terminal-to-terminal straight lines covering the net's pins.
+    pub lines: Vec<(Point, Point)>,
+}
 
 /// A complete schematic diagram: network + placement + routed nets.
 ///
@@ -14,6 +26,7 @@ pub struct Diagram {
     network: Network,
     placement: Placement,
     routes: Vec<Option<NetPath>>,
+    ghosts: Vec<Option<GhostWire>>,
 }
 
 impl Diagram {
@@ -25,6 +38,7 @@ impl Diagram {
             network,
             placement,
             routes: vec![None; nets],
+            ghosts: vec![None; nets],
         }
     }
 
@@ -49,9 +63,11 @@ impl Diagram {
         self.routes[n.index()].as_ref()
     }
 
-    /// Sets (or replaces) the routed path of a net.
+    /// Sets (or replaces) the routed path of a net. A real route
+    /// supersedes any ghost wire the net had.
     pub fn set_route(&mut self, n: NetId, path: NetPath) {
         self.routes[n.index()] = Some(path);
+        self.ghosts[n.index()] = None;
     }
 
     /// Removes the routed path of a net, returning it.
@@ -76,7 +92,34 @@ impl Diagram {
             .collect()
     }
 
-    /// Splits the diagram back into its parts.
+    /// The ghost wire of a net, if the salvage cascade emitted one.
+    pub fn ghost(&self, n: NetId) -> Option<&GhostWire> {
+        self.ghosts[n.index()].as_ref()
+    }
+
+    /// Marks a net as unroutable with a straight-line placeholder.
+    /// Ignored when the net already has a real route.
+    pub fn set_ghost(&mut self, n: NetId, ghost: GhostWire) {
+        if self.routes[n.index()].is_none() {
+            self.ghosts[n.index()] = Some(ghost);
+        }
+    }
+
+    /// Removes the ghost wire of a net, returning it.
+    pub fn clear_ghost(&mut self, n: NetId) -> Option<GhostWire> {
+        self.ghosts[n.index()].take()
+    }
+
+    /// Iterates over `(net, ghost)` for the ghost-wired nets.
+    pub fn ghosts(&self) -> impl Iterator<Item = (NetId, &GhostWire)> {
+        self.ghosts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (NetId::from_index(i), g)))
+    }
+
+    /// Splits the diagram back into its parts (ghost wires, being
+    /// placeholders rather than geometry, are dropped).
     pub fn into_parts(self) -> (Network, Placement, Vec<Option<NetPath>>) {
         (self.network, self.placement, self.routes)
     }
@@ -171,6 +214,28 @@ mod tests {
         assert_eq!(m.crossovers, 0);
         assert_eq!(m.bounding_area, 12 * 2);
         assert_eq!(m.completion(), 1.0);
+    }
+
+    #[test]
+    fn ghost_lifecycle() {
+        let (mut d, n) = diagram();
+        let ghost = GhostWire {
+            lines: vec![(Point::new(4, 1), Point::new(8, 1))],
+        };
+        d.set_ghost(n, ghost.clone());
+        assert_eq!(d.ghost(n), Some(&ghost));
+        assert_eq!(d.ghosts().count(), 1);
+        // Ghosts are placeholders: the net still counts as unrouted.
+        assert_eq!(d.unrouted(), vec![n]);
+        assert_eq!(d.metrics().unrouted_nets, 1);
+        // A real route supersedes the ghost.
+        d.set_route(n, NetPath::from_segments(vec![Segment::horizontal(1, 4, 8)]));
+        assert!(d.ghost(n).is_none());
+        // And a ghost never overwrites a real route.
+        d.set_ghost(n, ghost);
+        assert!(d.ghost(n).is_none());
+        assert!(d.route(n).is_some());
+        assert!(d.clear_ghost(n).is_none());
     }
 
     #[test]

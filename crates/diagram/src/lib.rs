@@ -56,7 +56,7 @@ mod placement;
 pub mod svg;
 
 pub use check::{CheckError, CheckReport};
-pub use diagram::Diagram;
+pub use diagram::{Diagram, GhostWire};
 pub use metrics::DiagramMetrics;
 pub use path::NetPath;
 pub use placement::{PlacedModule, Placement, PlacementStructure};

@@ -85,8 +85,10 @@ pub fn render_with_structure(diagram: &Diagram) -> String {
 
 /// Renders a diagram as a standalone SVG document.
 ///
-/// Unplaced items are skipped; unrouted nets simply do not appear, as
-/// in the paper's plots of partially routed diagrams.
+/// Unplaced items are skipped. Unrouted nets simply do not appear, as
+/// in the paper's plots of partially routed diagrams — unless the
+/// salvage cascade left a [`crate::GhostWire`], which is drawn as a
+/// dashed gray line so the missing connection stays visible.
 pub fn render(diagram: &Diagram) -> String {
     let network = diagram.network();
     let placement = diagram.placement();
@@ -120,6 +122,21 @@ pub fn render(diagram: &Diagram) -> String {
             let _ = writeln!(
                 out,
                 r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{color}" stroke-width="2"><title>{name}</title></line>"#,
+                fx(a.x),
+                fy(a.y),
+                fx(b.x),
+                fy(b.y)
+            );
+        }
+    }
+
+    // Ghost wires: dashed gray placeholders for unroutable nets.
+    for (n, ghost) in diagram.ghosts() {
+        let name = network.net(n).name();
+        for &(a, b) in &ghost.lines {
+            let _ = writeln!(
+                out,
+                r##"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="#aaaaaa" stroke-width="1.5" stroke-dasharray="5,4"><title>{name} (unrouted)</title></line>"##,
                 fx(a.x),
                 fy(a.y),
                 fx(b.x),
@@ -275,6 +292,23 @@ mod tests {
     fn orientation_stats() {
         let d = diagram();
         assert_eq!(wire_orientations(&d), (1, 0));
+    }
+
+    #[test]
+    fn ghost_wires_render_dashed() {
+        let mut d = diagram();
+        let m = d.network().net_by_name("m").unwrap();
+        d.set_ghost(
+            m,
+            crate::GhostWire {
+                lines: vec![(Point::new(-2, 1), Point::new(0, 1))],
+            },
+        );
+        let svg = render(&d);
+        assert!(sanity(&svg));
+        assert_eq!(wire_segment_count(&svg), 2, "real wire + ghost line");
+        assert_eq!(svg.matches(r##"stroke="#aaaaaa""##).count(), 1);
+        assert!(svg.contains("m (unrouted)"));
     }
 
     #[test]

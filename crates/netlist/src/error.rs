@@ -134,6 +134,9 @@ impl Error for BuildError {}
 pub struct ParseError {
     /// 1-based line number where parsing failed.
     pub line: usize,
+    /// 1-based column of the offending field (0 when the error is not
+    /// tied to a single column).
+    pub column: usize,
     /// What went wrong.
     pub message: String,
 }
@@ -143,13 +146,40 @@ impl ParseError {
     /// tied to a line). Public so that downstream crates implementing
     /// sibling formats (e.g. the ESCHER diagram format) can reuse it.
     pub fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseError { line, message: message.into() }
+        ParseError {
+            line,
+            column: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a parse error pointing at a line *and* column, both
+    /// 1-based.
+    pub fn at(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    /// The column (1-based, in characters) where `field` starts inside
+    /// `line_text`, for pointing an error at the offending field. Falls
+    /// back to 0 (no column) when the field cannot be located.
+    pub fn column_of(line_text: &str, field: &str) -> usize {
+        line_text
+            .find(field)
+            .map_or(0, |byte| line_text[..byte].chars().count() + 1)
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.column > 0 {
+            write!(f, "line {}, column {}: {}", self.line, self.column, self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 

@@ -43,18 +43,36 @@ pub mod template_repr;
 
 use crate::{Library, Network, NetworkBuilder, ParseError, TermType};
 
-/// Splits a record file into `(line_number, fields)` tuples, skipping
-/// blank lines and `#` comment lines (an extension for readability; the
-/// paper's files contain only records).
-fn records(src: &str) -> impl Iterator<Item = (usize, Vec<&str>)> {
+/// Splits a record file into `(line_number, line_text, fields)` tuples,
+/// skipping blank lines and `#` comment lines (an extension for
+/// readability; the paper's files contain only records). The raw line
+/// text rides along so errors can point at the offending column.
+fn records(src: &str) -> impl Iterator<Item = (usize, &str, Vec<&str>)> {
     src.lines().enumerate().filter_map(|(i, line)| {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
             None
         } else {
-            Some((i + 1, line.split_whitespace().collect()))
+            Some((i + 1, line, trimmed.split_whitespace().collect()))
         }
     })
+}
+
+/// A parse error pointing at `field` inside `text` on `line`.
+fn field_error(line: usize, text: &str, field: &str, message: String) -> ParseError {
+    ParseError::at(line, ParseError::column_of(text, field), message)
+}
+
+/// Which of the three Appendix A input files a [`ParseError`] came
+/// from, so callers reporting to a user can name the right path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkFile {
+    /// The net-list file (`design.net`).
+    NetList,
+    /// The call file (`design.call`).
+    Calls,
+    /// The io file (`design.io`).
+    Io,
 }
 
 /// Parses the three Appendix A files into a validated [`Network`].
@@ -66,47 +84,80 @@ fn records(src: &str) -> impl Iterator<Item = (usize, Vec<&str>)> {
 ///
 /// Returns a [`ParseError`] pointing at the offending record for
 /// malformed fields, unknown templates/instances/terminals, pin
-/// conflicts, or nets with fewer than two pins.
+/// conflicts, or nets with fewer than two pins. Use
+/// [`parse_network_tagged`] when the caller needs to know which file
+/// the error came from.
 pub fn parse_network(
     library: Library,
     net_list_file: &str,
     call_file: &str,
     io_file: Option<&str>,
 ) -> Result<Network, ParseError> {
+    parse_network_tagged(library, net_list_file, call_file, io_file).map_err(|(_, e)| e)
+}
+
+/// Like [`parse_network`], but errors carry the [`NetworkFile`] they
+/// occurred in.
+///
+/// # Errors
+///
+/// As [`parse_network`]; builder-level errors that only surface once
+/// all files are read (e.g. an underfilled net) are attributed to the
+/// net-list file.
+pub fn parse_network_tagged(
+    library: Library,
+    net_list_file: &str,
+    call_file: &str,
+    io_file: Option<&str>,
+) -> Result<Network, (NetworkFile, ParseError)> {
     let mut b = NetworkBuilder::new(library);
 
-    for (line, fields) in records(call_file) {
+    parse_calls(&mut b, call_file).map_err(|e| (NetworkFile::Calls, e))?;
+    if let Some(io) = io_file {
+        parse_io(&mut b, io).map_err(|e| (NetworkFile::Io, e))?;
+    }
+    parse_nets(&mut b, net_list_file).map_err(|e| (NetworkFile::NetList, e))?;
+
+    b.finish()
+        .map_err(|e| (NetworkFile::NetList, ParseError::new(0, e.to_string())))
+}
+
+fn parse_calls(b: &mut NetworkBuilder, call_file: &str) -> Result<(), ParseError> {
+    for (line, text, fields) in records(call_file) {
         let [instance, template] = fields[..] else {
             return Err(ParseError::new(
                 line,
                 format!("call-file record needs 2 fields, got {}", fields.len()),
             ));
         };
-        let id = b
-            .library()
-            .template_by_name(template)
-            .ok_or_else(|| ParseError::new(line, format!("unknown template `{template}`")))?;
+        let id = b.library().template_by_name(template).ok_or_else(|| {
+            field_error(line, text, template, format!("unknown template `{template}`"))
+        })?;
         b.add_instance(instance, id)
-            .map_err(|e| ParseError::new(line, e.to_string()))?;
+            .map_err(|e| field_error(line, text, instance, e.to_string()))?;
     }
+    Ok(())
+}
 
-    if let Some(io) = io_file {
-        for (line, fields) in records(io) {
-            let [terminal, ty] = fields[..] else {
-                return Err(ParseError::new(
-                    line,
-                    format!("io-file record needs 2 fields, got {}", fields.len()),
-                ));
-            };
-            let ty: TermType = ty
-                .parse()
-                .map_err(|e: String| ParseError::new(line, e))?;
-            b.add_system_terminal(terminal, ty)
-                .map_err(|e| ParseError::new(line, e.to_string()))?;
-        }
+fn parse_io(b: &mut NetworkBuilder, io_file: &str) -> Result<(), ParseError> {
+    for (line, text, fields) in records(io_file) {
+        let [terminal, ty] = fields[..] else {
+            return Err(ParseError::new(
+                line,
+                format!("io-file record needs 2 fields, got {}", fields.len()),
+            ));
+        };
+        let ty: TermType = ty
+            .parse()
+            .map_err(|e: String| field_error(line, text, ty, e))?;
+        b.add_system_terminal(terminal, ty)
+            .map_err(|e| field_error(line, text, terminal, e.to_string()))?;
     }
+    Ok(())
+}
 
-    for (line, fields) in records(net_list_file) {
+fn parse_nets(b: &mut NetworkBuilder, net_list_file: &str) -> Result<(), ParseError> {
+    for (line, text, fields) in records(net_list_file) {
         let [net, instance, terminal] = fields[..] else {
             return Err(ParseError::new(
                 line,
@@ -115,20 +166,24 @@ pub fn parse_network(
         };
         if instance == "root" {
             let st = b.system_term_by_name(terminal).ok_or_else(|| {
-                ParseError::new(line, format!("unknown system terminal `{terminal}`"))
+                field_error(
+                    line,
+                    text,
+                    terminal,
+                    format!("unknown system terminal `{terminal}`"),
+                )
             })?;
             b.connect(net, st)
-                .map_err(|e| ParseError::new(line, e.to_string()))?;
+                .map_err(|e| field_error(line, text, net, e.to_string()))?;
         } else {
             let m = b.instance_by_name(instance).ok_or_else(|| {
-                ParseError::new(line, format!("unknown instance `{instance}`"))
+                field_error(line, text, instance, format!("unknown instance `{instance}`"))
             })?;
             b.connect_pin(net, m, terminal)
-                .map_err(|e| ParseError::new(line, e.to_string()))?;
+                .map_err(|e| field_error(line, text, terminal, e.to_string()))?;
         }
     }
-
-    b.finish().map_err(|e| ParseError::new(0, e.to_string()))
+    Ok(())
 }
 
 /// Writes the call-file for a network.

@@ -19,13 +19,15 @@ use crate::{ParseError, Template, TermType};
 
 const GRID: i32 = 10;
 
-fn grid_value(line: usize, field: &str, what: &str) -> Result<i32, ParseError> {
+fn grid_value(line: usize, text: &str, field: &str, what: &str) -> Result<i32, ParseError> {
+    let column = ParseError::column_of(text, field);
     let v: i32 = field
         .parse()
-        .map_err(|_| ParseError::new(line, format!("{what} `{field}` is not an integer")))?;
+        .map_err(|_| ParseError::at(line, column, format!("{what} `{field}` is not an integer")))?;
     if v % GRID != 0 {
-        return Err(ParseError::new(
+        return Err(ParseError::at(
             line,
+            column,
             format!("{what} {v} is not divisible by {GRID}"),
         ));
     }
@@ -46,7 +48,7 @@ pub fn parse_module(src: &str) -> Result<Template, ParseError> {
         .map(|(i, l)| (i + 1, l.trim()))
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
-    let (hline, heading) = lines
+    let (hline, heading): (usize, &str) = lines
         .next()
         .ok_or_else(|| ParseError::new(0, "empty module description"))?;
     let fields: Vec<&str> = heading.split_whitespace().collect();
@@ -56,8 +58,8 @@ pub fn parse_module(src: &str) -> Result<Template, ParseError> {
             "heading must be `module <NAME> <WIDTH> <HEIGHT>`",
         ));
     };
-    let width = grid_value(hline, w, "width")?;
-    let height = grid_value(hline, h, "height")?;
+    let width = grid_value(hline, heading, w, "width")?;
+    let height = grid_value(hline, heading, h, "height")?;
     let mut template = Template::new(name, (width, height))
         .map_err(|e| ParseError::new(hline, e.to_string()))?;
 
@@ -69,9 +71,11 @@ pub fn parse_module(src: &str) -> Result<Template, ParseError> {
                 format!("terminal record needs 4 fields, got {}", fields.len()),
             ));
         };
-        let ty: TermType = ty.parse().map_err(|e: String| ParseError::new(line, e))?;
-        let x = grid_value(line, x, "x-coordinate")?;
-        let y = grid_value(line, y, "y-coordinate")?;
+        let ty: TermType = ty.parse().map_err(|e: String| {
+            ParseError::at(line, ParseError::column_of(record, ty), e)
+        })?;
+        let x = grid_value(line, record, x, "x-coordinate")?;
+        let y = grid_value(line, record, y, "y-coordinate")?;
         template
             .add_terminal(term, (x, y), ty)
             .map_err(|e| ParseError::new(line, e.to_string()))?;

@@ -1,0 +1,114 @@
+//! Adversarial robustness: random byte-level corruption of valid input
+//! files must yield a clean `Err` (or still parse) — the parsers must
+//! never panic, whatever arrives. This is the property backing the
+//! pipeline-hardening guarantee that bad input files fail with a
+//! pointed [`netart_netlist::ParseError`], not a crash.
+
+use proptest::prelude::*;
+
+use netart_netlist::format::{self, quinto};
+use netart_netlist::{Library, Template, TermType};
+
+const QUINTO: &str = "module inv 40 20\nin a 0 10\nout y 40 10\n";
+const NETS: &str = "n0 u0 y\nn0 u1 a\nnin root in\nnin u0 a\nnout u1 y\nnout root out\n";
+const CALLS: &str = "u0 inv\nu1 inv\n";
+const IO: &str = "in in\nout out\n";
+
+fn lib() -> Library {
+    let mut lib = Library::new();
+    lib.add_template(
+        Template::new("inv", (4, 2))
+            .expect("valid size")
+            .with_terminal("a", (0, 1), TermType::In)
+            .expect("valid terminal")
+            .with_terminal("y", (4, 1), TermType::Out)
+            .expect("valid terminal"),
+    )
+    .expect("fresh library");
+    lib
+}
+
+/// One byte-level corruption: replace, insert, delete, or truncate.
+fn mutate(src: &str, kind: usize, position: usize, byte: u8) -> String {
+    let mut bytes = src.as_bytes().to_vec();
+    if bytes.is_empty() {
+        return String::new();
+    }
+    let at = position % bytes.len();
+    match kind % 4 {
+        0 => bytes[at] = byte,
+        1 => bytes.insert(at, byte),
+        2 => {
+            bytes.remove(at);
+        }
+        _ => bytes.truncate(at),
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256 })]
+
+    /// Corrupted quinto module descriptions never panic the parser.
+    #[test]
+    fn quinto_survives_corruption(
+        kind in 0usize..4,
+        position in 0usize..1024,
+        byte in proptest::prelude::any::<u8>(),
+    ) {
+        let corrupted = mutate(QUINTO, kind, position, byte);
+        let _ = quinto::parse_module(&corrupted);
+    }
+
+    /// Corrupted Appendix A files never panic the network parser, in
+    /// any combination of which file is corrupted.
+    #[test]
+    fn network_files_survive_corruption(
+        which in 0usize..3,
+        kind in 0usize..4,
+        position in 0usize..1024,
+        byte in proptest::prelude::any::<u8>(),
+    ) {
+        let (nets, calls, io) = match which {
+            0 => (mutate(NETS, kind, position, byte), CALLS.to_owned(), IO.to_owned()),
+            1 => (NETS.to_owned(), mutate(CALLS, kind, position, byte), IO.to_owned()),
+            _ => (NETS.to_owned(), CALLS.to_owned(), mutate(IO, kind, position, byte)),
+        };
+        let _ = format::parse_network(lib(), &nets, &calls, Some(&io));
+    }
+
+    /// Pure garbage — arbitrary short byte strings — never panics
+    /// either parser.
+    #[test]
+    fn garbage_never_panics(
+        bytes in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..160),
+    ) {
+        let garbage = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = quinto::parse_module(&garbage);
+        let _ = format::parse_network(lib(), &garbage, &garbage, Some(&garbage));
+    }
+}
+
+/// Errors out of corrupted files keep pointing at a line, so the CLI
+/// message stays actionable.
+#[test]
+fn errors_keep_line_context() {
+    let err = format::parse_network(lib(), "n0 u0 y\nn0 zz a\n", CALLS, None)
+        .expect_err("unknown instance");
+    assert_eq!(err.line, 2);
+    assert!(err.to_string().contains("line 2"), "{err}");
+}
+
+/// Field-level errors also carry the offending column.
+#[test]
+fn errors_carry_column_context() {
+    let err = format::parse_network(lib(), "", "u0 missing\n", None)
+        .expect_err("unknown template");
+    assert_eq!(err.line, 1);
+    assert_eq!(err.column, 4, "points at `missing`: {err}");
+    assert!(err.to_string().contains("column 4"), "{err}");
+
+    let err = quinto::parse_module("module inv 40 20\nin a 0 15\n").expect_err("off grid");
+    assert_eq!(err.line, 2);
+    assert_eq!(err.column, 8, "points at `15`: {err}");
+}

@@ -1,0 +1,195 @@
+//! Per-net search budgets.
+//!
+//! The paper's router explores until the plane is exhausted, which is
+//! fine for the diagrams of §6 but unbounded on pathological input. A
+//! [`Budget`] caps one net's search by wall-clock deadline and/or
+//! expanded-node count; a [`BudgetMeter`] does the counting. The
+//! default budget is unlimited, so bounded routing is strictly opt-in
+//! and unbudgeted runs behave exactly as before.
+
+use std::time::{Duration, Instant};
+
+/// Bounds on the search effort spent on a single net.
+///
+/// Both limits are optional and independent; [`Budget::UNLIMITED`]
+/// (the default) disables both. The node cap counts expanded active
+/// segments in line expansion and popped cells in the Lee fallback —
+/// the unit of work both routers share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Wall-clock allowance for one net, `None` for no deadline.
+    pub time: Option<Duration>,
+    /// Search-node allowance for one net, `None` for no cap.
+    pub nodes: Option<u64>,
+}
+
+impl Budget {
+    /// No limits: the search runs to exhaustion.
+    pub const UNLIMITED: Budget = Budget {
+        time: None,
+        nodes: None,
+    };
+
+    /// An unlimited budget (same as [`Budget::UNLIMITED`]).
+    pub fn new() -> Self {
+        Budget::UNLIMITED
+    }
+
+    /// Caps wall-clock time per net.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time = Some(limit);
+        self
+    }
+
+    /// Caps expanded search nodes per net.
+    pub fn with_node_limit(mut self, limit: u64) -> Self {
+        self.nodes = Some(limit);
+        self
+    }
+
+    /// Whether neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.time.is_none() && self.nodes.is_none()
+    }
+
+    /// The same budget with both limits multiplied by `factor` — the
+    /// escalation step of the salvage cascade.
+    pub fn scaled(&self, factor: u32) -> Budget {
+        Budget {
+            time: self.time.map(|t| t * factor),
+            nodes: self.nodes.map(|n| n.saturating_mul(u64::from(factor))),
+        }
+    }
+}
+
+/// Which limit a search ran into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetBreach {
+    /// The wall-clock deadline passed.
+    Time,
+    /// The node cap was reached.
+    Nodes,
+}
+
+/// Running consumption against one [`Budget`].
+///
+/// A meter is started per net and shared across that net's searches,
+/// so a many-terminal net cannot multiply its allowance. Charging is
+/// close to free for unlimited budgets, and the deadline is polled
+/// only every [`TIME_POLL_STRIDE`] charges to keep `Instant::now`
+/// off the hot path.
+#[derive(Debug, Clone)]
+pub struct BudgetMeter {
+    deadline: Option<Instant>,
+    nodes_left: Option<u64>,
+    charges: u64,
+    breach: Option<BudgetBreach>,
+}
+
+/// How many charges pass between deadline polls.
+const TIME_POLL_STRIDE: u64 = 64;
+
+impl BudgetMeter {
+    /// Starts metering `budget` from now.
+    pub fn start(budget: Budget) -> Self {
+        BudgetMeter {
+            deadline: budget.time.map(|t| Instant::now() + t),
+            nodes_left: budget.nodes,
+            charges: 0,
+            breach: None,
+        }
+    }
+
+    /// A meter that never trips.
+    pub fn unlimited() -> Self {
+        BudgetMeter::start(Budget::UNLIMITED)
+    }
+
+    /// Records one unit of search work; returns the breach, if any.
+    /// Once tripped, a meter stays tripped.
+    pub fn charge(&mut self) -> Option<BudgetBreach> {
+        if self.breach.is_some() {
+            return self.breach;
+        }
+        if let Some(left) = &mut self.nodes_left {
+            if *left == 0 {
+                self.breach = Some(BudgetBreach::Nodes);
+                return self.breach;
+            }
+            *left -= 1;
+        }
+        self.charges += 1;
+        if let Some(deadline) = self.deadline {
+            if self.charges.is_multiple_of(TIME_POLL_STRIDE) && Instant::now() >= deadline {
+                self.breach = Some(BudgetBreach::Time);
+            }
+        }
+        self.breach
+    }
+
+    /// The breach recorded so far, if any.
+    pub fn breach(&self) -> Option<BudgetBreach> {
+        self.breach
+    }
+
+    /// Total units charged.
+    pub fn spent(&self) -> u64 {
+        self.charges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let mut m = BudgetMeter::unlimited();
+        for _ in 0..100_000 {
+            assert_eq!(m.charge(), None);
+        }
+        assert_eq!(m.spent(), 100_000);
+    }
+
+    #[test]
+    fn node_cap_trips_exactly() {
+        let mut m = BudgetMeter::start(Budget::new().with_node_limit(10));
+        for _ in 0..10 {
+            assert_eq!(m.charge(), None);
+        }
+        assert_eq!(m.charge(), Some(BudgetBreach::Nodes));
+        // Sticky.
+        assert_eq!(m.charge(), Some(BudgetBreach::Nodes));
+        assert_eq!(m.breach(), Some(BudgetBreach::Nodes));
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let mut m = BudgetMeter::start(Budget::new().with_time_limit(Duration::ZERO));
+        let mut tripped = false;
+        for _ in 0..10 * TIME_POLL_STRIDE {
+            if m.charge() == Some(BudgetBreach::Time) {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "zero deadline must trip within one poll stride");
+    }
+
+    #[test]
+    fn scaling_multiplies_limits() {
+        let b = Budget::new()
+            .with_time_limit(Duration::from_millis(50))
+            .with_node_limit(1000)
+            .scaled(4);
+        assert_eq!(b.time, Some(Duration::from_millis(200)));
+        assert_eq!(b.nodes, Some(4000));
+        assert!(Budget::UNLIMITED.scaled(4).is_unlimited());
+    }
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(Budget::default().is_unlimited());
+        assert_eq!(Budget::default(), Budget::UNLIMITED);
+    }
+}

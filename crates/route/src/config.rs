@@ -14,6 +14,8 @@ pub enum NetOrder {
     FewestPinsFirst,
 }
 
+use crate::Budget;
+
 /// Routing options, mirroring the `eureka` command line of Appendix F.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouteConfig {
@@ -37,6 +39,15 @@ pub struct RouteConfig {
     pub max_bends: u32,
     /// The order nets are attempted in (§7 extension).
     pub order: NetOrder,
+    /// Per-net search budget. Unlimited by default, so the search runs
+    /// to exhaustion exactly as the paper describes.
+    pub budget: Budget,
+    /// Run the salvage cascade on nets the main passes could not
+    /// route: rip-up-and-retry with an escalated budget, then the Lee
+    /// fallback, then an explicit ghost wire. On by default; it only
+    /// engages after a net has already failed, so clean runs are
+    /// untouched.
+    pub salvage: bool,
 }
 
 impl Default for RouteConfig {
@@ -48,6 +59,8 @@ impl Default for RouteConfig {
             swap_tiebreak: false,
             max_bends: 64,
             order: NetOrder::Definition,
+            budget: Budget::UNLIMITED,
+            salvage: true,
         }
     }
 }
@@ -111,6 +124,19 @@ impl RouteConfig {
         self.order = order;
         self
     }
+
+    /// Sets the per-net search budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Disables the salvage cascade: failed nets are reported and left
+    /// unrouted, as in the paper.
+    pub fn without_salvage(mut self) -> Self {
+        self.salvage = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -124,7 +150,18 @@ mod tests {
         assert!(c.claimpoints);
         assert!(c.retry_failed);
         assert!(!c.swap_tiebreak);
+        assert!(c.budget.is_unlimited());
+        assert!(c.salvage);
         assert_eq!(RouteConfig::new(), c);
+    }
+
+    #[test]
+    fn budget_and_salvage_builders() {
+        let c = RouteConfig::new()
+            .with_budget(Budget::new().with_node_limit(500))
+            .without_salvage();
+        assert_eq!(c.budget.nodes, Some(500));
+        assert!(!c.salvage);
     }
 
     #[test]

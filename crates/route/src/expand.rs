@@ -28,6 +28,7 @@ use std::collections::BTreeMap;
 use netart_geom::{Axis, Dir, Interval, Point, Segment};
 use netart_netlist::NetId;
 
+use crate::budget::BudgetMeter;
 use crate::{ObstacleKind, ObstacleMap};
 
 /// Which wavefront an active segment belongs to.
@@ -111,6 +112,32 @@ struct Candidate {
     near_entry: i32,
     bridge: Option<Segment>,
     far: FarSide,
+}
+
+/// How one connection search ended.
+#[derive(Debug, Clone)]
+pub(crate) enum SearchResult {
+    /// The fronts met; here is the wire.
+    Connected(Connection),
+    /// The reachable zone is exhausted and the fronts never met.
+    Unreachable,
+    /// The budget ran out before the search could decide (the meter
+    /// records which limit tripped). When the meter trips while
+    /// candidates exist, the best one found so far is returned as
+    /// [`SearchResult::Connected`] instead — a possibly non-minimal
+    /// wire beats no wire.
+    OverBudget,
+}
+
+impl SearchResult {
+    /// The connection, if any (used by engine-level tests).
+    #[cfg(test)]
+    pub(crate) fn connected(self) -> Option<Connection> {
+        match self {
+            SearchResult::Connected(c) => Some(c),
+            _ => None,
+        }
+    }
 }
 
 /// The routed geometry of one successful connection.
@@ -239,8 +266,11 @@ impl<'a> Search<'a> {
 
     /// Runs the alternating wavefront search. `two_front` distinguishes
     /// `INIT_NET` (meet the other front) from `EXPAND_NET` (meet the
-    /// net's own routed segments).
-    pub(crate) fn run(&mut self) -> Option<Connection> {
+    /// net's own routed segments). Every expanded active charges one
+    /// node on `meter`; a tripped meter ends the search with the best
+    /// candidate found so far, or [`SearchResult::OverBudget`] when
+    /// there is none.
+    pub(crate) fn run(&mut self, meter: &mut BudgetMeter) -> SearchResult {
         let mut gen = 0u32;
         loop {
             // A candidate is final once no unexpanded active (all of
@@ -253,11 +283,11 @@ impl<'a> Search<'a> {
             let best = self.candidates.iter().map(|c| c.bends).min();
             if let Some(best) = best {
                 if best <= gen {
-                    return Some(self.reconstruct());
+                    return SearchResult::Connected(self.reconstruct());
                 }
             }
             if gen > self.max_bends {
-                return (!self.candidates.is_empty()).then(|| self.reconstruct());
+                return self.best_or_unreachable();
             }
             let mut any = false;
             for front in [Front::A, Front::B] {
@@ -283,6 +313,12 @@ impl<'a> Search<'a> {
                     any = true;
                     for id in batch {
                         if self.arena[id].alive && !self.arena[id].expanded {
+                            if meter.charge().is_some() {
+                                return match self.best_or_unreachable() {
+                                    SearchResult::Connected(c) => SearchResult::Connected(c),
+                                    _ => SearchResult::OverBudget,
+                                };
+                            }
                             self.expand(id);
                         }
                     }
@@ -290,9 +326,18 @@ impl<'a> Search<'a> {
             }
             if !any {
                 // Both fronts exhausted: the best meeting found, if any.
-                return (!self.candidates.is_empty()).then(|| self.reconstruct());
+                return self.best_or_unreachable();
             }
             gen += 1;
+        }
+    }
+
+    /// The best candidate found so far, or unreachability.
+    fn best_or_unreachable(&mut self) -> SearchResult {
+        if self.candidates.is_empty() {
+            SearchResult::Unreachable
+        } else {
+            SearchResult::Connected(self.reconstruct())
         }
     }
 
@@ -873,6 +918,7 @@ pub(crate) fn merge_collinear(mut segs: Vec<Segment>) -> Vec<Segment> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::BudgetBreach;
 
     fn nid() -> NetId {
         NetId::from_index(0)
@@ -892,7 +938,7 @@ mod tests {
         let mut s = Search::new(map, nid(), false, 32);
         s.seed(Front::A, a.0, a.1);
         s.seed(Front::B, b.0, b.1);
-        s.run()
+        s.run(&mut BudgetMeter::unlimited()).connected()
     }
 
     fn covers(conn: &Connection, p: Point) -> bool {
@@ -1036,7 +1082,10 @@ mod tests {
         map.add(Segment::horizontal(10, 5, 15), ObstacleKind::Net(nid()));
         let mut s = Search::new(&map, nid(), false, 32);
         s.seed(Front::A, Point::new(10, 3), Dir::Up);
-        let conn = s.run().expect("join own net");
+        let conn = s
+            .run(&mut BudgetMeter::unlimited())
+            .connected()
+            .expect("join own net");
         let path = netart_diagram::NetPath::from_segments(conn.segments.clone());
         assert!(path.connects(&[Point::new(10, 3)]));
         // The join lands on the existing wire.
@@ -1072,6 +1121,23 @@ mod tests {
         // rectilinear path starting and ending horizontally at y=10 has
         // at least 8 bends; line expansion must find exactly that.
         assert_eq!(path.bends(), 8, "{:?}", conn.segments);
+    }
+
+    #[test]
+    fn tiny_node_budget_reports_over_budget() {
+        let mut map = bounded(40, 30);
+        map.add(Segment::vertical(10, 0, 14), ObstacleKind::Module);
+        map.add(Segment::vertical(20, 6, 30), ObstacleKind::Module);
+        map.add(Segment::vertical(30, 0, 14), ObstacleKind::Module);
+        let mut s = Search::new(&map, nid(), false, 32);
+        s.seed(Front::A, Point::new(2, 10), Dir::Right);
+        s.seed(Front::B, Point::new(38, 10), Dir::Left);
+        let mut meter = BudgetMeter::start(crate::Budget::new().with_node_limit(1));
+        match s.run(&mut meter) {
+            SearchResult::OverBudget => {}
+            other => panic!("expected over-budget, got {other:?}"),
+        }
+        assert_eq!(meter.breach(), Some(BudgetBreach::Nodes));
     }
 
     #[test]

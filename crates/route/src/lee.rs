@@ -18,6 +18,7 @@ use netart_netlist::NetId;
 
 use netart_diagram::NetPath;
 
+use crate::budget::BudgetMeter;
 use crate::expand::merge_collinear;
 use crate::{ObstacleKind, ObstacleMap};
 
@@ -79,6 +80,20 @@ pub fn route_two_points(
     to: Point,
     net: NetId,
 ) -> Option<NetPath> {
+    route_two_points_metered(map, bounds, from, to, net, &mut BudgetMeter::unlimited())
+}
+
+/// Like [`route_two_points`], charging one budget unit per expanded
+/// wave cell. A tripped meter abandons the search (`None`); check
+/// [`BudgetMeter::breach`] to tell exhaustion from unreachability.
+pub fn route_two_points_metered(
+    map: &ObstacleMap,
+    bounds: Rect,
+    from: Point,
+    to: Point,
+    net: NetId,
+    meter: &mut BudgetMeter,
+) -> Option<NetPath> {
     if from == to {
         return Some(NetPath::from_segments(vec![Segment::point(Axis::Horizontal, from)]));
     }
@@ -113,6 +128,9 @@ pub fn route_two_points(
         if p == to {
             goal = Some((p, entered));
             break 'bfs;
+        }
+        if meter.charge().is_some() {
+            return None;
         }
         let here = classify(map, p, net);
         for d in Dir::ALL {
@@ -252,6 +270,22 @@ mod tests {
             assert!(on_h, "point {q} on the net must be crossed horizontally");
         }
         let _ = p;
+    }
+
+    #[test]
+    fn budget_abandons_search() {
+        let (m, b) = plane(30, 20);
+        let mut meter = BudgetMeter::start(crate::Budget::new().with_node_limit(3));
+        let p = route_two_points_metered(
+            &m,
+            b,
+            Point::new(2, 2),
+            Point::new(27, 17),
+            nid(0),
+            &mut meter,
+        );
+        assert!(p.is_none());
+        assert!(meter.breach().is_some());
     }
 
     #[test]

@@ -51,7 +51,9 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod budget;
 pub mod channel;
 mod config;
 mod expand;
@@ -61,6 +63,7 @@ pub mod line_expansion;
 mod obstacles;
 mod router;
 
+pub use budget::{Budget, BudgetBreach, BudgetMeter};
 pub use config::{NetOrder, RouteConfig};
 pub use obstacles::{Obstacle, ObstacleKind, ObstacleMap};
-pub use router::{Eureka, RouteReport};
+pub use router::{Eureka, RouteReport, SalvageRecord, SalvageStep};

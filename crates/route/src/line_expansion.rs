@@ -11,7 +11,8 @@ use netart_netlist::NetId;
 
 use netart_diagram::NetPath;
 
-use crate::expand::{Front, Search};
+use crate::budget::BudgetMeter;
+use crate::expand::{Front, Search, SearchResult};
 use crate::ObstacleMap;
 
 /// Routes a two-point connection with line expansion.
@@ -67,9 +68,10 @@ pub fn route_two_points_with(
     for &d in to.1 {
         search.seed(Front::B, to.0, d);
     }
-    search
-        .run()
-        .map(|conn| NetPath::from_segments(conn.segments))
+    match search.run(&mut BudgetMeter::unlimited()) {
+        SearchResult::Connected(conn) => Some(NetPath::from_segments(conn.segments)),
+        SearchResult::Unreachable | SearchResult::OverBudget => None,
+    }
 }
 
 #[cfg(test)]

@@ -1,23 +1,59 @@
 //! The EUREKA routing facade (§5.6.3 `ROUTING`, Appendix F).
 
-use netart_geom::{Dir, Point, Rect, Segment};
+use netart_geom::{Axis, Dir, Point, Rect, Segment};
 use netart_netlist::{NetId, Network, Pin};
 
-use netart_diagram::{Diagram, NetPath};
+use netart_diagram::{Diagram, GhostWire, NetPath};
 
-use crate::expand::{merge_collinear, split_at_junctions, Front, Search};
-use crate::{NetOrder, ObstacleKind, ObstacleMap, RouteConfig};
+use crate::budget::BudgetMeter;
+use crate::expand::{merge_collinear, split_at_junctions, Front, Search, SearchResult};
+use crate::{lee, NetOrder, ObstacleKind, ObstacleMap, RouteConfig};
+
+/// Budget multiplier for the salvage cascade's escalated retry.
+const ESCALATION_FACTOR: u32 = 4;
+
+/// How many routed nets a rip-up pass may sacrifice for one failure.
+const MAX_VICTIMS: usize = 3;
+
+/// The cascade step that finally handled a failed net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SalvageStep {
+    /// Ripping up intersecting lower-priority routes and retrying with
+    /// an escalated budget routed it (the victims were rerouted too).
+    RipUpRetry,
+    /// The Lee maze router connected it — minimum length, no regard
+    /// for the bend aesthetics of §3.2.
+    LeeFallback,
+    /// Unroutable within every fallback: emitted as an explicit ghost
+    /// wire so the output still shows the connection.
+    GhostWire,
+}
+
+/// Record of one net that went through the salvage cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SalvageRecord {
+    /// The net that the main passes could not route.
+    pub net: NetId,
+    /// The step that finally handled it.
+    pub step: SalvageStep,
+    /// `true` when the original failure was a budget breach rather
+    /// than an exhausted search.
+    pub over_budget: bool,
+}
 
 /// Outcome of a routing run.
 #[derive(Debug, Clone, Default)]
 pub struct RouteReport {
     /// Nets routed successfully (including those fixed by the retry
-    /// pass).
+    /// pass or the salvage cascade).
     pub routed: Vec<NetId>,
     /// Nets the router could not complete; their routes stay empty and
     /// a designer (or another pass) may intervene, as in the paper's
-    /// example 3.
+    /// example 3. With salvage enabled these nets carry a ghost wire.
     pub failed: Vec<NetId>,
+    /// Nets that needed the salvage cascade, in the order they were
+    /// salvaged, and how each one ended.
+    pub salvaged: Vec<SalvageRecord>,
 }
 
 impl RouteReport {
@@ -108,10 +144,11 @@ impl Eureka {
                 report.routed.push(n);
                 continue;
             }
-            if self.route_net(diagram, &network, &mut map, n) {
+            let mut meter = BudgetMeter::start(self.config.budget);
+            if self.route_net(diagram, &network, &mut map, n, &mut meter) {
                 report.routed.push(n);
             } else {
-                failed_first_pass.push(n);
+                failed_first_pass.push((n, meter.breach().is_some()));
             }
         }
 
@@ -119,16 +156,52 @@ impl Eureka {
         if self.config.retry_failed && !failed_first_pass.is_empty() {
             map.remove_all_claims();
         }
-        for n in failed_first_pass {
-            if self.config.retry_failed && self.route_net(diagram, &network, &mut map, n) {
+        let mut failures: Vec<(NetId, bool)> = Vec::new();
+        for (n, over_budget) in failed_first_pass {
+            let mut meter = BudgetMeter::start(self.config.budget);
+            if self.config.retry_failed && self.route_net(diagram, &network, &mut map, n, &mut meter)
+            {
                 report.routed.push(n);
             } else {
-                report.failed.push(n);
+                failures.push((n, over_budget || meter.breach().is_some()));
             }
         }
+
+        // The salvage cascade: rip-up + escalated retry, then the Lee
+        // fallback, then a ghost wire. Claims are irrelevant this deep.
+        if self.config.salvage && !failures.is_empty() {
+            map.remove_all_claims();
+            for (n, over_budget) in failures.drain(..) {
+                let step = self.salvage_net(diagram, &network, &mut map, n, over_budget);
+                report.salvaged.push(SalvageRecord {
+                    net: n,
+                    step,
+                    over_budget,
+                });
+                match step {
+                    SalvageStep::RipUpRetry | SalvageStep::LeeFallback => report.routed.push(n),
+                    SalvageStep::GhostWire => report.failed.push(n),
+                }
+            }
+        }
+        report.failed.extend(failures.into_iter().map(|(n, _)| n));
         report.routed.sort_unstable();
         report.failed.sort_unstable();
         report
+    }
+
+    /// The routing-plane border rect (the paper's ±inf border, made
+    /// finite by the configured margins).
+    fn border_rect(&self, diagram: &Diagram, network: &Network) -> Rect {
+        let bb = diagram
+            .placement()
+            .bounding_box(network)
+            .unwrap_or_else(|| Rect::new(Point::ORIGIN, 4, 4));
+        let [ml, mr, md, mu] = self.config.margins;
+        Rect::from_corners(
+            bb.lower_left() - Point::new(ml.max(1), md.max(1)),
+            bb.upper_right() + Point::new(mr.max(1), mu.max(1)),
+        )
     }
 
     /// Builds the obstacle configuration (`ADD_OBSTACLE_BOUNDINGS` plus
@@ -137,15 +210,7 @@ impl Eureka {
         let placement = diagram.placement();
         let mut map = ObstacleMap::new();
 
-        // Plane border (the paper's ±inf border, made finite).
-        let bb = placement
-            .bounding_box(network)
-            .unwrap_or_else(|| Rect::new(Point::ORIGIN, 4, 4));
-        let [ml, mr, md, mu] = self.config.margins;
-        let border = Rect::from_corners(
-            bb.lower_left() - Point::new(ml.max(1), md.max(1)),
-            bb.upper_right() + Point::new(mr.max(1), mu.max(1)),
-        );
+        let border = self.border_rect(diagram, network);
         map.add_rect(&border, ObstacleKind::Module);
 
         for m in network.modules() {
@@ -183,13 +248,16 @@ impl Eureka {
     }
 
     /// Routes one net: initiate a point-to-point connection, then
-    /// expand to the remaining terminals one at a time (§5.5.3).
+    /// expand to the remaining terminals one at a time (§5.5.3). All
+    /// of the net's searches share `meter`, so the budget bounds the
+    /// net as a whole.
     fn route_net(
         &self,
         diagram: &mut Diagram,
         network: &Network,
         map: &mut ObstacleMap,
         net: NetId,
+        meter: &mut BudgetMeter,
     ) -> bool {
         let placement = diagram.placement();
         let pins: Vec<(Point, Vec<Dir>)> = network
@@ -273,7 +341,7 @@ impl Eureka {
                 for &d in &pins[j].1 {
                     search.seed(Front::B, pins[j].0, d);
                 }
-                if let Some(conn) = search.run() {
+                if let SearchResult::Connected(conn) = search.run(meter) {
                     for seg in conn.segments {
                         wired.push(seg);
                         added.push(seg);
@@ -298,8 +366,8 @@ impl Eureka {
             for &d in &pins[i].1 {
                 search.seed(Front::A, pins[i].0, d);
             }
-            match search.run() {
-                Some(conn) => {
+            match search.run(meter) {
+                SearchResult::Connected(conn) => {
                     for seg in conn.segments {
                         wired.push(seg);
                         added.push(seg);
@@ -313,7 +381,7 @@ impl Eureka {
                         }
                     }
                 }
-                None => ok = false,
+                SearchResult::Unreachable | SearchResult::OverBudget => ok = false,
             }
         }
 
@@ -340,6 +408,236 @@ impl Eureka {
                     }
                 }
             }
+            false
+        }
+    }
+
+    /// The placed positions of a net's pins.
+    fn pin_points(diagram: &Diagram, network: &Network, net: NetId) -> Vec<Point> {
+        let placement = diagram.placement();
+        network
+            .net(net)
+            .pins()
+            .iter()
+            .map(|&pin| placement.pin_position(network, pin))
+            .collect()
+    }
+
+    /// Routed nets whose wires pass near the failed net's pins, lowest
+    /// priority (fewest pins, latest definition) first, capped at
+    /// [`MAX_VICTIMS`].
+    fn pick_victims(&self, diagram: &Diagram, network: &Network, net: NetId) -> Vec<NetId> {
+        let pins = Self::pin_points(diagram, network, net);
+        let Some(&first) = pins.first() else {
+            return Vec::new();
+        };
+        let mut lo = first;
+        let mut hi = first;
+        for p in &pins {
+            lo = Point::new(lo.x.min(p.x), lo.y.min(p.y));
+            hi = Point::new(hi.x.max(p.x), hi.y.max(p.y));
+        }
+        let zone = Rect::from_corners(lo, hi).inflate(2);
+        let in_zone = |s: &Segment| {
+            let (a, b) = s.endpoints();
+            let (ll, ur) = (zone.lower_left(), zone.upper_right());
+            match s.axis() {
+                Axis::Horizontal => {
+                    a.y >= ll.y && a.y <= ur.y && b.x >= ll.x && a.x <= ur.x
+                }
+                Axis::Vertical => {
+                    a.x >= ll.x && a.x <= ur.x && b.y >= ll.y && a.y <= ur.y
+                }
+            }
+        };
+        let mut victims: Vec<NetId> = diagram
+            .routes()
+            .filter(|&(v, path)| v != net && path.segments().iter().any(in_zone))
+            .map(|(v, _)| v)
+            .collect();
+        victims.sort_by_key(|&v| (network.net(v).pins().len(), usize::MAX - v.index()));
+        victims.truncate(MAX_VICTIMS);
+        victims
+    }
+
+    /// The salvage cascade for one failed net. Tries rip-up plus an
+    /// escalated-budget retry, then the Lee fallback, then emits a
+    /// ghost wire. Rip-up is all-or-nothing: if the net or any victim
+    /// cannot be rerouted, every route is restored before moving on.
+    fn salvage_net(
+        &self,
+        diagram: &mut Diagram,
+        network: &Network,
+        map: &mut ObstacleMap,
+        net: NetId,
+        over_budget: bool,
+    ) -> SalvageStep {
+        let escalated = self.config.budget.scaled(ESCALATION_FACTOR);
+
+        let victims = self.pick_victims(diagram, network, net);
+        if !victims.is_empty() || over_budget {
+            let net_before = diagram.route(net).cloned();
+            let saved: Vec<(NetId, NetPath)> = victims
+                .iter()
+                .filter_map(|&v| diagram.clear_route(v).map(|p| (v, p)))
+                .collect();
+            for (v, _) in &saved {
+                map.remove_net(*v);
+            }
+            let mut ok = {
+                let mut meter = BudgetMeter::start(escalated);
+                self.route_net(diagram, network, map, net, &mut meter)
+            };
+            if ok {
+                for (v, _) in &saved {
+                    let mut meter = BudgetMeter::start(escalated);
+                    if !self.route_net(diagram, network, map, *v, &mut meter) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                return SalvageStep::RipUpRetry;
+            }
+            // Roll back: drop whatever the retry added, restore every
+            // victim and the net's own prior (pre)route.
+            map.remove_net(net);
+            diagram.clear_route(net);
+            if let Some(path) = net_before {
+                for seg in split_at_junctions(path.segments()) {
+                    map.add(seg, ObstacleKind::Net(net));
+                }
+                diagram.set_route(net, path);
+            }
+            for (v, path) in saved {
+                map.remove_net(v);
+                diagram.clear_route(v);
+                for seg in split_at_junctions(path.segments()) {
+                    map.add(seg, ObstacleKind::Net(v));
+                }
+                diagram.set_route(v, path);
+            }
+        }
+
+        if self.lee_fallback(diagram, network, map, net, escalated) {
+            return SalvageStep::LeeFallback;
+        }
+
+        // Last resort: an explicit placeholder so the diagram still
+        // shows the connection.
+        let pins = Self::pin_points(diagram, network, net);
+        let lines = pins
+            .split_first()
+            .map(|(&first, rest)| rest.iter().map(|&p| (first, p)).collect())
+            .unwrap_or_default();
+        diagram.set_ghost(net, GhostWire { lines });
+        SalvageStep::GhostWire
+    }
+
+    /// Routes a failed net with the Lee maze router, pin pair by pin
+    /// pair, under `budget`. All-or-nothing like the main router.
+    fn lee_fallback(
+        &self,
+        diagram: &mut Diagram,
+        network: &Network,
+        map: &mut ObstacleMap,
+        net: NetId,
+        budget: crate::Budget,
+    ) -> bool {
+        let pins = Self::pin_points(diagram, network, net);
+        if pins.len() < 2 {
+            return false;
+        }
+        let bounds = self.border_rect(diagram, network).inflate(-1);
+
+        // Like route_net: the net's own system-terminal point obstacles
+        // must not block it.
+        let st_points: Vec<Point> = network
+            .net(net)
+            .pins()
+            .iter()
+            .filter_map(|&pin| match pin {
+                Pin::System(st) => diagram.placement().system_term(st),
+                Pin::Sub { .. } => None,
+            })
+            .collect();
+        map.retain_not(|_, track, o| {
+            o.kind == ObstacleKind::Module
+                && o.span.is_point()
+                && st_points.iter().any(|p| {
+                    (p.y == track && p.x == o.span.lo()) || (p.x == track && p.y == o.span.lo())
+                })
+        });
+
+        let prerouted: Vec<Segment> = diagram
+            .route(net)
+            .map(|p| p.segments().to_vec())
+            .unwrap_or_default();
+        let mut wired = prerouted.clone();
+        let mut connected = vec![false; pins.len()];
+        if wired.is_empty() {
+            connected[0] = true;
+        } else {
+            for (i, p) in pins.iter().enumerate() {
+                if wired.iter().any(|s| s.contains(*p)) {
+                    connected[i] = true;
+                }
+            }
+            if !connected.iter().any(|&c| c) {
+                connected[0] = true;
+            }
+        }
+
+        let refresh = |map: &mut ObstacleMap, wired: &[Segment]| {
+            map.remove_net(net);
+            for seg in split_at_junctions(&merge_collinear(wired.to_vec())) {
+                map.add(seg, ObstacleKind::Net(net));
+            }
+        };
+
+        let mut meter = BudgetMeter::start(budget);
+        let mut ok = true;
+        while ok {
+            let next = (0..pins.len()).filter(|&i| !connected[i]).min_by_key(|&i| {
+                (0..pins.len())
+                    .filter(|&j| connected[j])
+                    .map(|j| pins[i].manhattan(pins[j]))
+                    .min()
+                    .unwrap_or(u32::MAX)
+            });
+            let Some(i) = next else { break };
+            let target = (0..pins.len())
+                .filter(|&j| connected[j])
+                .min_by_key(|&j| pins[i].manhattan(pins[j]));
+            let Some(j) = target else {
+                ok = false;
+                break;
+            };
+            match lee::route_two_points_metered(map, bounds, pins[i], pins[j], net, &mut meter) {
+                Some(path) => {
+                    wired.extend(path.segments());
+                    refresh(map, &wired);
+                    connected[i] = true;
+                    for (k, p) in pins.iter().enumerate() {
+                        if !connected[k] && wired.iter().any(|s| s.contains(*p)) {
+                            connected[k] = true;
+                        }
+                    }
+                }
+                None => ok = false,
+            }
+        }
+
+        for p in &st_points {
+            map.add_point(*p, ObstacleKind::Module);
+        }
+
+        if ok {
+            diagram.set_route(net, NetPath::from_segments(merge_collinear(wired)));
+            true
+        } else {
+            refresh(map, &prerouted);
             false
         }
     }
@@ -608,5 +906,112 @@ mod tests {
         Eureka::new(RouteConfig::default()).route(&mut d1);
         Eureka::new(RouteConfig::default()).route(&mut d2);
         assert_eq!(d1.route(n).unwrap().segments(), d2.route(n).unwrap().segments());
+    }
+
+    #[test]
+    fn lee_fallback_routes_a_failed_net() {
+        let (mut d, n) = simple_diagram();
+        let router = Eureka::new(RouteConfig::default());
+        let network = d.network().clone();
+        let mut map = router.build_map(&d, &network);
+        assert!(
+            router.lee_fallback(&mut d, &network, &mut map, n, crate::Budget::UNLIMITED),
+            "lee fallback must connect a plainly routable net"
+        );
+        let path = d.route(n).unwrap();
+        assert!(path.connects(&[Point::new(4, 1), Point::new(10, 1)]));
+        assert!(path.is_tree());
+        assert!(d.check().is_ok(), "{}", d.check());
+    }
+
+    #[test]
+    fn lee_fallback_under_tiny_budget_reports_failure_and_rolls_back() {
+        let (mut d, n) = simple_diagram();
+        let router = Eureka::new(RouteConfig::default());
+        let network = d.network().clone();
+        let mut map = router.build_map(&d, &network);
+        let before = map.len();
+        assert!(!router.lee_fallback(
+            &mut d,
+            &network,
+            &mut map,
+            n,
+            crate::Budget::new().with_node_limit(1),
+        ));
+        assert!(d.route(n).is_none(), "failed fallback leaves no route");
+        assert_eq!(map.len(), before, "map rolled back to preroute state");
+    }
+
+    #[test]
+    fn salvage_emits_ghost_when_nothing_works() {
+        // Enclose u1's input terminal completely: a blocker module butts
+        // flush against u1, so the pin at their shared edge has no free
+        // neighbour and no router — escalated or Lee — can reach it.
+        let (lib, t) = buf_lib();
+        let mut b = NetworkBuilder::new(lib);
+        let u0 = b.add_instance("u0", t).unwrap();
+        let u1 = b.add_instance("u1", t).unwrap();
+        let blocker = b.add_instance("blocker", t).unwrap();
+        b.connect_pin("n", u0, "y").unwrap();
+        b.connect_pin("n", u1, "a").unwrap();
+        let network = b.finish().unwrap();
+        let n = network.net_by_name("n").unwrap();
+        let mut placement = netart_diagram::Placement::new(&network);
+        placement.place_module(u0, Point::new(0, 10), Rotation::R0);
+        placement.place_module(u1, Point::new(20, 10), Rotation::R0);
+        placement.place_module(blocker, Point::new(16, 10), Rotation::R0);
+        let mut d = Diagram::new(network, placement);
+        let report = Eureka::new(RouteConfig::default()).route(&mut d);
+        assert_eq!(report.failed, vec![n]);
+        assert_eq!(report.salvaged.len(), 1);
+        assert_eq!(report.salvaged[0].step, SalvageStep::GhostWire);
+        assert!(report.salvaged[0].net == n);
+        let ghost = d.ghost(n).expect("ghost wire recorded");
+        assert_eq!(ghost.lines, vec![(Point::new(4, 11), Point::new(20, 11))]);
+        assert!(d.route(n).is_none(), "ghosted net must not carry wires");
+    }
+
+    #[test]
+    fn rip_up_rollback_preserves_victim_routes() {
+        // `good` routes straight through the corridor next to `bad`'s
+        // pins, so salvage picks it as a rip-up victim; `bad` stays
+        // unroutable (its sink pin is enclosed), so the cascade must
+        // roll `good` back verbatim before ghosting `bad`.
+        let (lib, t) = buf_lib();
+        let mut b = NetworkBuilder::new(lib);
+        let u0 = b.add_instance("u0", t).unwrap();
+        let u1 = b.add_instance("u1", t).unwrap();
+        let u2 = b.add_instance("u2", t).unwrap();
+        let u3 = b.add_instance("u3", t).unwrap();
+        let blocker = b.add_instance("blocker", t).unwrap();
+        b.connect_pin("good", u0, "y").unwrap();
+        b.connect_pin("good", u1, "a").unwrap();
+        b.connect_pin("bad", u2, "y").unwrap();
+        b.connect_pin("bad", u3, "a").unwrap();
+        let network = b.finish().unwrap();
+        let good = network.net_by_name("good").unwrap();
+        let bad = network.net_by_name("bad").unwrap();
+        let mut placement = netart_diagram::Placement::new(&network);
+        // `good` spans (4,9)-(10,9), inside the rip-up zone around
+        // `bad`'s pins at (4,11) and (20,11).
+        placement.place_module(u0, Point::new(0, 8), Rotation::R0);
+        placement.place_module(u1, Point::new(10, 8), Rotation::R0);
+        placement.place_module(u2, Point::new(0, 10), Rotation::R0);
+        placement.place_module(u3, Point::new(20, 10), Rotation::R0);
+        placement.place_module(blocker, Point::new(16, 10), Rotation::R0);
+        let mut d = Diagram::new(network.clone(), placement);
+        let router = Eureka::new(RouteConfig::default());
+        assert_eq!(
+            router.pick_victims(&d, &network, bad),
+            vec![],
+            "nothing routed yet, no victims"
+        );
+        let report = router.route(&mut d);
+        assert!(report.routed.contains(&good), "{report:?}");
+        assert_eq!(report.failed, vec![bad]);
+        let path = d.route(good).expect("victim restored after rollback");
+        assert!(path.connects(&[Point::new(4, 9), Point::new(10, 9)]));
+        assert!(d.ghost(bad).is_some());
+        assert!(d.check().is_ok(), "{}", d.check());
     }
 }

@@ -27,7 +27,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         network.system_term_count()
     );
     let hand = life::hand_placement(&network);
-    let outcome = Generator::new().route_only(network, hand);
+    let outcome = Generator::new()
+        .route_only(network, hand)
+        .expect("hand placement is complete");
     println!("\nfigure 6.6 — hand placement:");
     println!(
         "  routed {}/222 nets in {:?}",

@@ -134,7 +134,9 @@ fn life_hand_placement_routes_like_the_paper() {
     // Figure 6.6: hand placement, 222 nets, almost everything routes.
     let net = life::network();
     let hand = life::hand_placement(&net);
-    let out = Generator::new().route_only(net, hand);
+    let out = Generator::new()
+        .route_only(net, hand)
+        .expect("hand placement is complete");
     let check = out.diagram.check();
     assert!(check.is_ok(), "{check}");
     let routed = out.report.routed.len();

@@ -1,0 +1,224 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate (0.8 API subset).
+//!
+//! The build environment has no network access and no registry cache,
+//! so the workspace vendors the slice of `rand` it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over half-open integer ranges, [`Rng::gen_bool`]
+//! and [`seq::SliceRandom::shuffle`]/[`seq::SliceRandom::choose`].
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — a
+//! different stream than upstream `StdRng` (ChaCha12), which is fine:
+//! every consumer in this workspace treats seeded randomness as an
+//! arbitrary-but-deterministic source, never as a reproduction of
+//! upstream streams. Determinism is what the tests rely on, and that
+//! is guaranteed: the same seed always yields the same sequence.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A seedable random number generator. Stand-in for `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling support for a primitive type, used by
+/// [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with empty range");
+                // Width fits in u64 for every integer type we support.
+                let width = (hi as i128 - lo as i128) as u64;
+                let v = rng.next_u64() % width; // slight modulo bias: fine for tests/workloads
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// The user-facing generator trait. Stand-in for `rand::Rng`.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Stand-in for `rand::rngs::StdRng`: xoshiro256** seeded via
+    /// SplitMix64. Deterministic per seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// Stand-in for `rand::rngs::SmallRng` (same engine here).
+    pub type SmallRng = StdRng;
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 stream expands the seed into full state and
+            // guarantees a non-zero state even for seed 0.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** by Blackman & Vigna (public domain).
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers. Stand-in for `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Extension methods on slices. Stand-in for
+    /// `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` when empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).all(|_| a.next_u64() == b.next_u64());
+        assert!(!same);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..9i32);
+            assert!((3..9).contains(&v));
+            let u = rng.gen_range(0..5usize);
+            assert!(u < 5);
+            let n = rng.gen_range(-10..-2i64);
+            assert!((-10..-2).contains(&n));
+        }
+        // Every value of a small range appears.
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<i32> = (0..20).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig, "20 elements virtually never shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle is a permutation");
+    }
+
+    #[test]
+    fn choose_and_bool() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([1, 2, 3].choose(&mut rng).is_some());
+        let trues = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((300..700).contains(&trues), "{trues}");
+    }
+}
