@@ -7,10 +7,22 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use netart::obs::Json;
 use netart::place::PlaceConfig;
 use netart::route::RouteConfig;
 use netart::Generator;
 use netart_workloads::{life, random_network, RandomSpec};
+
+/// One instrumented LIFE hand-placement run with or without claims.
+fn exemplar(claims: bool) -> netart::Outcome {
+    let network = life::network();
+    let mut route = RouteConfig::new().without_retry();
+    route.claimpoints = claims;
+    Generator::new()
+        .with_routing(route)
+        .route_only(network.clone(), life::hand_placement(&network))
+        .expect("hand placement is complete")
+}
 
 fn failures(claims: bool) -> (usize, usize) {
     let mut failed = 0;
@@ -51,6 +63,25 @@ fn bench_claims(c: &mut Criterion) {
             0.0
         }
     );
+
+    // Per-phase breakdowns of one exemplar run per arm, plus the
+    // headline counts, into BENCH_ablation_claims.json.
+    let json = Json::obj()
+        .with("total_nets", total)
+        .with("unroutable_with_claims", with)
+        .with("unroutable_without_claims", without)
+        .with(
+            "with_claims",
+            exemplar(true).run_report("ablation_with_claims").to_json(),
+        )
+        .with(
+            "without_claims",
+            exemplar(false).run_report("ablation_without_claims").to_json(),
+        );
+    match netart_bench::write_bench_json("ablation_claims", &json) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_ablation_claims.json: {e}"),
+    }
 
     let mut g = c.benchmark_group("claimpoints");
     g.sample_size(10);

@@ -73,6 +73,14 @@ fn bench_rows(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    // One instrumented run per row: the per-phase timing breakdown
+    // lands in BENCH_table_6_1.json at the repo root.
+    let rows = netart_bench::table_6_1();
+    match netart_bench::write_bench_json("table_6_1", &netart_bench::rows_json(&rows)) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_table_6_1.json: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_rows);

@@ -44,6 +44,10 @@ fn table_6_1() {
     println!("\nmeasured:");
     let rows = netart_bench::table_6_1();
     println!("{}", render_table(&rows));
+    match netart_bench::write_bench_json("table_6_1", &netart_bench::rows_json(&rows)) {
+        Ok(path) => println!("per-phase timing breakdown written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_table_6_1.json: {e}"),
+    }
     let hand = rows.iter().find(|r| r.label == "fig 6.6").expect("row");
     let auto = rows.iter().find(|r| r.label == "fig 6.7").expect("row");
     println!(

@@ -9,10 +9,12 @@
 
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use netart::diagram::{Diagram, DiagramMetrics};
 use netart::geom::{Point, Rotation};
+use netart::obs::{Json, RunReport};
 use netart::place::PlaceConfig;
 use netart::route::RouteConfig;
 use netart::Generator;
@@ -36,6 +38,9 @@ pub struct Row {
     pub routed: usize,
     /// Diagram quality metrics.
     pub metrics: DiagramMetrics,
+    /// The run's full machine-readable report: per-phase timings,
+    /// per-net router effort, degradation context.
+    pub report: RunReport,
 }
 
 impl Row {
@@ -48,8 +53,31 @@ impl Row {
             route_time: outcome.route_time,
             routed: outcome.report.routed.len(),
             metrics: outcome.diagram.metrics(),
+            report: outcome.run_report(label),
         }
     }
+}
+
+/// The rows' run reports as one JSON array — the per-phase timing
+/// breakdown the `BENCH_*.json` files carry.
+pub fn rows_json(rows: &[Row]) -> Json {
+    Json::Arr(rows.iter().map(|r| r.report.to_json()).collect())
+}
+
+/// Writes `BENCH_<name>.json` at the repository root (next to the
+/// workspace `Cargo.toml`), so bench invocations leave their
+/// machine-readable traces in one predictable place. Returns the path
+/// written.
+///
+/// # Errors
+///
+/// Any filesystem error from the write.
+pub fn write_bench_json(name: &str, json: &Json) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, json.render_pretty())?;
+    Ok(path)
 }
 
 /// Figure 6.1: a string of six modules, one partition, one box.

@@ -5,15 +5,57 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use netart::diagram::{escher, svg, Diagram};
 use netart::netlist::format::{self, quinto};
 use netart::netlist::{Library, Network};
+use netart::obs::{JsonLinesSubscriber, RunReport, TextSubscriber};
 use netart::place::{Pablo, PlaceConfig};
-use netart::route::{Budget, Eureka, NetOrder, RouteConfig};
+use netart::route::{Budget, NetOrder, RouteConfig};
+use netart::Generator;
 
 use crate::{ArgError, ParsedArgs};
+
+/// Nanoseconds of a duration, saturating at `u64::MAX`.
+fn ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Parses the shared observability flags and installs the matching
+/// stderr subscriber. `--trace-level <error|warn|info|debug|trace>`
+/// turns on the human-readable text stream; `--log-json` switches the
+/// stream to one JSON object per line (at `--trace-level`, defaulting
+/// to `info`). Without either flag no subscriber is installed and the
+/// library instrumentation stays disabled.
+fn install_subscriber(args: &ParsedArgs) -> Result<(), CliError> {
+    let level = match args.value("trace-level") {
+        Some(s) => Some(s.parse::<tracing::Level>().map_err(|_| ArgError::BadValue {
+            flag: "trace-level".into(),
+            value: s.into(),
+        })?),
+        None => None,
+    };
+    // Lenient: in-process callers (tests) may install twice; the first
+    // subscriber wins, which is fine for a diagnostics stream.
+    if args.has("log-json") {
+        let _ = tracing::set_global_default(JsonLinesSubscriber::new(
+            level.unwrap_or(tracing::Level::INFO),
+        ));
+    } else if let Some(max) = level {
+        let _ = tracing::set_global_default(TextSubscriber::new(max));
+    }
+    Ok(())
+}
+
+/// Writes the machine-readable run report when `--report-json <path>`
+/// was given.
+fn write_report(args: &ParsedArgs, report: &RunReport) -> Result<(), CliError> {
+    if let Some(path) = args.value("report-json") {
+        write(Path::new(path), &report.to_json_string())?;
+    }
+    Ok(())
+}
 
 /// What a routing command produced, and how the process should exit.
 ///
@@ -270,6 +312,7 @@ pub fn run_pablo(argv: &[String]) -> Result<String, CliError> {
 
 /// `eureka [-u] [-d] [-r] [-l] [-s] [-m margin] [--order def|most|few]
 /// [--no-claims] [--route-timeout ms] [--max-nodes n] [--strict]
+/// [--report-json report.json] [--log-json] [--trace-level lvl]
 /// [-L libdir] [-o name] --diagram placed.esc net-list call-file
 /// [io-file]`
 ///
@@ -278,7 +321,9 @@ pub fn run_pablo(argv: &[String]) -> Result<String, CliError> {
 /// with prerouted nets); the netlist files supply the connection rules.
 /// `--route-timeout`/`--max-nodes` bound the per-net search effort (the
 /// salvage cascade handles nets that bust the budget); see
-/// [`RunOutput`] for how degraded runs exit.
+/// [`RunOutput`] for how degraded runs exit. `--report-json` writes the
+/// machine-readable run report, `--trace-level`/`--log-json` stream
+/// diagnostics to stderr.
 ///
 /// # Errors
 ///
@@ -286,21 +331,27 @@ pub fn run_pablo(argv: &[String]) -> Result<String, CliError> {
 pub fn run_eureka(argv: &[String]) -> Result<RunOutput, CliError> {
     let args = ParsedArgs::parse(
         argv,
-        &["m", "order", "L", "o", "diagram", "route-timeout", "max-nodes"],
-        &["u", "d", "r", "l", "s", "no-claims", "no-salvage", "strict"],
+        &[
+            "m", "order", "L", "o", "diagram", "route-timeout", "max-nodes", "report-json",
+            "trace-level",
+        ],
+        &["u", "d", "r", "l", "s", "no-claims", "no-salvage", "strict", "log-json"],
         (2, 3),
     )?;
+    install_subscriber(&args)?;
+    let t_parse = Instant::now();
     let network = load_network(&args)?;
 
     let diagram_file = args
         .value("diagram")
         .ok_or_else(|| CliError::Other("eureka needs --diagram <placed.esc>".into()))?;
     let path = Path::new(diagram_file);
-    let mut diagram =
+    let diagram =
         escher::parse_diagram(network, &read(path)?).map_err(|e| CliError::Parse {
             path: path.to_owned(),
             message: e.to_string(),
         })?;
+    let parse_ns = ns(t_parse.elapsed());
 
     let mut config = RouteConfig::new()
         .with_margin(args.parsed("m", 4i32)?)
@@ -339,17 +390,26 @@ pub fn run_eureka(argv: &[String]) -> Result<RunOutput, CliError> {
         }
     });
 
-    let report = Eureka::new(config).route(&mut diagram);
+    let outcome = Generator::new()
+        .with_routing(config)
+        .route_diagram(diagram)
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    let report = &outcome.report;
     let mut summary = format!(
         "routed {}/{} nets",
         report.routed.len(),
         report.routed.len() + report.failed.len()
     );
-    summary.push_str(&salvage_summary(&diagram, &report));
-    let files = emit_diagram(&args, "eureka_out", &diagram)?;
+    summary.push_str(&salvage_summary(&outcome.diagram, report));
+    let t_emit = Instant::now();
+    let files = emit_diagram(&args, "eureka_out", &outcome.diagram)?;
+    let mut run_report = outcome.run_report("eureka");
+    run_report.push_phase_front("parse", parse_ns);
+    run_report.push_phase("emit", ns(t_emit.elapsed()));
+    write_report(&args, &run_report)?;
     Ok(RunOutput {
-        message: format!("{summary}\n{}\n{files}", diagram.metrics()),
-        degraded: !report.failed.is_empty() || !report.salvaged.is_empty(),
+        message: format!("{summary}\n{}\n{files}", outcome.diagram.metrics()),
+        degraded: !outcome.is_clean(),
         strict: args.has("strict"),
     })
 }
@@ -382,7 +442,8 @@ fn salvage_summary(diagram: &Diagram, report: &netart::route::RouteReport) -> St
 
 /// `netart [-p n] [-b n] [-c n] [-e n] [-i n] [-s n] [-m margin]
 /// [--order def|most|few] [--no-claims] [--route-timeout ms]
-/// [--max-nodes n] [--strict] [--art] [-L libdir] [-o name] net-list
+/// [--max-nodes n] [--strict] [--art] [--report-json report.json]
+/// [--log-json] [--trace-level lvl] [-L libdir] [-o name] net-list
 /// call-file [io-file]`
 ///
 /// The full pipeline — PABLO placement followed by EUREKA routing — in
@@ -390,7 +451,9 @@ fn salvage_summary(diagram: &Diagram, report: &netart::route::RouteReport) -> St
 /// diagram to the output. Writes `<name>.esc` / `<name>.svg` (with the
 /// partition/box structure overlaid in the SVG).
 /// `--route-timeout`/`--max-nodes` bound the per-net search effort; see
-/// [`RunOutput`] for how degraded runs exit.
+/// [`RunOutput`] for how degraded runs exit. `--report-json` writes the
+/// machine-readable run report, `--trace-level`/`--log-json` stream
+/// diagnostics to stderr.
 ///
 /// # Errors
 ///
@@ -398,11 +461,17 @@ fn salvage_summary(diagram: &Diagram, report: &netart::route::RouteReport) -> St
 pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
     let args = ParsedArgs::parse(
         argv,
-        &["p", "b", "c", "e", "i", "s", "m", "order", "L", "o", "route-timeout", "max-nodes"],
-        &["no-claims", "no-salvage", "art", "strict"],
+        &[
+            "p", "b", "c", "e", "i", "s", "m", "order", "L", "o", "route-timeout", "max-nodes",
+            "report-json", "trace-level",
+        ],
+        &["no-claims", "no-salvage", "art", "strict", "log-json"],
         (2, 3),
     )?;
+    install_subscriber(&args)?;
+    let t_parse = Instant::now();
     let network = load_network(&args)?;
+    let parse_ns = ns(t_parse.elapsed());
 
     let mut place = PlaceConfig::new()
         .with_max_part_size(args.parsed("p", 1usize)?)
@@ -444,6 +513,7 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
         .generate(network);
     let diagram = &outcome.diagram;
     let out = args.value("o").unwrap_or("netart_out");
+    let t_emit = Instant::now();
     write(
         Path::new(&format!("{out}.esc")),
         &escher::write_diagram(out, diagram),
@@ -452,6 +522,10 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
         Path::new(&format!("{out}.svg")),
         &svg::render_with_structure(diagram),
     )?;
+    let mut run_report = outcome.run_report("netart");
+    run_report.push_phase_front("parse", parse_ns);
+    run_report.push_phase("emit", ns(t_emit.elapsed()));
+    write_report(&args, &run_report)?;
 
     let mut summary = format!(
         "placed {} modules in {:?}; routed {}/{} nets in {:?}\n{}\nwrote {out}.esc and {out}.svg",
@@ -618,6 +692,75 @@ mod tests {
         assert!(!run.degraded, "{msg}");
         assert!(dir.join("full.esc").exists());
         assert!(dir.join("full.svg").exists());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn netart_writes_run_report() {
+        let dir = scratch("report");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        let out = dir.join("rep").to_string_lossy().into_owned();
+        let report = dir.join("report.json").to_string_lossy().into_owned();
+        let run = run_netart(&argv(&[
+            "-L",
+            &lib,
+            "-o",
+            &out,
+            "--report-json",
+            &report,
+            &nets,
+            &calls,
+            &io,
+        ]))
+        .expect("netart runs");
+        let doc = fs::read_to_string(dir.join("report.json")).expect("report written");
+        assert!(doc.contains("\"schema_version\": 1"), "{doc}");
+        assert!(doc.contains("\"tool\": \"netart\""), "{doc}");
+        for phase in ["parse", "place", "route", "emit"] {
+            assert!(doc.contains(&format!("\"name\": \"{phase}\"")), "{doc}");
+        }
+        assert!(doc.contains("\"is_clean\": true"), "{doc}");
+        assert!(!run.degraded);
+
+        // The eureka flow writes a report of its own.
+        let esc = dir.join("rep.esc").to_string_lossy().into_owned();
+        let routed = dir.join("routed").to_string_lossy().into_owned();
+        let ereport = dir.join("eureka.json").to_string_lossy().into_owned();
+        run_eureka(&argv(&[
+            "-L",
+            &lib,
+            "--diagram",
+            &esc,
+            "-o",
+            &routed,
+            "--report-json",
+            &ereport,
+            &nets,
+            &calls,
+            &io,
+        ]))
+        .expect("eureka runs");
+        let doc = fs::read_to_string(dir.join("eureka.json")).expect("report written");
+        assert!(doc.contains("\"tool\": \"eureka\""), "{doc}");
+        assert!(doc.contains("\"nodes_expanded\""), "{doc}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn bad_trace_level_is_rejected() {
+        let dir = scratch("tracelvl");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        let err = run_netart(&argv(&[
+            "-L",
+            &lib,
+            "--trace-level",
+            "loud",
+            &nets,
+            &calls,
+            &io,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("loud"), "{err}");
         let _ = fs::remove_dir_all(dir);
     }
 

@@ -63,8 +63,13 @@ use std::time::{Duration, Instant};
 use netart_diagram::{Diagram, Placement};
 use netart_geom::{Point, Rotation};
 use netart_netlist::{NetId, Network};
+use netart_obs::{
+    DegradationReport, Metrics, MetricsSnapshot, NetReport, NetworkReport, QualityReport,
+    RunReport,
+};
 use netart_place::{Pablo, PlaceConfig};
 use netart_route::{Eureka, RouteConfig, RouteReport, SalvageStep};
+use tracing::{error, info, span, warn, Level};
 
 /// Re-export of the geometry substrate.
 pub use netart_geom as geom;
@@ -80,6 +85,10 @@ pub use netart_place as place;
 
 /// Re-export of the routing phase.
 pub use netart_route as route;
+
+/// Re-export of the observability layer (metrics, run reports,
+/// tracing subscribers).
+pub use netart_obs as obs;
 
 pub use netart_diagram::{DiagramMetrics, NetPath};
 pub use netart_place::PlaceConfig as Placing;
@@ -157,6 +166,9 @@ pub struct Outcome {
     /// Everything that went wrong without stopping the run, in the
     /// order it happened. Empty on a clean run.
     pub degradations: Vec<Degradation>,
+    /// The run's frozen metrics registry: deterministic counters
+    /// (routing effort, quality) plus wall-clock histograms.
+    pub metrics: MetricsSnapshot,
 }
 
 impl Outcome {
@@ -165,11 +177,117 @@ impl Outcome {
     pub fn is_clean(&self) -> bool {
         self.degradations.is_empty()
     }
+
+    /// Freezes the run into its machine-readable [`RunReport`]:
+    /// network size, `place`/`route` phase timings, per-net router
+    /// effort, per-degradation context, §4.4 quality metrics and the
+    /// metrics snapshot. Callers (the CLIs, the bench harness) may add
+    /// their own phases around the pipeline's with
+    /// [`RunReport::push_phase_front`] / [`RunReport::push_phase`].
+    pub fn run_report(&self, tool: &str) -> RunReport {
+        let network = self.diagram.network();
+        let q = self.diagram.metrics();
+        let mut report = RunReport {
+            tool: tool.to_owned(),
+            network: NetworkReport {
+                modules: network.modules().count(),
+                nets: network.nets().count(),
+                system_terminals: network.system_terms().count(),
+            },
+            quality: QualityReport {
+                routed_nets: q.routed_nets,
+                unrouted_nets: q.unrouted_nets,
+                total_length: q.total_length,
+                total_bends: q.total_bends,
+                crossovers: q.crossovers,
+                branch_points: q.branch_points,
+                bounding_area: q.bounding_area,
+                completion: q.completion(),
+            },
+            metrics: self.metrics.clone(),
+            is_clean: self.is_clean(),
+            ..RunReport::default()
+        };
+        if self.place_time > Duration::ZERO {
+            report.push_phase("place", duration_ns(self.place_time));
+        }
+        report.push_phase("route", duration_ns(self.route_time));
+        for s in &self.report.net_stats {
+            report.nets.push(NetReport {
+                net: network.net(s.net).name().to_owned(),
+                routed: s.routed,
+                prerouted: s.prerouted,
+                nodes_expanded: s.nodes_expanded,
+                over_budget: s.over_budget,
+                retried: s.retried,
+                salvage: s.salvage.map(|step| step.as_str().to_owned()),
+                ripup_victims: s.ripup_victims,
+            });
+        }
+        for d in &self.degradations {
+            report.degradations.push(self.degradation_report(d));
+        }
+        report
+    }
+
+    /// One degradation with the context the report schema wants: the
+    /// net's name and, where the router recorded them, the budget state
+    /// and search effort at the point of failure.
+    fn degradation_report(&self, d: &Degradation) -> DegradationReport {
+        let network = self.diagram.network();
+        let stats_of = |net: NetId| self.report.net_stats.iter().find(|s| s.net == net);
+        match d {
+            Degradation::PlacementRecovered(msg) => DegradationReport {
+                kind: "placement_recovered".into(),
+                net: None,
+                stage: None,
+                routed: None,
+                over_budget: None,
+                nodes_expanded: None,
+                detail: Some(msg.clone()),
+            },
+            Degradation::RoutingAborted(msg) => DegradationReport {
+                kind: "routing_aborted".into(),
+                net: None,
+                stage: None,
+                routed: None,
+                over_budget: None,
+                nodes_expanded: None,
+                detail: Some(msg.clone()),
+            },
+            Degradation::NetSalvaged { net, step, routed } => {
+                let record = self.report.salvaged.iter().find(|s| s.net == *net);
+                DegradationReport {
+                    kind: "net_salvaged".into(),
+                    net: Some(network.net(*net).name().to_owned()),
+                    stage: Some(step.as_str().to_owned()),
+                    routed: Some(*routed),
+                    over_budget: record.map(|r| r.over_budget),
+                    nodes_expanded: stats_of(*net).map(|s| s.nodes_expanded),
+                    detail: None,
+                }
+            }
+            Degradation::NetUnrouted(net) => DegradationReport {
+                kind: "net_unrouted".into(),
+                net: Some(network.net(*net).name().to_owned()),
+                stage: None,
+                routed: Some(false),
+                over_budget: stats_of(*net).map(|s| s.over_budget),
+                nodes_expanded: stats_of(*net).map(|s| s.nodes_expanded),
+                detail: None,
+            },
+        }
+    }
+}
+
+/// Nanoseconds of a duration, saturating at `u64::MAX`.
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 /// Degradations implied by a routing report: one entry per salvaged
 /// net, one per net that stayed unrouted without even a ghost.
-fn route_degradations(report: &RouteReport) -> Vec<Degradation> {
+fn route_degradations(network: &Network, report: &RouteReport) -> Vec<Degradation> {
     let mut out: Vec<Degradation> = report
         .salvaged
         .iter()
@@ -181,10 +299,99 @@ fn route_degradations(report: &RouteReport) -> Vec<Degradation> {
         .collect();
     for &n in &report.failed {
         if !report.salvaged.iter().any(|s| s.net == n) {
+            let stats = report.net_stats.iter().find(|s| s.net == n);
+            warn!(
+                "net unrouted",
+                net = network.net(n).name(),
+                over_budget = stats.is_some_and(|s| s.over_budget),
+                nodes = stats.map_or(0, |s| s.nodes_expanded),
+            );
             out.push(Degradation::NetUnrouted(n));
         }
     }
     out
+}
+
+/// Fills the run's metrics registry from the finished diagram and
+/// routing report. Counters get only deterministic quantities; the
+/// wall-clock phase times go into histograms.
+fn fill_metrics(
+    metrics: &mut Metrics,
+    diagram: &Diagram,
+    report: &RouteReport,
+    degradations: &[Degradation],
+    place_time: Duration,
+    route_time: Duration,
+) {
+    metrics.set("route.nets_routed", report.routed.len() as u64);
+    metrics.set("route.nets_failed", report.failed.len() as u64);
+    metrics.set("route.nets_salvaged", report.salvaged.len() as u64);
+    metrics.set(
+        "route.nodes_expanded",
+        report.net_stats.iter().map(|s| s.nodes_expanded).sum(),
+    );
+    metrics.set(
+        "route.over_budget_nets",
+        report.net_stats.iter().filter(|s| s.over_budget).count() as u64,
+    );
+    metrics.set(
+        "route.retried_nets",
+        report.net_stats.iter().filter(|s| s.retried).count() as u64,
+    );
+    metrics.set(
+        "route.prerouted_nets",
+        report.net_stats.iter().filter(|s| s.prerouted).count() as u64,
+    );
+    metrics.set(
+        "route.ripup_victims",
+        report.net_stats.iter().map(|s| u64::from(s.ripup_victims)).sum(),
+    );
+    metrics.set(
+        "route.ghost_wires",
+        report
+            .salvaged
+            .iter()
+            .filter(|s| s.step == SalvageStep::GhostWire)
+            .count() as u64,
+    );
+    metrics.set(
+        "route.lee_fallbacks",
+        report
+            .salvaged
+            .iter()
+            .filter(|s| s.step == SalvageStep::LeeFallback)
+            .count() as u64,
+    );
+    metrics.set("degradations", degradations.len() as u64);
+    metrics.set(
+        "place.fallback",
+        degradations
+            .iter()
+            .filter(|d| matches!(d, Degradation::PlacementRecovered(_)))
+            .count() as u64,
+    );
+    metrics.set(
+        "route.aborted",
+        degradations
+            .iter()
+            .filter(|d| matches!(d, Degradation::RoutingAborted(_)))
+            .count() as u64,
+    );
+    let q = diagram.metrics();
+    metrics.set("quality.routed_nets", q.routed_nets as u64);
+    metrics.set("quality.unrouted_nets", q.unrouted_nets as u64);
+    metrics.set("quality.total_length", q.total_length);
+    metrics.set("quality.total_bends", q.total_bends);
+    metrics.set("quality.crossovers", q.crossovers);
+    metrics.set("quality.branch_points", q.branch_points);
+    metrics.set("quality.bounding_area", q.bounding_area);
+    if place_time > Duration::ZERO {
+        metrics.observe("phase.place_ns", duration_ns(place_time));
+    }
+    metrics.observe("phase.route_ns", duration_ns(route_time));
+    for s in &report.net_stats {
+        metrics.observe("route.net_nodes", s.nodes_expanded);
+    }
 }
 
 /// Renders a caught panic payload as text.
@@ -312,40 +519,75 @@ impl Generator {
     /// propagated.
     pub fn generate_with_preplaced(&self, network: Network, preplaced: Placement) -> Outcome {
         let mut degradations = Vec::new();
+        let mut metrics = Metrics::new();
 
         let t0 = Instant::now();
-        let placement = match panic::catch_unwind(AssertUnwindSafe(|| {
-            Pablo::new(self.place.clone()).place_with_preplaced(&network, preplaced.clone())
-        })) {
-            Ok(p) => p,
-            Err(payload) => {
-                degradations.push(Degradation::PlacementRecovered(panic_message(payload)));
-                fallback_grid_placement(&network, preplaced)
+        let placement = {
+            let s = span!(
+                Level::INFO,
+                "netart.place",
+                modules = network.modules().count() as u64,
+            );
+            let _g = s.enter();
+            match panic::catch_unwind(AssertUnwindSafe(|| {
+                Pablo::new(self.place.clone()).place_with_preplaced(&network, preplaced.clone())
+            })) {
+                Ok(p) => p,
+                Err(payload) => {
+                    let msg = panic_message(payload);
+                    error!("placement panicked, using fallback grid", detail = msg.as_str());
+                    degradations.push(Degradation::PlacementRecovered(msg));
+                    fallback_grid_placement(&network, preplaced)
+                }
             }
         };
         let place_time = t0.elapsed();
 
         let mut diagram = Diagram::new(network, placement);
         let t1 = Instant::now();
-        let report = match panic::catch_unwind(AssertUnwindSafe(|| {
-            let mut scratch = diagram.clone();
-            let report = Eureka::new(self.route.clone()).route(&mut scratch);
-            (scratch, report)
-        })) {
-            Ok((routed, report)) => {
-                diagram = routed;
-                report
-            }
-            Err(payload) => {
-                degradations.push(Degradation::RoutingAborted(panic_message(payload)));
-                RouteReport {
-                    failed: diagram.network().nets().collect(),
-                    ..RouteReport::default()
+        let report = {
+            let s = span!(
+                Level::INFO,
+                "netart.route",
+                nets = diagram.network().nets().count() as u64,
+            );
+            let _g = s.enter();
+            match panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut scratch = diagram.clone();
+                let report = Eureka::new(self.route.clone()).route(&mut scratch);
+                (scratch, report)
+            })) {
+                Ok((routed, report)) => {
+                    diagram = routed;
+                    report
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload);
+                    error!("routing panicked, diagram left unrouted", detail = msg.as_str());
+                    degradations.push(Degradation::RoutingAborted(msg));
+                    RouteReport {
+                        failed: diagram.network().nets().collect(),
+                        ..RouteReport::default()
+                    }
                 }
             }
         };
         let route_time = t1.elapsed();
-        degradations.extend(route_degradations(&report));
+        degradations.extend(route_degradations(diagram.network(), &report));
+        fill_metrics(
+            &mut metrics,
+            &diagram,
+            &report,
+            &degradations,
+            place_time,
+            route_time,
+        );
+        info!(
+            "pipeline finished",
+            routed = report.routed.len() as u64,
+            failed = report.failed.len() as u64,
+            degradations = degradations.len() as u64,
+        );
 
         Outcome {
             diagram,
@@ -353,6 +595,7 @@ impl Generator {
             place_time,
             route_time,
             degradations,
+            metrics: metrics.snapshot(),
         }
     }
 
@@ -372,23 +615,54 @@ impl Generator {
         network: Network,
         placement: Placement,
     ) -> Result<Outcome, PipelineError> {
-        if !placement.is_complete() {
+        let diagram = Diagram::new(network, placement);
+        self.route_diagram(diagram)
+    }
+
+    /// Routes an existing diagram — placement and any preroutes kept —
+    /// without running the placer. [`Generator::route_only`] is this
+    /// with a freshly built diagram; tools that parsed a diagram file
+    /// (placement plus partial routes) call this directly so prerouted
+    /// nets survive.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Generator::route_only`].
+    pub fn route_diagram(&self, mut diagram: Diagram) -> Result<Outcome, PipelineError> {
+        if !diagram.placement().is_complete() {
             return Err(PipelineError::IncompletePlacement);
         }
-        let mut diagram = Diagram::new(network, placement);
+        let mut metrics = Metrics::new();
         let t1 = Instant::now();
-        let report = panic::catch_unwind(AssertUnwindSafe(|| {
-            Eureka::new(self.route.clone()).route(&mut diagram)
-        }))
-        .map_err(|payload| PipelineError::RoutingPanicked(panic_message(payload)))?;
+        let report = {
+            let s = span!(
+                Level::INFO,
+                "netart.route",
+                nets = diagram.network().nets().count() as u64,
+            );
+            let _g = s.enter();
+            panic::catch_unwind(AssertUnwindSafe(|| {
+                Eureka::new(self.route.clone()).route(&mut diagram)
+            }))
+            .map_err(|payload| PipelineError::RoutingPanicked(panic_message(payload)))?
+        };
         let route_time = t1.elapsed();
-        let degradations = route_degradations(&report);
+        let degradations = route_degradations(diagram.network(), &report);
+        fill_metrics(
+            &mut metrics,
+            &diagram,
+            &report,
+            &degradations,
+            Duration::ZERO,
+            route_time,
+        );
         Ok(Outcome {
             diagram,
             report,
             place_time: Duration::ZERO,
             route_time,
             degradations,
+            metrics: metrics.snapshot(),
         })
     }
 }
@@ -459,6 +733,8 @@ mod tests {
 
     #[test]
     fn salvaged_nets_surface_as_degradations() {
+        let net = network();
+        assert!(net.nets().count() >= 3, "test needs three nets");
         let report = RouteReport {
             routed: vec![NetId::from_index(0)],
             failed: vec![NetId::from_index(1), NetId::from_index(2)],
@@ -466,9 +742,12 @@ mod tests {
                 net: NetId::from_index(1),
                 step: SalvageStep::GhostWire,
                 over_budget: true,
+                nodes_spent: 12,
+                ripup_victims: 0,
             }],
+            net_stats: Vec::new(),
         };
-        let degradations = route_degradations(&report);
+        let degradations = route_degradations(&net, &report);
         assert_eq!(degradations.len(), 2);
         assert!(matches!(
             degradations[0],

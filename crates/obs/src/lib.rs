@@ -1,0 +1,34 @@
+//! `netart-obs` — the observability layer of the `netart` pipeline.
+//!
+//! Three pieces, all free of global state:
+//!
+//! * a [`Metrics`] registry (counters + log-2 histograms) that the
+//!   `Generator` owns per run and freezes into a [`MetricsSnapshot`]
+//!   on the outcome — counters are deterministic for a given input,
+//!   histograms absorb the wall-clock observations;
+//! * the [`RunReport`] schema (versioned, golden-file pinned): network
+//!   size, per-phase wall times, per-net router effort, degradation
+//!   context, §4.4 quality metrics and the metrics snapshot, rendered
+//!   through the hand-rolled [`json::Json`] writer;
+//! * `tracing` subscribers ([`TextSubscriber`], [`JsonLinesSubscriber`])
+//!   that turn the spans and events the phase crates emit into stderr
+//!   streams — installed by the CLI, never by library code.
+//!
+//! The span/event vocabulary itself lives in the vendored `tracing`
+//! stand-in; this crate is about *collecting* and *exporting*.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod json;
+mod metrics;
+mod report;
+mod subscribe;
+
+pub use json::Json;
+pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot};
+pub use report::{
+    DegradationReport, NetReport, NetworkReport, PhaseReport, QualityReport, RunReport,
+    SCHEMA_VERSION,
+};
+pub use subscribe::{JsonLinesSubscriber, TextSubscriber};

@@ -1,0 +1,279 @@
+//! The machine-readable run report.
+//!
+//! A [`RunReport`] is the stable JSON contract between the pipeline
+//! and everything downstream: the `--report-json` CLI flag, the bench
+//! harness's `BENCH_*.json` files, and CI validation. The shape is
+//! versioned by [`SCHEMA_VERSION`] and pinned by a golden-file test;
+//! adding members is allowed within a version, renaming or removing
+//! them requires a bump.
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+
+/// Version of the report shape. Bump when members are renamed,
+/// removed, or change meaning.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Size of the input network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetworkReport {
+    /// Module instances.
+    pub modules: usize,
+    /// Nets.
+    pub nets: usize,
+    /// System terminals.
+    pub system_terminals: usize,
+}
+
+/// One pipeline phase and its wall time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseReport {
+    /// Phase name: `parse`, `place`, `route`, `emit`.
+    pub name: String,
+    /// Wall-clock nanoseconds spent in the phase.
+    pub wall_ns: u64,
+}
+
+/// Router effort and outcome for one net (the per-net span data,
+/// frozen).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetReport {
+    /// The net's name.
+    pub net: String,
+    /// Whether the net ended with a real route.
+    pub routed: bool,
+    /// Whether the route was taken verbatim from the input diagram.
+    pub prerouted: bool,
+    /// Search nodes expanded on this net across all passes.
+    pub nodes_expanded: u64,
+    /// Whether any pass breached the net's budget.
+    pub over_budget: bool,
+    /// Whether the claim-lifted retry pass ran for this net.
+    pub retried: bool,
+    /// Salvage-cascade stage that settled the net, if any:
+    /// `rip_up_retry`, `lee_fallback` or `ghost_wire`.
+    pub salvage: Option<String>,
+    /// Routed victims ripped up while salvaging this net.
+    pub ripup_victims: u32,
+}
+
+/// One degradation with its context — not just the variant, but which
+/// net, at which stage, and in what budget state it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Kind: `placement_recovered`, `routing_aborted`, `net_salvaged`,
+    /// `net_unrouted`.
+    pub kind: String,
+    /// The net involved, for per-net kinds.
+    pub net: Option<String>,
+    /// The salvage stage reached (`net_salvaged` only).
+    pub stage: Option<String>,
+    /// Whether a real route resulted (`net_salvaged` only).
+    pub routed: Option<bool>,
+    /// Whether the original failure was a budget breach.
+    pub over_budget: Option<bool>,
+    /// Search nodes spent on the net before it was given up on.
+    pub nodes_expanded: Option<u64>,
+    /// Free-form detail (panic message for phase-level kinds).
+    pub detail: Option<String>,
+}
+
+/// Final diagram quality, the quantities of the paper's §4.4 and
+/// table 6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QualityReport {
+    /// Nets with a routed path.
+    pub routed_nets: usize,
+    /// Nets without a routed path.
+    pub unrouted_nets: usize,
+    /// Sum of wire lengths over all routed nets.
+    pub total_length: u64,
+    /// Sum of bends over all routed nets.
+    pub total_bends: u64,
+    /// Crossing points between different nets.
+    pub crossovers: u64,
+    /// Branching nodes over all routed nets.
+    pub branch_points: u64,
+    /// Area of the placement bounding box.
+    pub bounding_area: u64,
+    /// Fraction of nets routed, in `[0, 1]`.
+    pub completion: f64,
+}
+
+/// Everything one pipeline run reports, in a stable JSON shape.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Which tool produced the report (`netart`, `eureka`, a bench
+    /// label, …).
+    pub tool: String,
+    /// Input network size.
+    pub network: NetworkReport,
+    /// Phases in execution order with wall times.
+    pub phases: Vec<PhaseReport>,
+    /// Per-net router records, in net-definition order.
+    pub nets: Vec<NetReport>,
+    /// Everything that went wrong without stopping the run.
+    pub degradations: Vec<DegradationReport>,
+    /// Final diagram quality.
+    pub quality: QualityReport,
+    /// The run's metrics snapshot.
+    pub metrics: MetricsSnapshot,
+    /// `true` when the run needed no fallbacks at all.
+    pub is_clean: bool,
+}
+
+impl RunReport {
+    /// Adds a phase at the front (for work that ran before the
+    /// pipeline's own phases, like CLI parsing).
+    pub fn push_phase_front(&mut self, name: &str, wall_ns: u64) {
+        self.phases.insert(
+            0,
+            PhaseReport {
+                name: name.to_owned(),
+                wall_ns,
+            },
+        );
+    }
+
+    /// Adds a phase at the back (like CLI emit).
+    pub fn push_phase(&mut self, name: &str, wall_ns: u64) {
+        self.phases.push(PhaseReport {
+            name: name.to_owned(),
+            wall_ns,
+        });
+    }
+
+    /// The wall time of a named phase, if present.
+    pub fn phase_ns(&self, name: &str) -> Option<u64> {
+        self.phases.iter().find(|p| p.name == name).map(|p| p.wall_ns)
+    }
+
+    /// The report as a JSON tree.
+    pub fn to_json(&self) -> Json {
+        let network = Json::obj()
+            .with("modules", self.network.modules)
+            .with("nets", self.network.nets)
+            .with("system_terminals", self.network.system_terminals);
+        let phases = Json::Arr(
+            self.phases
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .with("name", p.name.as_str())
+                        .with("wall_ns", p.wall_ns)
+                })
+                .collect(),
+        );
+        let nets = Json::Arr(
+            self.nets
+                .iter()
+                .map(|n| {
+                    Json::obj()
+                        .with("net", n.net.as_str())
+                        .with("routed", n.routed)
+                        .with("prerouted", n.prerouted)
+                        .with("nodes_expanded", n.nodes_expanded)
+                        .with("over_budget", n.over_budget)
+                        .with("retried", n.retried)
+                        .with("salvage", n.salvage.as_deref().map(Json::from))
+                        .with("ripup_victims", n.ripup_victims)
+                })
+                .collect(),
+        );
+        let degradations = Json::Arr(
+            self.degradations
+                .iter()
+                .map(|d| {
+                    Json::obj()
+                        .with("kind", d.kind.as_str())
+                        .with("net", d.net.as_deref().map(Json::from))
+                        .with("stage", d.stage.as_deref().map(Json::from))
+                        .with("routed", d.routed.map(Json::from))
+                        .with("over_budget", d.over_budget.map(Json::from))
+                        .with("nodes_expanded", d.nodes_expanded.map(Json::from))
+                        .with("detail", d.detail.as_deref().map(Json::from))
+                })
+                .collect(),
+        );
+        let quality = Json::obj()
+            .with("routed_nets", self.quality.routed_nets)
+            .with("unrouted_nets", self.quality.unrouted_nets)
+            .with("total_length", self.quality.total_length)
+            .with("total_bends", self.quality.total_bends)
+            .with("crossovers", self.quality.crossovers)
+            .with("branch_points", self.quality.branch_points)
+            .with("bounding_area", self.quality.bounding_area)
+            .with("completion", self.quality.completion);
+        Json::obj()
+            .with("schema_version", SCHEMA_VERSION)
+            .with("tool", self.tool.as_str())
+            .with("network", network)
+            .with("phases", phases)
+            .with("nets", nets)
+            .with("degradations", degradations)
+            .with("quality", quality)
+            .with("metrics", self.metrics.to_json())
+            .with("is_clean", self.is_clean)
+    }
+
+    /// The pretty-printed JSON document (what `--report-json` writes).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_helpers_keep_order() {
+        let mut r = RunReport {
+            tool: "netart".into(),
+            ..RunReport::default()
+        };
+        r.push_phase("place", 10);
+        r.push_phase("route", 20);
+        r.push_phase_front("parse", 5);
+        r.push_phase("emit", 1);
+        let names: Vec<&str> = r.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["parse", "place", "route", "emit"]);
+        assert_eq!(r.phase_ns("route"), Some(20));
+        assert_eq!(r.phase_ns("nope"), None);
+    }
+
+    #[test]
+    fn json_has_versioned_top_level() {
+        let r = RunReport {
+            tool: "eureka".into(),
+            is_clean: true,
+            ..RunReport::default()
+        };
+        let j = r.to_json();
+        assert_eq!(j.get("schema_version"), Some(&Json::Uint(u64::from(SCHEMA_VERSION))));
+        assert_eq!(j.get("tool"), Some(&Json::Str("eureka".into())));
+        assert_eq!(j.get("is_clean"), Some(&Json::Bool(true)));
+        for key in ["network", "phases", "nets", "degradations", "quality", "metrics"] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn optional_members_render_as_null() {
+        let r = RunReport {
+            degradations: vec![DegradationReport {
+                kind: "net_unrouted".into(),
+                net: Some("clk".into()),
+                stage: None,
+                routed: None,
+                over_budget: None,
+                nodes_expanded: None,
+                detail: None,
+            }],
+            ..RunReport::default()
+        };
+        let rendered = r.to_json().render();
+        assert!(rendered.contains(r#""kind":"net_unrouted""#), "{rendered}");
+        assert!(rendered.contains(r#""stage":null"#), "{rendered}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Tracing subscribers: human-readable text lines and JSON lines,
+//! both to stderr.
+//!
+//! Library crates never write to stderr themselves — they emit spans
+//! and events, and one of these subscribers (installed by the CLI from
+//! `--trace-level` / `--log-json`) decides how the stream looks.
+//! Stdout is never touched, so piping a tool's output stays clean.
+
+use std::io::Write;
+
+use tracing::{Event, Level, SpanRecord, Subscriber, Value};
+
+use crate::json::Json;
+
+/// Renders events (and closing spans at `DEBUG` and below) as aligned
+/// text lines on stderr:
+/// `[LEVEL] span.path: message key=value …`.
+#[derive(Debug)]
+pub struct TextSubscriber {
+    max: Level,
+}
+
+impl TextSubscriber {
+    /// A text subscriber showing `max` and everything less verbose.
+    pub fn new(max: Level) -> TextSubscriber {
+        TextSubscriber { max }
+    }
+
+    fn format_line(level: Level, path: &str, message: &str, fields: &[tracing::Field]) -> String {
+        let mut line = format!("[{:>5}]", level.as_str());
+        if !path.is_empty() {
+            line.push(' ');
+            line.push_str(path);
+            line.push(':');
+        }
+        line.push(' ');
+        line.push_str(message);
+        for f in fields {
+            match &f.value {
+                Value::Str(s) => {
+                    line.push_str(&format!(" {}=`{s}`", f.name));
+                }
+                v => line.push_str(&format!(" {}={v}", f.name)),
+            }
+        }
+        line
+    }
+}
+
+impl Subscriber for TextSubscriber {
+    fn max_verbosity(&self) -> Level {
+        self.max
+    }
+
+    fn on_event(&self, event: &Event<'_>) {
+        let line = Self::format_line(
+            event.level,
+            &event.spans.join("."),
+            event.message,
+            event.fields,
+        );
+        let _ = writeln!(std::io::stderr(), "{line}");
+    }
+
+    fn on_span_close(&self, span: &SpanRecord<'_>) {
+        // Span timings are detail, not progress: only show them when
+        // the operator asked for a verbose stream.
+        if self.max < Level::DEBUG {
+            return;
+        }
+        let elapsed = span.elapsed.unwrap_or_default();
+        let line = Self::format_line(
+            span.level,
+            &tracing::current_spans().join("."),
+            &format!("{} closed ({:.3} ms)", span.name, elapsed.as_secs_f64() * 1e3),
+            span.fields,
+        );
+        let _ = writeln!(std::io::stderr(), "{line}");
+    }
+}
+
+/// Renders every event and span close as one JSON object per line on
+/// stderr, for machine consumption (`--log-json`).
+#[derive(Debug)]
+pub struct JsonLinesSubscriber {
+    max: Level,
+}
+
+impl JsonLinesSubscriber {
+    /// A JSON-lines subscriber showing `max` and everything less
+    /// verbose.
+    pub fn new(max: Level) -> JsonLinesSubscriber {
+        JsonLinesSubscriber { max }
+    }
+}
+
+/// The JSON value of one structured field.
+fn field_json(value: &Value) -> Json {
+    match value {
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Int(*i),
+        Value::Uint(u) => Json::Uint(*u),
+        Value::Float(x) => Json::Float(*x),
+        Value::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+fn fields_json(fields: &[tracing::Field]) -> Json {
+    let mut obj = Json::obj();
+    for f in fields {
+        obj.set(f.name, field_json(&f.value));
+    }
+    obj
+}
+
+impl Subscriber for JsonLinesSubscriber {
+    fn max_verbosity(&self) -> Level {
+        self.max
+    }
+
+    fn on_event(&self, event: &Event<'_>) {
+        let line = Json::obj()
+            .with("type", "event")
+            .with("level", event.level.as_str())
+            .with(
+                "spans",
+                Json::Arr(event.spans.iter().map(|&s| Json::from(s)).collect()),
+            )
+            .with("message", event.message)
+            .with("fields", fields_json(event.fields))
+            .render();
+        let _ = writeln!(std::io::stderr(), "{line}");
+    }
+
+    fn on_span_close(&self, span: &SpanRecord<'_>) {
+        let line = Json::obj()
+            .with("type", "span")
+            .with("level", span.level.as_str())
+            .with("name", span.name)
+            .with(
+                "elapsed_ns",
+                span.elapsed.map_or(0, |e| e.as_nanos().min(u128::from(u64::MAX)) as u64),
+            )
+            .with("fields", fields_json(span.fields))
+            .render();
+        let _ = writeln!(std::io::stderr(), "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracing::Field;
+
+    #[test]
+    fn text_line_shape() {
+        let line = TextSubscriber::format_line(
+            Level::WARN,
+            "route.net",
+            "salvaged",
+            &[
+                Field {
+                    name: "net",
+                    value: Value::Str("clk".into()),
+                },
+                Field {
+                    name: "nodes",
+                    value: Value::Uint(17),
+                },
+            ],
+        );
+        assert_eq!(line, "[ WARN] route.net: salvaged net=`clk` nodes=17");
+    }
+
+    #[test]
+    fn text_line_without_spans() {
+        let line = TextSubscriber::format_line(Level::INFO, "", "starting", &[]);
+        assert_eq!(line, "[ INFO] starting");
+    }
+
+    #[test]
+    fn json_fields_preserve_kinds() {
+        let j = fields_json(&[
+            Field {
+                name: "n",
+                value: Value::Uint(3),
+            },
+            Field {
+                name: "ok",
+                value: Value::Bool(true),
+            },
+        ]);
+        assert_eq!(j.render(), r#"{"n":3,"ok":true}"#);
+    }
+}

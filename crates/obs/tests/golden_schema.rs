@@ -1,0 +1,141 @@
+//! Golden-file test pinning the `RunReport` JSON schema.
+//!
+//! The rendered report for a fully-populated, fixed-value `RunReport`
+//! must match `tests/golden/run_report.json` byte for byte. Any shape
+//! change — a renamed member, a reordered key, a different number
+//! rendering — shows up as a diff here. Additive changes regenerate the
+//! golden with `UPDATE_GOLDEN=1 cargo test -p netart-obs --test
+//! golden_schema`; renames and removals also require bumping
+//! [`netart_obs::SCHEMA_VERSION`].
+
+use std::path::PathBuf;
+
+use netart_obs::{
+    DegradationReport, Metrics, NetReport, NetworkReport, PhaseReport, QualityReport, RunReport,
+};
+
+/// A report exercising every member of the schema with fixed values.
+fn exemplar() -> RunReport {
+    let mut metrics = Metrics::new();
+    metrics.inc("route.nets_routed", 2);
+    metrics.inc("route.nets_failed", 1);
+    metrics.inc("route.nodes_expanded", 190);
+    metrics.set("quality.total_bends", 4);
+    metrics.observe("phase.route_ns", 1_500);
+    metrics.observe("route.net_nodes", 40);
+    metrics.observe("route.net_nodes", 150);
+
+    RunReport {
+        tool: "netart".to_owned(),
+        network: NetworkReport {
+            modules: 3,
+            nets: 3,
+            system_terminals: 1,
+        },
+        phases: vec![
+            PhaseReport {
+                name: "parse".to_owned(),
+                wall_ns: 250,
+            },
+            PhaseReport {
+                name: "place".to_owned(),
+                wall_ns: 1_000,
+            },
+            PhaseReport {
+                name: "route".to_owned(),
+                wall_ns: 1_500,
+            },
+            PhaseReport {
+                name: "emit".to_owned(),
+                wall_ns: 75,
+            },
+        ],
+        nets: vec![
+            NetReport {
+                net: "clk".to_owned(),
+                routed: true,
+                prerouted: false,
+                nodes_expanded: 40,
+                over_budget: false,
+                retried: false,
+                salvage: None,
+                ripup_victims: 0,
+            },
+            NetReport {
+                net: "rst".to_owned(),
+                routed: true,
+                prerouted: false,
+                nodes_expanded: 150,
+                over_budget: true,
+                retried: true,
+                salvage: Some("rip_up_retry".to_owned()),
+                ripup_victims: 1,
+            },
+        ],
+        degradations: vec![DegradationReport {
+            kind: "net_salvaged".to_owned(),
+            net: Some("rst".to_owned()),
+            stage: Some("rip_up_retry".to_owned()),
+            routed: Some(true),
+            over_budget: Some(true),
+            nodes_expanded: Some(150),
+            detail: None,
+        }],
+        quality: QualityReport {
+            routed_nets: 2,
+            unrouted_nets: 1,
+            total_length: 64,
+            total_bends: 4,
+            crossovers: 1,
+            branch_points: 2,
+            bounding_area: 1_200,
+            completion: 2.0 / 3.0,
+        },
+        metrics: metrics.snapshot(),
+        is_clean: false,
+    }
+}
+
+#[test]
+fn run_report_matches_golden() {
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_report.json");
+    let rendered = exemplar().to_json_string();
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden, &rendered).expect("write golden");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&golden)
+        .expect("golden file missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        rendered,
+        expected,
+        "RunReport JSON schema drifted from tests/golden/run_report.json;\n\
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1 and\n\
+         bump SCHEMA_VERSION when members were renamed or removed"
+    );
+}
+
+#[test]
+fn golden_parses_and_roundtrips_key_facts() {
+    // Independent of the byte-level pin: the rendered tree reports the
+    // same facts the struct holds.
+    let r = exemplar();
+    let j = r.to_json();
+    assert_eq!(
+        j.get("schema_version"),
+        Some(&netart_obs::Json::Uint(u64::from(netart_obs::SCHEMA_VERSION)))
+    );
+    let phases = match j.get("phases") {
+        Some(netart_obs::Json::Arr(p)) => p,
+        other => panic!("phases not an array: {other:?}"),
+    };
+    assert_eq!(phases.len(), 4);
+    assert_eq!(
+        j.get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("route.nets_routed")),
+        Some(&netart_obs::Json::Uint(2))
+    );
+}

@@ -54,6 +54,12 @@ pub(crate) fn place_clusters(
     anchored: Option<(usize, Point)>,
 ) -> Vec<Point> {
     assert!(!clusters.is_empty(), "nothing to place");
+    let gravity_span = tracing::span!(
+        tracing::Level::DEBUG,
+        "pablo.gravity",
+        clusters = clusters.len() as u64,
+    );
+    let _gravity_guard = gravity_span.enter();
     let mut positions: Vec<Option<Point>> = vec![None; clusters.len()];
     let mut field = GravityField::new(spacing);
 

@@ -2,6 +2,7 @@
 
 use netart_geom::{Point, Rect, Rotation};
 use netart_netlist::{ModuleId, Network, NetId, Pin};
+use tracing::{debug, span, Level};
 
 use netart_diagram::{Placement, PlacementStructure};
 
@@ -63,12 +64,30 @@ impl Pablo {
 
         // 1. Partition the free modules; 2. form boxes; 3.+4. lay out
         // modules in boxes and boxes in partitions.
-        let parts = partition(network, free.iter().copied(), cfg);
-        let mut layouts: Vec<PartitionLayout> = parts
-            .partitions
-            .iter()
-            .map(|p| self.layout_partition(network, p))
-            .collect();
+        let parts = {
+            let s = span!(Level::DEBUG, "pablo.partition", free = free.len() as u64);
+            let _g = s.enter();
+            partition(network, free.iter().copied(), cfg)
+        };
+        debug!(
+            "partitioned",
+            free = free.len() as u64,
+            fixed = fixed.len() as u64,
+            partitions = parts.partitions.len() as u64,
+        );
+        let mut layouts: Vec<PartitionLayout> = {
+            let s = span!(
+                Level::DEBUG,
+                "pablo.module_place",
+                partitions = parts.partitions.len() as u64,
+            );
+            let _g = s.enter();
+            parts
+                .partitions
+                .iter()
+                .map(|p| self.layout_partition(network, p))
+                .collect()
+        };
 
         // The preplaced part, if any, becomes an anchored partition.
         let mut structure_boxes: Vec<Vec<Vec<ModuleId>>> = Vec::new();
@@ -109,6 +128,8 @@ impl Pablo {
         let mut placement = preplaced;
         if !layouts.is_empty() {
             // 5. Place the partitions.
+            let s = span!(Level::DEBUG, "pablo.cluster", clusters = layouts.len() as u64);
+            let _g = s.enter();
             let clusters: Vec<Cluster> = layouts
                 .iter()
                 .map(|l| Cluster {
@@ -131,7 +152,11 @@ impl Pablo {
         });
 
         // 6. System terminals around the bounding box.
-        place_system_terminals(network, &mut placement);
+        {
+            let s = span!(Level::DEBUG, "pablo.terminal_place");
+            let _g = s.enter();
+            place_system_terminals(network, &mut placement);
+        }
         placement
     }
 

@@ -797,9 +797,17 @@ impl<'a> Search<'a> {
     /// objective — followed by crossovers and length (swapped under
     /// `-s`), then the branch-avoidance preference.
     fn reconstruct(&mut self) -> Connection {
-        if std::env::var_os("NETART_DEBUG_CANDIDATES").is_some() {
+        if tracing::enabled(tracing::Level::TRACE) {
             for c in &self.candidates {
-                eprintln!("cand bends={} cr={} len={} near={} entry={} far={:?}", c.bends, c.crossings, c.length, c.near, c.near_entry, c.far);
+                tracing::trace!(
+                    "candidate",
+                    bends = c.bends,
+                    crossings = c.crossings,
+                    length = c.length,
+                    near = c.near as u64,
+                    entry = c.near_entry,
+                    far = format!("{:?}", c.far),
+                );
             }
         }
         let swap = self.swap_tiebreak;

@@ -66,4 +66,4 @@ mod router;
 pub use budget::{Budget, BudgetBreach, BudgetMeter};
 pub use config::{NetOrder, RouteConfig};
 pub use obstacles::{Obstacle, ObstacleKind, ObstacleMap};
-pub use router::{Eureka, RouteReport, SalvageRecord, SalvageStep};
+pub use router::{Eureka, NetRouteStats, RouteReport, SalvageRecord, SalvageStep};

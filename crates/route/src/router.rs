@@ -1,7 +1,10 @@
 //! The EUREKA routing facade (§5.6.3 `ROUTING`, Appendix F).
 
+use std::collections::BTreeMap;
+
 use netart_geom::{Axis, Dir, Point, Rect, Segment};
 use netart_netlist::{NetId, Network, Pin};
+use tracing::{debug, span, warn, Level};
 
 use netart_diagram::{Diagram, GhostWire, NetPath};
 
@@ -39,6 +42,59 @@ pub struct SalvageRecord {
     /// `true` when the original failure was a budget breach rather
     /// than an exhausted search.
     pub over_budget: bool,
+    /// Search nodes the cascade itself expanded for this net (escalated
+    /// retries, victim reroutes and the Lee fallback combined).
+    pub nodes_spent: u64,
+    /// Routed nets ripped up while trying to make room.
+    pub ripup_victims: u32,
+}
+
+impl SalvageStep {
+    /// Stable lowercase name, used in reports and events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SalvageStep::RipUpRetry => "rip_up_retry",
+            SalvageStep::LeeFallback => "lee_fallback",
+            SalvageStep::GhostWire => "ghost_wire",
+        }
+    }
+}
+
+/// Per-net routing effort, one entry per net the router attempted, in
+/// net-id order. The raw material for the `nets` array of a run report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetRouteStats {
+    /// The net.
+    pub net: NetId,
+    /// Whether the net ended up fully connected.
+    pub routed: bool,
+    /// `true` when a complete preroute made routing unnecessary.
+    pub prerouted: bool,
+    /// Search nodes expanded for this net across every pass it needed.
+    pub nodes_expanded: u64,
+    /// Whether any pass ended on a budget breach.
+    pub over_budget: bool,
+    /// Whether the claim-lift retry pass had to run for this net.
+    pub retried: bool,
+    /// The salvage step that handled it, when the cascade ran.
+    pub salvage: Option<SalvageStep>,
+    /// Routed nets ripped up on this net's behalf.
+    pub ripup_victims: u32,
+}
+
+impl NetRouteStats {
+    fn attempt(net: NetId) -> NetRouteStats {
+        NetRouteStats {
+            net,
+            routed: false,
+            prerouted: false,
+            nodes_expanded: 0,
+            over_budget: false,
+            retried: false,
+            salvage: None,
+            ripup_victims: 0,
+        }
+    }
 }
 
 /// Outcome of a routing run.
@@ -54,6 +110,8 @@ pub struct RouteReport {
     /// Nets that needed the salvage cascade, in the order they were
     /// salvaged, and how each one ended.
     pub salvaged: Vec<SalvageRecord>,
+    /// Per-net effort counters, in net-id order.
+    pub net_stats: Vec<NetRouteStats>,
 }
 
 impl RouteReport {
@@ -129,8 +187,10 @@ impl Eureka {
             }
         }
         let mut report = RouteReport::default();
+        let mut stats: BTreeMap<NetId, NetRouteStats> = BTreeMap::new();
         let mut failed_first_pass = Vec::new();
         for n in todo {
+            let entry = stats.entry(n).or_insert_with(|| NetRouteStats::attempt(n));
             let prerouted_complete = diagram.route(n).is_some_and(|p| {
                 let pins: Vec<Point> = network
                     .net(n)
@@ -141,11 +201,26 @@ impl Eureka {
                 p.connects(&pins)
             });
             if prerouted_complete {
+                entry.routed = true;
+                entry.prerouted = true;
                 report.routed.push(n);
                 continue;
             }
+            let net_span = span!(Level::DEBUG, "eureka.net", net = network.net(n).name());
+            let _guard = net_span.enter();
             let mut meter = BudgetMeter::start(self.config.budget);
-            if self.route_net(diagram, &network, &mut map, n, &mut meter) {
+            let routed = self.route_net(diagram, &network, &mut map, n, &mut meter);
+            entry.nodes_expanded += meter.spent();
+            entry.over_budget |= meter.breach().is_some();
+            entry.routed = routed;
+            debug!(
+                "first pass",
+                net = network.net(n).name(),
+                routed = routed,
+                nodes = meter.spent(),
+                over_budget = meter.breach().is_some(),
+            );
+            if routed {
                 report.routed.push(n);
             } else {
                 failed_first_pass.push((n, meter.breach().is_some()));
@@ -158,9 +233,17 @@ impl Eureka {
         }
         let mut failures: Vec<(NetId, bool)> = Vec::new();
         for (n, over_budget) in failed_first_pass {
+            let net_span = span!(Level::DEBUG, "eureka.retry", net = network.net(n).name());
+            let _guard = net_span.enter();
             let mut meter = BudgetMeter::start(self.config.budget);
-            if self.config.retry_failed && self.route_net(diagram, &network, &mut map, n, &mut meter)
-            {
+            let routed = self.config.retry_failed
+                && self.route_net(diagram, &network, &mut map, n, &mut meter);
+            let entry = stats.entry(n).or_insert_with(|| NetRouteStats::attempt(n));
+            entry.nodes_expanded += meter.spent();
+            entry.over_budget |= meter.breach().is_some();
+            entry.retried = self.config.retry_failed;
+            entry.routed = routed;
+            if routed {
                 report.routed.push(n);
             } else {
                 failures.push((n, over_budget || meter.breach().is_some()));
@@ -172,14 +255,34 @@ impl Eureka {
         if self.config.salvage && !failures.is_empty() {
             map.remove_all_claims();
             for (n, over_budget) in failures.drain(..) {
-                let step = self.salvage_net(diagram, &network, &mut map, n, over_budget);
+                let net_span = span!(Level::DEBUG, "eureka.salvage", net = network.net(n).name());
+                let _guard = net_span.enter();
+                let (step, nodes_spent, ripup_victims) =
+                    self.salvage_net(diagram, &network, &mut map, n, over_budget);
+                warn!(
+                    "net salvaged",
+                    net = network.net(n).name(),
+                    step = step.as_str(),
+                    over_budget = over_budget,
+                    nodes = nodes_spent,
+                    victims = ripup_victims,
+                );
                 report.salvaged.push(SalvageRecord {
                     net: n,
                     step,
                     over_budget,
+                    nodes_spent,
+                    ripup_victims,
                 });
+                let entry = stats.entry(n).or_insert_with(|| NetRouteStats::attempt(n));
+                entry.nodes_expanded += nodes_spent;
+                entry.salvage = Some(step);
+                entry.ripup_victims = ripup_victims;
                 match step {
-                    SalvageStep::RipUpRetry | SalvageStep::LeeFallback => report.routed.push(n),
+                    SalvageStep::RipUpRetry | SalvageStep::LeeFallback => {
+                        entry.routed = true;
+                        report.routed.push(n);
+                    }
                     SalvageStep::GhostWire => report.failed.push(n),
                 }
             }
@@ -187,6 +290,13 @@ impl Eureka {
         report.failed.extend(failures.into_iter().map(|(n, _)| n));
         report.routed.sort_unstable();
         report.failed.sort_unstable();
+        report.net_stats = stats.into_values().collect();
+        debug!(
+            "routing done",
+            routed = report.routed.len() as u64,
+            failed = report.failed.len() as u64,
+            salvaged = report.salvaged.len() as u64,
+        );
         report
     }
 
@@ -464,6 +574,9 @@ impl Eureka {
     /// escalated-budget retry, then the Lee fallback, then emits a
     /// ghost wire. Rip-up is all-or-nothing: if the net or any victim
     /// cannot be rerouted, every route is restored before moving on.
+    ///
+    /// Returns the step that handled the net, the search nodes the
+    /// cascade expanded, and how many routed nets it ripped up.
     fn salvage_net(
         &self,
         diagram: &mut Diagram,
@@ -471,10 +584,12 @@ impl Eureka {
         map: &mut ObstacleMap,
         net: NetId,
         over_budget: bool,
-    ) -> SalvageStep {
+    ) -> (SalvageStep, u64, u32) {
         let escalated = self.config.budget.scaled(ESCALATION_FACTOR);
+        let mut nodes_spent: u64 = 0;
 
         let victims = self.pick_victims(diagram, network, net);
+        let ripup_victims = victims.len() as u32;
         if !victims.is_empty() || over_budget {
             let net_before = diagram.route(net).cloned();
             let saved: Vec<(NetId, NetPath)> = victims
@@ -486,19 +601,23 @@ impl Eureka {
             }
             let mut ok = {
                 let mut meter = BudgetMeter::start(escalated);
-                self.route_net(diagram, network, map, net, &mut meter)
+                let routed = self.route_net(diagram, network, map, net, &mut meter);
+                nodes_spent += meter.spent();
+                routed
             };
             if ok {
                 for (v, _) in &saved {
                     let mut meter = BudgetMeter::start(escalated);
-                    if !self.route_net(diagram, network, map, *v, &mut meter) {
+                    let routed = self.route_net(diagram, network, map, *v, &mut meter);
+                    nodes_spent += meter.spent();
+                    if !routed {
                         ok = false;
                         break;
                     }
                 }
             }
             if ok {
-                return SalvageStep::RipUpRetry;
+                return (SalvageStep::RipUpRetry, nodes_spent, ripup_victims);
             }
             // Roll back: drop whatever the retry added, restore every
             // victim and the net's own prior (pre)route.
@@ -520,8 +639,10 @@ impl Eureka {
             }
         }
 
-        if self.lee_fallback(diagram, network, map, net, escalated) {
-            return SalvageStep::LeeFallback;
+        let (lee_ok, lee_nodes) = self.lee_fallback(diagram, network, map, net, escalated);
+        nodes_spent += lee_nodes;
+        if lee_ok {
+            return (SalvageStep::LeeFallback, nodes_spent, ripup_victims);
         }
 
         // Last resort: an explicit placeholder so the diagram still
@@ -532,11 +653,12 @@ impl Eureka {
             .map(|(&first, rest)| rest.iter().map(|&p| (first, p)).collect())
             .unwrap_or_default();
         diagram.set_ghost(net, GhostWire { lines });
-        SalvageStep::GhostWire
+        (SalvageStep::GhostWire, nodes_spent, ripup_victims)
     }
 
     /// Routes a failed net with the Lee maze router, pin pair by pin
     /// pair, under `budget`. All-or-nothing like the main router.
+    /// Returns success plus the nodes the maze searches expanded.
     fn lee_fallback(
         &self,
         diagram: &mut Diagram,
@@ -544,10 +666,10 @@ impl Eureka {
         map: &mut ObstacleMap,
         net: NetId,
         budget: crate::Budget,
-    ) -> bool {
+    ) -> (bool, u64) {
         let pins = Self::pin_points(diagram, network, net);
         if pins.len() < 2 {
-            return false;
+            return (false, 0);
         }
         let bounds = self.border_rect(diagram, network).inflate(-1);
 
@@ -635,10 +757,10 @@ impl Eureka {
 
         if ok {
             diagram.set_route(net, NetPath::from_segments(merge_collinear(wired)));
-            true
+            (true, meter.spent())
         } else {
             refresh(map, &prerouted);
-            false
+            (false, meter.spent())
         }
     }
 }
@@ -914,10 +1036,9 @@ mod tests {
         let router = Eureka::new(RouteConfig::default());
         let network = d.network().clone();
         let mut map = router.build_map(&d, &network);
-        assert!(
-            router.lee_fallback(&mut d, &network, &mut map, n, crate::Budget::UNLIMITED),
-            "lee fallback must connect a plainly routable net"
-        );
+        let (ok, nodes) = router.lee_fallback(&mut d, &network, &mut map, n, crate::Budget::UNLIMITED);
+        assert!(ok, "lee fallback must connect a plainly routable net");
+        assert!(nodes > 0, "maze search must report expanded nodes");
         let path = d.route(n).unwrap();
         assert!(path.connects(&[Point::new(4, 1), Point::new(10, 1)]));
         assert!(path.is_tree());
@@ -931,13 +1052,14 @@ mod tests {
         let network = d.network().clone();
         let mut map = router.build_map(&d, &network);
         let before = map.len();
-        assert!(!router.lee_fallback(
+        let (ok, _) = router.lee_fallback(
             &mut d,
             &network,
             &mut map,
             n,
             crate::Budget::new().with_node_limit(1),
-        ));
+        );
+        assert!(!ok);
         assert!(d.route(n).is_none(), "failed fallback leaves no route");
         assert_eq!(map.len(), before, "map rolled back to preroute state");
     }
