@@ -8,9 +8,11 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use netart::diagram::{escher, svg, Diagram};
-use netart::netlist::format::{self, quinto};
+use netart::netlist::doctor::{self, DoctorCode, DoctorFile, InputPolicy, Severity};
+use netart::netlist::format::quinto;
 use netart::netlist::{Library, Network};
-use netart::obs::{JsonLinesSubscriber, RunReport, TextSubscriber};
+use netart::obs::{DegradationReport, JsonLinesSubscriber, RunReport, TextSubscriber};
+use netart_fault::FaultKind;
 use netart::place::{Pablo, PlaceConfig};
 use netart::route::{Budget, NetOrder, RouteConfig};
 use netart::Generator;
@@ -55,6 +57,101 @@ fn write_report(args: &ParsedArgs, report: &RunReport) -> Result<(), CliError> {
         write(Path::new(path), &report.to_json_string())?;
     }
     Ok(())
+}
+
+/// Parses `--input-policy <strict|repair|best-effort>` (default
+/// `strict`); see [`InputPolicy`] for what each does.
+fn input_policy(args: &ParsedArgs) -> Result<InputPolicy, CliError> {
+    match args.value("input-policy") {
+        None => Ok(InputPolicy::Strict),
+        Some(s) => s.parse().map_err(|_| {
+            CliError::Args(ArgError::BadValue {
+                flag: "input-policy".into(),
+                value: s.into(),
+            })
+        }),
+    }
+}
+
+/// Arms the deterministic fault registry from `--inject
+/// site[:nth][:kind]` (comma-separated) and `NETART_INJECT`. Unless
+/// the binary was built with `--features fault-injection`, arming
+/// anything is an error — the sites compile to nothing.
+fn arm_faults(args: &ParsedArgs) -> Result<(), CliError> {
+    netart_fault::disarm_all();
+    if let Some(specs) = args.value("inject") {
+        for spec in specs.split(',').filter(|s| !s.trim().is_empty()) {
+            netart_fault::arm(spec.trim()).map_err(CliError::Other)?;
+        }
+    }
+    netart_fault::arm_from_env().map_err(CliError::Other)?;
+    Ok(())
+}
+
+/// A CLI-level degradation record (doctor repairs, recovered parse
+/// faults, emit retries) for the run report.
+fn cli_degradation(kind: &str, stage: Option<String>, detail: String) -> DegradationReport {
+    DegradationReport {
+        kind: kind.to_owned(),
+        net: None,
+        stage,
+        routed: None,
+        over_budget: None,
+        nodes_expanded: None,
+        detail: Some(detail),
+    }
+}
+
+/// Folds a doctor report into degradation records: one per applied
+/// repair, and one per defect the best-effort policy skipped.
+fn doctor_degradations(
+    source: &Path,
+    report: &doctor::DoctorReport,
+    degs: &mut Vec<DegradationReport>,
+) {
+    for d in &report.diagnostics {
+        if d.repair.is_some() || d.severity == Severity::Error {
+            degs.push(cli_degradation(
+                "doctor_repair",
+                Some(d.code.as_str().to_owned()),
+                format!("{}: {d}", source.display()),
+            ));
+        }
+    }
+}
+
+/// The panic payload as text (mirrors the core generator's handling).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs the parse phase with panic isolation. A failure (panic or
+/// error) that coincides with a newly fired fault site is retried once
+/// — the one-shot site has burned out — and recorded as a
+/// `parse_recovered` degradation. Genuine failures propagate
+/// unchanged, so this is inert without `--features fault-injection`.
+fn parse_with_recovery<T>(
+    mut op: impl FnMut() -> Result<(T, Vec<DegradationReport>), CliError>,
+) -> Result<(T, Vec<DegradationReport>), CliError> {
+    let fired_before = netart_fault::fired_count();
+    let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut op));
+    let fault_fired = netart_fault::fired_count() > fired_before;
+    let detail = match first {
+        Ok(Ok(result)) => return Ok(result),
+        Ok(Err(e)) if !fault_fired => return Err(e),
+        Ok(Err(e)) => e.to_string(),
+        Err(payload) if !fault_fired => std::panic::resume_unwind(payload),
+        Err(payload) => panic_message(payload),
+    };
+    let (value, mut degs) = op()?;
+    degs.push(cli_degradation("parse_recovered", None, detail));
+    Ok((value, degs))
 }
 
 /// What a routing command produced, and how the process should exit.
@@ -167,8 +264,12 @@ fn write(path: &Path, contents: &str) -> Result<(), CliError> {
 
 /// Loads every `*.qto` quinto module description in the library
 /// directory (`-L`, falling back to `$USER_LIB` like the paper's
-/// tools).
-fn load_library(args: &ParsedArgs) -> Result<Library, CliError> {
+/// tools), running each through the module doctor under `policy`.
+fn load_library(
+    args: &ParsedArgs,
+    policy: InputPolicy,
+    degs: &mut Vec<DegradationReport>,
+) -> Result<Library, CliError> {
     let dir = match args.value("L") {
         Some(d) => PathBuf::from(d),
         None => std::env::var_os("USER_LIB")
@@ -195,22 +296,43 @@ fn load_library(args: &ParsedArgs) -> Result<Library, CliError> {
         )));
     }
     for p in paths {
-        let template = quinto::parse_module(&read(&p)?).map_err(|e| CliError::Parse {
-            path: p.clone(),
-            message: e.to_string(),
-        })?;
-        lib.add_template(template).map_err(|e| CliError::Parse {
-            path: p,
-            message: e.to_string(),
-        })?;
+        let (template, report) =
+            doctor::doctor_module(&read(&p)?, policy).map_err(|e| CliError::Parse {
+                path: p.clone(),
+                message: e.to_string(),
+            })?;
+        doctor_degradations(&p, &report, degs);
+        let name = template.name().to_owned();
+        if lib.add_template(template).is_err() {
+            // Two .qto files declare the same module name.
+            let code = DoctorCode::DuplicateTemplate;
+            let message = format!(
+                "{} [{}] duplicate module template `{name}` (repair: kept the first file)",
+                code.as_str(),
+                p.display(),
+            );
+            if policy == InputPolicy::Strict {
+                return Err(CliError::Parse { path: p, message });
+            }
+            degs.push(cli_degradation(
+                "doctor_repair",
+                Some(code.as_str().to_owned()),
+                message,
+            ));
+        }
     }
     Ok(lib)
 }
 
 /// Parses the Appendix A positional files `net-list call-file
-/// [io-file]`.
-fn load_network(args: &ParsedArgs) -> Result<Network, CliError> {
-    let lib = load_library(args)?;
+/// [io-file]` through the netlist doctor under `policy`, collecting
+/// applied repairs as degradation records.
+fn load_network(
+    args: &ParsedArgs,
+    policy: InputPolicy,
+) -> Result<(Network, Vec<DegradationReport>), CliError> {
+    let mut degs = Vec::new();
+    let lib = load_library(args, policy, &mut degs)?;
     let files = args.positionals();
     let net_list = read(Path::new(&files[0]))?;
     let calls = read(Path::new(&files[1]))?;
@@ -218,35 +340,90 @@ fn load_network(args: &ParsedArgs) -> Result<Network, CliError> {
         Some(f) => Some(read(Path::new(f))?),
         None => None,
     };
-    format::parse_network_tagged(lib, &net_list, &calls, io.as_deref()).map_err(|(file, e)| {
-        let which = match file {
-            format::NetworkFile::NetList => 0,
-            format::NetworkFile::Calls => 1,
-            format::NetworkFile::Io => 2,
-        };
-        CliError::Parse {
-            path: PathBuf::from(files.get(which).unwrap_or(&files[0])),
-            message: e.to_string(),
-        }
-    })
+    let (network, report) = doctor::doctor_network(lib, &net_list, &calls, io.as_deref(), policy)
+        .map_err(|e| {
+            // Attribute the rejection to the first defective file.
+            let which = e
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == Severity::Error)
+                .map_or(0, |d| match d.file {
+                    DoctorFile::Calls => 1,
+                    DoctorFile::Io => 2,
+                    _ => 0,
+                });
+            CliError::Parse {
+                path: PathBuf::from(files.get(which).unwrap_or(&files[0])),
+                message: e.to_string(),
+            }
+        })?;
+    doctor_degradations(Path::new(&files[0]), &report, &mut degs);
+    Ok((network, degs))
 }
 
-fn emit_diagram(args: &ParsedArgs, name: &str, diagram: &Diagram) -> Result<String, CliError> {
+/// Serialises the diagram to ESCHER text with an always-on self-check:
+/// the text must parse back into a diagram, otherwise the emission is
+/// redone once (recording an `emit_retried` degradation when a fault
+/// site caused it) and the re-check must pass.
+fn checked_escher(
+    name: &str,
+    diagram: &Diagram,
+    degs: &mut Vec<DegradationReport>,
+) -> Result<String, CliError> {
+    let attempt = || -> Result<String, String> {
+        let mut text = escher::write_diagram(name, diagram);
+        match netart_fault::fire(netart_fault::sites::EMIT_ESCHER) {
+            Some(FaultKind::GarbageOutput) => text.push_str("scrambled trailing record\n"),
+            Some(kind) => return Err(format!("injected {kind} fault at `emit.escher`")),
+            None => {}
+        }
+        escher::parse_diagram(diagram.network().clone(), &text)
+            .map_err(|e| format!("emitted diagram does not re-parse: {e}"))?;
+        Ok(text)
+    };
+    let fired_before = netart_fault::fired_count();
+    let detail = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&attempt)) {
+        Ok(Ok(text)) => return Ok(text),
+        Ok(Err(message)) => message,
+        Err(payload) => {
+            if netart_fault::fired_count() == fired_before {
+                std::panic::resume_unwind(payload);
+            }
+            panic_message(payload)
+        }
+    };
+    if netart_fault::fired_count() == fired_before {
+        // A genuine emitter defect, not an injected one: refuse to
+        // write a diagram that cannot be read back.
+        return Err(CliError::Other(detail));
+    }
+    degs.push(cli_degradation("emit_retried", None, detail));
+    attempt().map_err(CliError::Other)
+}
+
+fn emit_diagram(
+    args: &ParsedArgs,
+    name: &str,
+    diagram: &Diagram,
+    degs: &mut Vec<DegradationReport>,
+) -> Result<String, CliError> {
     let out = args.value("o").unwrap_or(name);
     let esc = PathBuf::from(format!("{out}.esc"));
-    write(&esc, &escher::write_diagram(out, diagram))?;
+    write(&esc, &checked_escher(out, diagram, degs)?)?;
     let svg_path = PathBuf::from(format!("{out}.svg"));
     write(&svg_path, &svg::render(diagram))?;
     Ok(format!("wrote {} and {}", esc.display(), svg_path.display()))
 }
 
 /// `pablo [-p n] [-b n] [-c n] [-e n] [-i n] [-s n] [-g preplaced.esc]
+/// [--input-policy strict|repair|best-effort] [--inject spec]
 /// [-L libdir] [-o name] net-list call-file [io-file]`
 ///
 /// Places the network (Appendix E). With `-g` the given ESCHER diagram
 /// is kept as the preplaced part. Writes `<name>.esc` / `<name>.svg`
 /// with modules and terminals only — nets are EUREKA's job — and
-/// returns a human-readable summary.
+/// returns a human-readable summary (with one warning line per input
+/// repair the doctor applied).
 ///
 /// # Errors
 ///
@@ -254,11 +431,13 @@ fn emit_diagram(args: &ParsedArgs, name: &str, diagram: &Diagram) -> Result<Stri
 pub fn run_pablo(argv: &[String]) -> Result<String, CliError> {
     let args = ParsedArgs::parse(
         argv,
-        &["p", "b", "c", "e", "i", "s", "g", "L", "o"],
+        &["p", "b", "c", "e", "i", "s", "g", "L", "o", "input-policy", "inject"],
         &[],
         (2, 3),
     )?;
-    let network = load_network(&args)?;
+    arm_faults(&args)?;
+    let policy = input_policy(&args)?;
+    let (network, mut degs) = parse_with_recovery(|| load_network(&args, policy))?;
 
     let mut config = PlaceConfig::new()
         .with_max_part_size(args.parsed("p", 1usize)?)
@@ -284,7 +463,7 @@ pub fn run_pablo(argv: &[String]) -> Result<String, CliError> {
                     }
                 })?;
             let (_, placement, _) = diagram.into_parts();
-            placement
+            doctor_seeds(&network, placement, path, policy, &mut degs)?
         }
         None => netart::diagram::Placement::new(&network),
     };
@@ -302,12 +481,97 @@ pub fn run_pablo(argv: &[String]) -> Result<String, CliError> {
         })
         .unwrap_or_default();
     let diagram = Diagram::new(network, placement);
-    let files = emit_diagram(&args, "pablo_out", &diagram)?;
-    Ok(format!(
+    let files = emit_diagram(&args, "pablo_out", &diagram, &mut degs)?;
+    let mut message = format!(
         "placed {} modules and {} terminals ({structure}); {files}",
         diagram.network().module_count(),
         diagram.network().system_term_count(),
-    ))
+    );
+    for d in &degs {
+        message.push_str(&format!(
+            "\nwarning: {}",
+            d.detail.as_deref().unwrap_or(&d.kind)
+        ));
+    }
+    Ok(message)
+}
+
+/// Validates a preplaced seed diagram (`pablo -g`): strictly
+/// overlapping seed modules are ND012 defects — rejected under
+/// `strict`, dropped (latest first) and re-placed by PABLO under
+/// `repair`/`best-effort`.
+fn doctor_seeds(
+    network: &Network,
+    placement: netart::diagram::Placement,
+    source: &Path,
+    policy: InputPolicy,
+    degs: &mut Vec<DegradationReport>,
+) -> Result<netart::diagram::Placement, CliError> {
+    let placed: Vec<_> = network
+        .modules()
+        .filter(|&m| placement.module(m).is_some())
+        .collect();
+    let mut keep = vec![true; placed.len()];
+    let mut dropped = Vec::new();
+    for i in 0..placed.len() {
+        if !keep[i] {
+            continue;
+        }
+        let a = placement.module_rect(network, placed[i]);
+        for j in (i + 1)..placed.len() {
+            if !keep[j] {
+                continue;
+            }
+            let b = placement.module_rect(network, placed[j]);
+            if a.overlaps_strictly(&b) {
+                keep[j] = false;
+                let message = format!(
+                    "{} [{}] seed placement of `{}` overlaps `{}` (repair: dropped the \
+                     later seed; PABLO re-places it)",
+                    DoctorCode::OverlappingSeeds.as_str(),
+                    source.display(),
+                    network.instance(placed[j]).name(),
+                    network.instance(placed[i]).name(),
+                );
+                dropped.push((placed[j], message));
+            }
+        }
+    }
+    if dropped.is_empty() {
+        return Ok(placement);
+    }
+    if policy == InputPolicy::Strict {
+        return Err(CliError::Parse {
+            path: source.to_owned(),
+            message: dropped
+                .iter()
+                .map(|(_, m)| m.as_str())
+                .collect::<Vec<_>>()
+                .join("\n"),
+        });
+    }
+    for (_, message) in &dropped {
+        degs.push(cli_degradation(
+            "doctor_repair",
+            Some(DoctorCode::OverlappingSeeds.as_str().to_owned()),
+            message.clone(),
+        ));
+    }
+    // Placements are append-only, so rebuild without the dropped seeds.
+    let mut repaired = netart::diagram::Placement::new(network);
+    for (idx, &m) in placed.iter().enumerate() {
+        if keep[idx] {
+            if let Some(p) = placement.module(m) {
+                repaired.place_module(m, p.position, p.rotation);
+            }
+        }
+    }
+    for st in network.system_terms() {
+        if let Some(p) = placement.system_term(st) {
+            repaired.place_system_term(st, p);
+        }
+    }
+    Ok(repaired)
 }
 
 /// `eureka [-u] [-d] [-r] [-l] [-s] [-m margin] [--order def|most|few]
@@ -333,14 +597,16 @@ pub fn run_eureka(argv: &[String]) -> Result<RunOutput, CliError> {
         argv,
         &[
             "m", "order", "L", "o", "diagram", "route-timeout", "max-nodes", "report-json",
-            "trace-level",
+            "trace-level", "input-policy", "inject",
         ],
         &["u", "d", "r", "l", "s", "no-claims", "no-salvage", "strict", "log-json"],
         (2, 3),
     )?;
     install_subscriber(&args)?;
+    arm_faults(&args)?;
+    let policy = input_policy(&args)?;
     let t_parse = Instant::now();
-    let network = load_network(&args)?;
+    let (network, mut cli_degs) = parse_with_recovery(|| load_network(&args, policy))?;
 
     let diagram_file = args
         .value("diagram")
@@ -402,14 +668,21 @@ pub fn run_eureka(argv: &[String]) -> Result<RunOutput, CliError> {
     );
     summary.push_str(&salvage_summary(&outcome.diagram, report));
     let t_emit = Instant::now();
-    let files = emit_diagram(&args, "eureka_out", &outcome.diagram)?;
+    let files = emit_diagram(&args, "eureka_out", &outcome.diagram, &mut cli_degs)?;
     let mut run_report = outcome.run_report("eureka");
     run_report.push_phase_front("parse", parse_ns);
     run_report.push_phase("emit", ns(t_emit.elapsed()));
+    for d in &cli_degs {
+        summary.push_str(&format!(
+            "\nwarning: {}",
+            d.detail.as_deref().unwrap_or(&d.kind)
+        ));
+        run_report.push_degradation(d.clone());
+    }
     write_report(&args, &run_report)?;
     Ok(RunOutput {
         message: format!("{summary}\n{}\n{files}", outcome.diagram.metrics()),
-        degraded: !outcome.is_clean(),
+        degraded: !outcome.is_clean() || !cli_degs.is_empty(),
         strict: args.has("strict"),
     })
 }
@@ -463,14 +736,16 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
         argv,
         &[
             "p", "b", "c", "e", "i", "s", "m", "order", "L", "o", "route-timeout", "max-nodes",
-            "report-json", "trace-level",
+            "report-json", "trace-level", "input-policy", "inject",
         ],
         &["no-claims", "no-salvage", "art", "strict", "log-json"],
         (2, 3),
     )?;
     install_subscriber(&args)?;
+    arm_faults(&args)?;
+    let policy = input_policy(&args)?;
     let t_parse = Instant::now();
-    let network = load_network(&args)?;
+    let (network, mut cli_degs) = parse_with_recovery(|| load_network(&args, policy))?;
     let parse_ns = ns(t_parse.elapsed());
 
     let mut place = PlaceConfig::new()
@@ -516,7 +791,7 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
     let t_emit = Instant::now();
     write(
         Path::new(&format!("{out}.esc")),
-        &escher::write_diagram(out, diagram),
+        &checked_escher(out, diagram, &mut cli_degs)?,
     )?;
     write(
         Path::new(&format!("{out}.svg")),
@@ -525,6 +800,9 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
     let mut run_report = outcome.run_report("netart");
     run_report.push_phase_front("parse", parse_ns);
     run_report.push_phase("emit", ns(t_emit.elapsed()));
+    for d in &cli_degs {
+        run_report.push_degradation(d.clone());
+    }
     write_report(&args, &run_report)?;
 
     let mut summary = format!(
@@ -553,27 +831,38 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
             netart::Degradation::NetSalvaged { .. } | netart::Degradation::NetUnrouted(_) => {}
         }
     }
+    for d in &cli_degs {
+        summary.push_str(&format!(
+            "\nwarning: {}",
+            d.detail.as_deref().unwrap_or(&d.kind)
+        ));
+    }
     if args.has("art") {
         summary.push('\n');
         summary.push_str(&netart::diagram::ascii::render(diagram));
     }
     Ok(RunOutput {
         message: summary,
-        degraded: !outcome.is_clean(),
+        degraded: !outcome.is_clean() || !cli_degs.is_empty(),
         strict: args.has("strict"),
     })
 }
 
-/// `quinto [-L libdir] description.qto […]`
+/// `quinto [-L libdir] [--input-policy strict|repair|best-effort]
+/// [--inject spec] description.qto […]`
 ///
-/// Validates module descriptions (Appendix B) and installs them into
-/// the library directory.
+/// Validates module descriptions (Appendix B) through the module
+/// doctor and installs them into the library directory. Under
+/// `repair`/`best-effort` the *repaired* description is what gets
+/// installed, with one warning line per applied repair.
 ///
 /// # Errors
 ///
 /// Any [`CliError`] condition.
 pub fn run_quinto(argv: &[String]) -> Result<String, CliError> {
-    let args = ParsedArgs::parse(argv, &["L"], &[], (1, usize::MAX))?;
+    let args = ParsedArgs::parse(argv, &["L", "input-policy", "inject"], &[], (1, usize::MAX))?;
+    arm_faults(&args)?;
+    let policy = input_policy(&args)?;
     let dir = match args.value("L") {
         Some(d) => PathBuf::from(d),
         None => std::env::var_os("USER_LIB")
@@ -585,17 +874,26 @@ pub fn run_quinto(argv: &[String]) -> Result<String, CliError> {
         source,
     })?;
     let mut added = Vec::new();
+    let mut warnings = String::new();
     for file in args.positionals() {
         let path = Path::new(file);
-        let template = quinto::parse_module(&read(path)?).map_err(|e| CliError::Parse {
-            path: path.to_owned(),
-            message: e.to_string(),
-        })?;
+        let (template, report) =
+            doctor::doctor_module(&read(path)?, policy).map_err(|e| CliError::Parse {
+                path: path.to_owned(),
+                message: e.to_string(),
+            })?;
+        for d in &report.diagnostics {
+            warnings.push_str(&format!("\nwarning: {}: {d}", path.display()));
+        }
         let target = dir.join(format!("{}.qto", template.name()));
         write(&target, &quinto::write_module(&template))?;
         added.push(template.name().to_owned());
     }
-    Ok(format!("added {} module(s): {}", added.len(), added.join(", ")))
+    Ok(format!(
+        "added {} module(s): {}{warnings}",
+        added.len(),
+        added.join(", ")
+    ))
 }
 
 #[cfg(test)]
@@ -798,6 +1096,217 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("no .qto"), "{err}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn strict_rejects_dangling_net_with_code() {
+        let dir = scratch("strictnd");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        fs::write(&nets, "n0 u0 y\nn0 u1 a\nnin root in\nnin u0 a\nnx u1 y\n").unwrap();
+        let err = run_netart(&argv(&["-L", &lib, &nets, &calls, &io])).unwrap_err();
+        assert!(err.to_string().contains("ND001"), "{err}");
+        assert!(err.to_string().contains("design.net"), "{err}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn repair_policy_fixes_and_reports() {
+        let dir = scratch("repairnd");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        fs::write(&nets, "n0 u0 y\nn0 u1 a\nnin root in\nnin u0 a\nnx u1 y\n").unwrap();
+        let out = dir.join("rep").to_string_lossy().into_owned();
+        let report = dir.join("report.json").to_string_lossy().into_owned();
+        let run = run_netart(&argv(&[
+            "--input-policy",
+            "repair",
+            "-L",
+            &lib,
+            "-o",
+            &out,
+            "--report-json",
+            &report,
+            &nets,
+            &calls,
+            &io,
+        ]))
+        .expect("repair policy proceeds");
+        assert!(run.degraded, "{}", run.message);
+        assert_eq!(run.exit_code(), ExitCode::from(2));
+        assert!(run.message.contains("ND001"), "{}", run.message);
+        let doc = fs::read_to_string(dir.join("report.json")).expect("report written");
+        assert!(doc.contains("doctor_repair"), "{doc}");
+        assert!(doc.contains("\"is_clean\": false"), "{doc}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn unknown_template_stub_under_repair() {
+        let dir = scratch("stub");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        fs::write(
+            &nets,
+            "n0 u0 y\nn0 u1 a\nn1 u1 y\nn1 u2 a\nnin root in\nnin u0 a\n",
+        )
+        .unwrap();
+        fs::write(&calls, "u0 inv\nu1 inv\nu2 mystery\n").unwrap();
+        let err = run_netart(&argv(&["-L", &lib, &nets, &calls, &io])).unwrap_err();
+        assert!(err.to_string().contains("ND004"), "{err}");
+        let out = dir.join("stub").to_string_lossy().into_owned();
+        let run = run_netart(&argv(&[
+            "--input-policy",
+            "repair",
+            "-L",
+            &lib,
+            "-o",
+            &out,
+            &nets,
+            &calls,
+            &io,
+        ]))
+        .expect("stub synthesized");
+        assert!(run.message.contains("ND004"), "{}", run.message);
+        assert!(run.message.contains("placed 3 modules"), "{}", run.message);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn best_effort_skips_unrepairable_records() {
+        let dir = scratch("besteffort");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        fs::write(&nets, "only two\nn0 u0 y\nn0 u1 a\nnin root in\nnin u0 a\n").unwrap();
+        // A malformed record has no repair: strict AND repair reject it.
+        for policy in ["strict", "repair"] {
+            let err = run_netart(&argv(&[
+                "--input-policy",
+                policy,
+                "-L",
+                &lib,
+                &nets,
+                &calls,
+                &io,
+            ]))
+            .unwrap_err();
+            assert!(err.to_string().contains("ND013"), "{policy}: {err}");
+        }
+        let out = dir.join("be").to_string_lossy().into_owned();
+        let run = run_netart(&argv(&[
+            "--input-policy",
+            "best-effort",
+            "-L",
+            &lib,
+            "-o",
+            &out,
+            &nets,
+            &calls,
+            &io,
+        ]))
+        .expect("best-effort proceeds");
+        assert!(run.degraded, "{}", run.message);
+        assert!(run.message.contains("ND013"), "{}", run.message);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn bad_input_policy_is_rejected() {
+        let dir = scratch("badpolicy");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        let err = run_netart(&argv(&[
+            "--input-policy",
+            "relaxed",
+            "-L",
+            &lib,
+            &nets,
+            &calls,
+            &io,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("relaxed"), "{err}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn quinto_repairs_off_grid_terminals() {
+        let dir = scratch("quintofix");
+        let lib = dir.join("lib").to_string_lossy().into_owned();
+        let desc = dir.join("skew.qto");
+        fs::write(&desc, "module skew 20 20\nin a 0 11\nout y 20 10\n").unwrap();
+        let err = run_quinto(&argv(&["-L", &lib, &desc.to_string_lossy()])).unwrap_err();
+        assert!(err.to_string().contains("ND008"), "{err}");
+        let msg = run_quinto(&argv(&[
+            "--input-policy",
+            "repair",
+            "-L",
+            &lib,
+            &desc.to_string_lossy(),
+        ]))
+        .expect("repair installs the snapped module");
+        assert!(msg.contains("ND008"), "{msg}");
+        assert!(Path::new(&lib).join("skew.qto").exists());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[test]
+    fn inject_rejected_without_feature() {
+        let dir = scratch("noinject");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        let err = run_netart(&argv(&[
+            "--inject",
+            "route.net:1:error",
+            "-L",
+            &lib,
+            &nets,
+            &calls,
+            &io,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("fault-injection"), "{err}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn pablo_rejects_overlapping_seeds_strict() {
+        let dir = scratch("seeds");
+        let (lib, nets, calls, io) = write_inputs(&dir);
+        // Both instances seeded at the same origin: ND012.
+        let seed = dir.join("seed.esc");
+        fs::write(
+            &seed,
+            format!(
+                "{}\nsubsys: u0 inv 0 0 0\nsubsys: u1 inv 1 0 0\n",
+                escher::HEADER
+            ),
+        )
+        .unwrap();
+        let err = run_pablo(&argv(&[
+            "-g",
+            &seed.to_string_lossy(),
+            "-L",
+            &lib,
+            &nets,
+            &calls,
+            &io,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("ND012"), "{err}");
+        let out = dir.join("seeded").to_string_lossy().into_owned();
+        let msg = run_pablo(&argv(&[
+            "--input-policy",
+            "repair",
+            "-g",
+            &seed.to_string_lossy(),
+            "-L",
+            &lib,
+            "-o",
+            &out,
+            &nets,
+            &calls,
+            &io,
+        ]))
+        .expect("repair drops the later seed");
+        assert!(msg.contains("ND012"), "{msg}");
+        assert!(dir.join("seeded.esc").exists());
         let _ = fs::remove_dir_all(dir);
     }
 

@@ -1,0 +1,219 @@
+//! Deterministic chaos suite: sweeps injected faults (site × kind)
+//! through the full `netart` pipeline under `--input-policy repair`
+//! and asserts the robustness invariants:
+//!
+//! 1. no panic escapes a phase boundary,
+//! 2. the run degrades (exit 2) instead of failing (exit 1),
+//! 3. the armed fault actually fired at the expected site,
+//! 4. the fault surfaces as a degradation in the machine-readable
+//!    run report (`is_clean: false`),
+//! 5. the emitted ESCHER diagram re-parses and its routed subset
+//!    passes the structural checker.
+//!
+//! Only compiled with `--features fault-injection` (a `required-features`
+//! test target); the default build carries no fault-point overhead.
+
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Mutex;
+
+use netart::diagram::escher;
+use netart::netlist::doctor::{self, InputPolicy};
+use netart::netlist::Library;
+use netart_cli::run_netart;
+
+/// Serialises cases: the fault registry is process-global.
+static GUARD: Mutex<()> = Mutex::new(());
+
+const MODULE_SRC: &str = "module inv 40 20\nin a 0 10\nout y 40 10\n";
+const NET_SRC: &str = "n0 u0 y\nn0 u1 a\nnin root in\nnin u0 a\n";
+const CALL_SRC: &str = "u0 inv\nu1 inv\n";
+const IO_SRC: &str = "in in\n";
+
+const KINDS: [&str; 4] = ["panic", "error", "budget-exhaust", "garbage-output"];
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("netart-chaos-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn write_inputs(dir: &Path) -> (String, String, String, String) {
+    let lib = dir.join("lib");
+    fs::create_dir_all(&lib).unwrap();
+    fs::write(lib.join("inv.qto"), MODULE_SRC).unwrap();
+    let nets = dir.join("design.net");
+    fs::write(&nets, NET_SRC).unwrap();
+    let calls = dir.join("design.call");
+    fs::write(&calls, CALL_SRC).unwrap();
+    let io = dir.join("design.io");
+    fs::write(&io, IO_SRC).unwrap();
+    (
+        lib.to_string_lossy().into_owned(),
+        nets.to_string_lossy().into_owned(),
+        calls.to_string_lossy().into_owned(),
+        io.to_string_lossy().into_owned(),
+    )
+}
+
+/// The pristine fixture network, for re-parsing the emitted diagram.
+fn reference_network() -> netart::netlist::Network {
+    let mut lib = Library::new();
+    let (template, _) =
+        doctor::doctor_module(MODULE_SRC, InputPolicy::Strict).expect("clean module");
+    lib.add_template(template).expect("unique template");
+    doctor::doctor_network(lib, NET_SRC, CALL_SRC, Some(IO_SRC), InputPolicy::Strict)
+        .expect("clean fixture")
+        .0
+}
+
+/// Runs one `netart` invocation with `spec` armed and asserts every
+/// chaos invariant. `site` is the site expected to have fired.
+fn case(spec: &str, site: &str) {
+    let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    netart_fault::disarm_all();
+    let tag = spec.replace([':', '.', ','], "-");
+    let dir = scratch(&tag);
+    let (lib, nets, calls, io) = write_inputs(&dir);
+    let out = dir.join("out").to_string_lossy().into_owned();
+    let report = dir.join("report.json").to_string_lossy().into_owned();
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_netart(&argv(&[
+            "--input-policy",
+            "repair",
+            "--inject",
+            spec,
+            "--report-json",
+            &report,
+            "-L",
+            &lib,
+            "-o",
+            &out,
+            &nets,
+            &calls,
+            &io,
+        ]))
+    }));
+    // 1. No panic escapes a phase boundary.
+    let run = result.unwrap_or_else(|_| panic!("{spec}: panic escaped the pipeline"));
+    // 2. Under `repair` an injected fault degrades the run, never
+    //    fails it outright.
+    let run = run.unwrap_or_else(|e| panic!("{spec}: hard failure `{e}`"));
+    // 3. The armed fault fired at the expected site.
+    let fired = netart_fault::fired();
+    assert!(
+        fired.iter().any(|s| s.starts_with(site)),
+        "{spec}: site `{site}` never fired (fired: {fired:?})"
+    );
+    // 4. ... and surfaced as a degradation in the run report.
+    assert!(run.degraded, "{spec}: fault fired but the run claims clean");
+    assert_eq!(run.exit_code(), ExitCode::from(2), "{spec}");
+    let doc = fs::read_to_string(&report).expect("report written");
+    assert!(doc.contains("\"is_clean\": false"), "{spec}: {doc}");
+    assert!(
+        doc.contains("\"kind\""),
+        "{spec}: no degradation records: {doc}"
+    );
+    // 5. The emitted diagram re-parses and its routed subset passes
+    //    the structural checker.
+    netart_fault::disarm_all();
+    let esc = fs::read_to_string(dir.join("out.esc")).expect("diagram written");
+    let diagram = escher::parse_diagram(reference_network(), &esc)
+        .unwrap_or_else(|e| panic!("{spec}: emitted diagram does not re-parse: {e}"));
+    let check = diagram.check();
+    assert!(check.is_ok(), "{spec}: structural check failed");
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn chaos_parse_sites() {
+    for kind in KINDS {
+        case(&format!("parse.network:1:{kind}"), "parse.network");
+        case(&format!("parse.module:1:{kind}"), "parse.module");
+    }
+}
+
+#[test]
+fn chaos_place_sites() {
+    for site in [
+        "place.partition",
+        "place.module_place",
+        "place.cluster",
+        "place.gravity",
+        "place.terminal_place",
+    ] {
+        for kind in KINDS {
+            case(&format!("{site}:1:{kind}"), site);
+        }
+    }
+}
+
+#[test]
+fn chaos_route_net_site() {
+    for kind in KINDS {
+        case(&format!("route.net:1:{kind}"), "route.net");
+    }
+}
+
+#[test]
+fn chaos_salvage_sites() {
+    // The salvage stages are unreachable on a healthy run, so compose:
+    // starve the net's first-pass budget to force it into the cascade,
+    // then fault the stage under test.
+    for kind in KINDS {
+        case(
+            &format!("route.net:1:budget-exhaust,route.salvage.ripup:1:{kind}"),
+            "route.salvage.ripup",
+        );
+        // An `error` at rip-up skips that stage, guaranteeing the Lee
+        // fallback actually runs (a successful rip-up would shadow it).
+        case(
+            &format!(
+                "route.net:1:budget-exhaust,route.salvage.ripup:1:error,\
+                 route.salvage.lee:1:{kind}"
+            ),
+            "route.salvage.lee",
+        );
+    }
+}
+
+#[test]
+fn chaos_emit_site() {
+    for kind in KINDS {
+        case(&format!("emit.escher:1:{kind}"), "emit.escher");
+    }
+}
+
+#[test]
+fn env_var_arms_the_registry() {
+    let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    netart_fault::disarm_all();
+    let dir = scratch("envarm");
+    let (lib, nets, calls, io) = write_inputs(&dir);
+    let out = dir.join("out").to_string_lossy().into_owned();
+    std::env::set_var("NETART_INJECT", "route.net:1:error");
+    let run = run_netart(&argv(&[
+        "--input-policy",
+        "repair",
+        "-L",
+        &lib,
+        "-o",
+        &out,
+        &nets,
+        &calls,
+        &io,
+    ]));
+    std::env::remove_var("NETART_INJECT");
+    let run = run.expect("env-armed fault degrades, not fails");
+    assert!(run.degraded, "{}", run.message);
+    assert!(netart_fault::fired().iter().any(|s| s.starts_with("route.net")));
+    let _ = fs::remove_dir_all(dir);
+}

@@ -126,6 +126,12 @@ pub fn parse_diagram(network: Network, src: &str) -> Result<Diagram, ParseError>
                 let m = network.module_by_name(inst).ok_or_else(|| {
                     ParseError::new(lineno, format!("unknown instance `{inst}`"))
                 })?;
+                if placement.module(m).is_some() {
+                    return Err(ParseError::new(
+                        lineno,
+                        format!("duplicate subsys record for instance `{inst}`"),
+                    ));
+                }
                 let rotation = match rot {
                     "0" => Rotation::R0,
                     "90" => Rotation::R90,
@@ -144,6 +150,12 @@ pub fn parse_diagram(network: Network, src: &str) -> Result<Diagram, ParseError>
                 let st = network.system_term_by_name(name).ok_or_else(|| {
                     ParseError::new(lineno, format!("unknown system terminal `{name}`"))
                 })?;
+                if placement.system_term(st).is_some() {
+                    return Err(ParseError::new(
+                        lineno,
+                        format!("duplicate contact record for terminal `{name}`"),
+                    ));
+                }
                 placement.place_system_term(st, Point::new(int(x)?, int(y)?));
             }
             "node" => {
@@ -263,5 +275,19 @@ mod tests {
         assert!(parse_diagram(net.clone(), &bad).is_err());
         let bad = format!("{HEADER}\nsubsys: u0 gate 0 0 45\n");
         assert!(parse_diagram(net, &bad).is_err());
+    }
+
+    #[test]
+    fn duplicate_records_rejected_not_overwritten() {
+        let d = diagram();
+        let net = d.network().clone();
+        let bad = format!("{HEADER}\nsubsys: u0 gate 0 0 0\nsubsys: u0 gate 8 0 0\n");
+        let e = parse_diagram(net.clone(), &bad).unwrap_err();
+        assert!(e.message.contains("duplicate subsys"), "{e}");
+        assert_eq!(e.line, 3);
+        let bad = format!("{HEADER}\ncontact: io in 0 0\ncontact: io in 5 5\n");
+        let e = parse_diagram(net, &bad).unwrap_err();
+        assert!(e.message.contains("duplicate contact"), "{e}");
+        assert_eq!(e.line, 3);
     }
 }

@@ -47,7 +47,7 @@ use crate::{Library, Network, NetworkBuilder, ParseError, TermType};
 /// skipping blank lines and `#` comment lines (an extension for
 /// readability; the paper's files contain only records). The raw line
 /// text rides along so errors can point at the offending column.
-fn records(src: &str) -> impl Iterator<Item = (usize, &str, Vec<&str>)> {
+pub(crate) fn records(src: &str) -> impl Iterator<Item = (usize, &str, Vec<&str>)> {
     src.lines().enumerate().filter_map(|(i, line)| {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {

@@ -65,7 +65,7 @@ pub fn parse_module(src: &str) -> Result<Template, ParseError> {
 
     for (line, record) in lines {
         let fields: Vec<&str> = record.split_whitespace().collect();
-        let [ty, term, x, y] = fields[..] else {
+        let [ty, term, xs, ys] = fields[..] else {
             return Err(ParseError::new(
                 line,
                 format!("terminal record needs 4 fields, got {}", fields.len()),
@@ -74,8 +74,25 @@ pub fn parse_module(src: &str) -> Result<Template, ParseError> {
         let ty: TermType = ty.parse().map_err(|e: String| {
             ParseError::at(line, ParseError::column_of(record, ty), e)
         })?;
-        let x = grid_value(line, record, x, "x-coordinate")?;
-        let y = grid_value(line, record, y, "y-coordinate")?;
+        let x = grid_value(line, record, xs, "x-coordinate")?;
+        let y = grid_value(line, record, ys, "y-coordinate")?;
+        // The appendix's outline rule, checked here so the error can
+        // point at the offending coordinate field; `add_terminal`
+        // would reject it too, but only with the line number.
+        if x < 0 || x > width || y < 0 || y > height || (x != 0 && x != width && y != 0 && y != height) {
+            return Err(ParseError::at(
+                line,
+                ParseError::column_of(record, xs),
+                format!(
+                    "terminal `{term}` at ({}, {}) is not on the module outline \
+                     ({} x {})",
+                    x * GRID,
+                    y * GRID,
+                    width * GRID,
+                    height * GRID
+                ),
+            ));
+        }
         template
             .add_terminal(term, (x, y), ty)
             .map_err(|e| ParseError::new(line, e.to_string()))?;
@@ -136,7 +153,10 @@ mod tests {
         assert!(parse_module("modul m 40 20\n").is_err());
         assert!(parse_module("module m 40 20\nin a 0\n").is_err());
         assert!(parse_module("module m 40 20\nsideways a 0 10\n").is_err());
-        assert!(parse_module("module m 40 20\nin a 10 10\n").is_err()); // interior
+        let e = parse_module("module m 40 20\nin a 10 10\n").unwrap_err(); // interior
+        assert!(e.message.contains("outline"), "{e}");
+        assert!(e.column > 0, "outline errors should point at the coordinate");
+        assert!(parse_module("module m 40 20\nin a 50 0\n").is_err()); // outside
         let e = parse_module("module m 40 20\nin a 0 10\nout a 40 10\n").unwrap_err();
         assert_eq!(e.line, 3);
     }

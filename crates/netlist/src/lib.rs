@@ -45,7 +45,9 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod doctor;
 mod error;
 pub mod format;
 mod ids;

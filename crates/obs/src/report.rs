@@ -62,7 +62,8 @@ pub struct NetReport {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DegradationReport {
     /// Kind: `placement_recovered`, `routing_aborted`, `net_salvaged`,
-    /// `net_unrouted`.
+    /// `net_unrouted`, `doctor_repair`, `parse_recovered`,
+    /// `emit_retried`.
     pub kind: String,
     /// The net involved, for per-net kinds.
     pub net: Option<String>,
@@ -141,6 +142,16 @@ impl RunReport {
             name: name.to_owned(),
             wall_ns,
         });
+    }
+
+    /// Records a degradation discovered outside the core pipeline
+    /// (doctor repairs, parse retries, emit retries). A run with any
+    /// degradation is by definition not clean, so this also clears
+    /// [`RunReport::is_clean`] — keeping the report's invariant
+    /// `is_clean == degradations.is_empty()` intact for CI.
+    pub fn push_degradation(&mut self, degradation: DegradationReport) {
+        self.is_clean = false;
+        self.degradations.push(degradation);
     }
 
     /// The wall time of a named phase, if present.

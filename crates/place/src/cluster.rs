@@ -60,6 +60,7 @@ pub(crate) fn place_clusters(
         clusters = clusters.len() as u64,
     );
     let _gravity_guard = gravity_span.enter();
+    netart_fault::fire_hard(netart_fault::sites::PLACE_GRAVITY);
     let mut positions: Vec<Option<Point>> = vec![None; clusters.len()];
     let mut field = GravityField::new(spacing);
 

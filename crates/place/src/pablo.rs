@@ -67,6 +67,7 @@ impl Pablo {
         let parts = {
             let s = span!(Level::DEBUG, "pablo.partition", free = free.len() as u64);
             let _g = s.enter();
+            netart_fault::fire_hard(netart_fault::sites::PLACE_PARTITION);
             partition(network, free.iter().copied(), cfg)
         };
         debug!(
@@ -82,6 +83,7 @@ impl Pablo {
                 partitions = parts.partitions.len() as u64,
             );
             let _g = s.enter();
+            netart_fault::fire_hard(netart_fault::sites::PLACE_MODULE);
             parts
                 .partitions
                 .iter()
@@ -130,6 +132,7 @@ impl Pablo {
             // 5. Place the partitions.
             let s = span!(Level::DEBUG, "pablo.cluster", clusters = layouts.len() as u64);
             let _g = s.enter();
+            netart_fault::fire_hard(netart_fault::sites::PLACE_CLUSTER);
             let clusters: Vec<Cluster> = layouts
                 .iter()
                 .map(|l| Cluster {
@@ -155,6 +158,7 @@ impl Pablo {
         {
             let s = span!(Level::DEBUG, "pablo.terminal_place");
             let _g = s.enter();
+            netart_fault::fire_hard(netart_fault::sites::PLACE_TERMINAL);
             place_system_terminals(network, &mut placement);
         }
         placement

@@ -7,6 +7,7 @@ use netart_netlist::{NetId, Network, Pin};
 use tracing::{debug, span, warn, Level};
 
 use netart_diagram::{Diagram, GhostWire, NetPath};
+use netart_fault::FaultKind;
 
 use crate::budget::BudgetMeter;
 use crate::expand::{merge_collinear, split_at_junctions, Front, Search, SearchResult};
@@ -189,7 +190,16 @@ impl Eureka {
         let mut report = RouteReport::default();
         let mut stats: BTreeMap<NetId, NetRouteStats> = BTreeMap::new();
         let mut failed_first_pass = Vec::new();
+        // Fault injection (inert unless the `fault-injection` feature
+        // is on): the `route.net` site counts net visits; once armed
+        // it poisons exactly one net, and the poison persists through
+        // the retry pass so the fault must surface via the salvage
+        // cascade rather than vanish in a silent retry.
+        let mut injected: Option<(NetId, FaultKind)> = None;
         for n in todo {
+            if let Some(kind) = netart_fault::fire(netart_fault::sites::ROUTE_NET) {
+                injected.get_or_insert((n, kind));
+            }
             let entry = stats.entry(n).or_insert_with(|| NetRouteStats::attempt(n));
             let prerouted_complete = diagram.route(n).is_some_and(|p| {
                 let pins: Vec<Point> = network
@@ -208,22 +218,23 @@ impl Eureka {
             }
             let net_span = span!(Level::DEBUG, "eureka.net", net = network.net(n).name());
             let _guard = net_span.enter();
-            let mut meter = BudgetMeter::start(self.config.budget);
-            let routed = self.route_net(diagram, &network, &mut map, n, &mut meter);
-            entry.nodes_expanded += meter.spent();
-            entry.over_budget |= meter.breach().is_some();
+            let sabotage = injected.and_then(|(victim, kind)| (victim == n).then_some(kind));
+            let (routed, nodes, over_budget) =
+                self.attempt_net(diagram, &network, &mut map, n, sabotage);
+            entry.nodes_expanded += nodes;
+            entry.over_budget |= over_budget;
             entry.routed = routed;
             debug!(
                 "first pass",
                 net = network.net(n).name(),
                 routed = routed,
-                nodes = meter.spent(),
-                over_budget = meter.breach().is_some(),
+                nodes = nodes,
+                over_budget = over_budget,
             );
             if routed {
                 report.routed.push(n);
             } else {
-                failed_first_pass.push((n, meter.breach().is_some()));
+                failed_first_pass.push((n, over_budget));
             }
         }
 
@@ -235,18 +246,21 @@ impl Eureka {
         for (n, over_budget) in failed_first_pass {
             let net_span = span!(Level::DEBUG, "eureka.retry", net = network.net(n).name());
             let _guard = net_span.enter();
-            let mut meter = BudgetMeter::start(self.config.budget);
-            let routed = self.config.retry_failed
-                && self.route_net(diagram, &network, &mut map, n, &mut meter);
+            let sabotage = injected.and_then(|(victim, kind)| (victim == n).then_some(kind));
+            let (routed, nodes, over) = if self.config.retry_failed {
+                self.attempt_net(diagram, &network, &mut map, n, sabotage)
+            } else {
+                (false, 0, false)
+            };
             let entry = stats.entry(n).or_insert_with(|| NetRouteStats::attempt(n));
-            entry.nodes_expanded += meter.spent();
-            entry.over_budget |= meter.breach().is_some();
+            entry.nodes_expanded += nodes;
+            entry.over_budget |= over;
             entry.retried = self.config.retry_failed;
             entry.routed = routed;
             if routed {
                 report.routed.push(n);
             } else {
-                failures.push((n, over_budget || meter.breach().is_some()));
+                failures.push((n, over_budget || over));
             }
         }
 
@@ -522,6 +536,54 @@ impl Eureka {
         }
     }
 
+    /// One budgeted attempt at a net, shared by the first and retry
+    /// passes. `sabotage` carries the injected fault for this net, if
+    /// any: `BudgetExhaust` swaps in a zero-node budget, `Error` skips
+    /// the attempt outright, `GarbageOutput` truncates the freshly
+    /// routed path so the self-check below has something to catch.
+    ///
+    /// Every successful attempt is re-verified: the emitted geometry
+    /// must actually connect the net's pins, otherwise the route is
+    /// torn back out and the attempt reported as failed. This guards
+    /// the salvage cascade (and the emitted diagram) against any
+    /// router defect that produces disconnected wires.
+    ///
+    /// Returns `(routed, nodes expanded, over budget)`.
+    fn attempt_net(
+        &self,
+        diagram: &mut Diagram,
+        network: &Network,
+        map: &mut ObstacleMap,
+        net: NetId,
+        sabotage: Option<FaultKind>,
+    ) -> (bool, u64, bool) {
+        let budget = if sabotage == Some(FaultKind::BudgetExhaust) {
+            crate::Budget::new().with_node_limit(0)
+        } else {
+            self.config.budget
+        };
+        let mut meter = BudgetMeter::start(budget);
+        let mut routed = sabotage != Some(FaultKind::Error)
+            && self.route_net(diagram, network, map, net, &mut meter);
+        if routed {
+            if sabotage == Some(FaultKind::GarbageOutput) {
+                if let Some(path) = diagram.clear_route(net) {
+                    let mut segments = path.segments().to_vec();
+                    segments.pop();
+                    diagram.set_route(net, NetPath::from_segments(segments));
+                }
+            }
+            let pins = Self::pin_points(diagram, network, net);
+            let connected = diagram.route(net).is_some_and(|p| p.connects(&pins));
+            if !connected {
+                map.remove_net(net);
+                diagram.clear_route(net);
+                routed = false;
+            }
+        }
+        (routed, meter.spent(), meter.breach().is_some())
+    }
+
     /// The placed positions of a net's pins.
     fn pin_points(diagram: &Diagram, network: &Network, net: NetId) -> Vec<Point> {
         let placement = diagram.placement();
@@ -590,7 +652,23 @@ impl Eureka {
 
         let victims = self.pick_victims(diagram, network, net);
         let ripup_victims = victims.len() as u32;
-        if !victims.is_empty() || over_budget {
+        // Fault sites for the two salvage stages (inert by default):
+        // an injected `error`/`garbage-output` makes the stage come up
+        // empty, `budget-exhaust` starves its escalated budget, and
+        // `panic` unwinds to the phase boundary in the core generator.
+        let ripup_inject = if !victims.is_empty() || over_budget {
+            netart_fault::fire(netart_fault::sites::ROUTE_SALVAGE_RIPUP)
+        } else {
+            None
+        };
+        let skip_ripup =
+            matches!(ripup_inject, Some(FaultKind::Error | FaultKind::GarbageOutput));
+        let ripup_budget = if ripup_inject == Some(FaultKind::BudgetExhaust) {
+            crate::Budget::new().with_node_limit(0)
+        } else {
+            escalated
+        };
+        if (!victims.is_empty() || over_budget) && !skip_ripup {
             let net_before = diagram.route(net).cloned();
             let saved: Vec<(NetId, NetPath)> = victims
                 .iter()
@@ -600,14 +678,14 @@ impl Eureka {
                 map.remove_net(*v);
             }
             let mut ok = {
-                let mut meter = BudgetMeter::start(escalated);
+                let mut meter = BudgetMeter::start(ripup_budget);
                 let routed = self.route_net(diagram, network, map, net, &mut meter);
                 nodes_spent += meter.spent();
                 routed
             };
             if ok {
                 for (v, _) in &saved {
-                    let mut meter = BudgetMeter::start(escalated);
+                    let mut meter = BudgetMeter::start(ripup_budget);
                     let routed = self.route_net(diagram, network, map, *v, &mut meter);
                     nodes_spent += meter.spent();
                     if !routed {
@@ -639,7 +717,18 @@ impl Eureka {
             }
         }
 
-        let (lee_ok, lee_nodes) = self.lee_fallback(diagram, network, map, net, escalated);
+        let lee_inject = netart_fault::fire(netart_fault::sites::ROUTE_SALVAGE_LEE);
+        let lee_budget = if lee_inject == Some(FaultKind::BudgetExhaust) {
+            crate::Budget::new().with_node_limit(0)
+        } else {
+            escalated
+        };
+        let (lee_ok, lee_nodes) =
+            if matches!(lee_inject, Some(FaultKind::Error | FaultKind::GarbageOutput)) {
+                (false, 0)
+            } else {
+                self.lee_fallback(diagram, network, map, net, lee_budget)
+            };
         nodes_spent += lee_nodes;
         if lee_ok {
             return (SalvageStep::LeeFallback, nodes_spent, ripup_victims);

@@ -93,6 +93,64 @@ fn escher_reload_can_seed_rerouting() {
     assert!(diagram.check().is_ok(), "{}", diagram.check());
 }
 
+mod escher_fixed_point {
+    use super::*;
+    use netart::netlist::doctor::{self, InputPolicy};
+    use proptest::prelude::*;
+
+    const MODULE_SRC: &str = "module inv 40 20\nin a 0 10\nout y 40 10\n";
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// Emit → parse → emit is a fixed point, even for diagrams
+        /// generated from defective inputs the doctor repaired under
+        /// best-effort: duplicate instances, unknown templates (stub
+        /// synthesis), unknown instances/terminals, pin conflicts and
+        /// dangling nets.
+        #[test]
+        fn escher_emit_is_a_fixed_point_over_doctored_networks(
+            extra_calls in proptest::collection::vec(
+                (0u8..6, prop::sample::select(vec!["inv", "ghost"])),
+                0..4,
+            ),
+            extra_pins in proptest::collection::vec(
+                (0u8..3, 0u8..7, prop::sample::select(vec!["a", "y", "z"])),
+                0..8,
+            ),
+        ) {
+            let mut calls = String::from("u0 inv\nu1 inv\n");
+            for (i, tpl) in &extra_calls {
+                calls.push_str(&format!("u{i} {tpl}\n"));
+            }
+            let mut nets = String::from("n0 u0 y\nn0 u1 a\n");
+            for (n, i, t) in &extra_pins {
+                if *i == 6 {
+                    nets.push_str(&format!("n{n} root {t}\n"));
+                } else {
+                    nets.push_str(&format!("n{n} u{i} {t}\n"));
+                }
+            }
+            let io = "in in\nin out\n"; // duplicate system terminal
+
+            let mut lib = netart::netlist::Library::new();
+            let (tpl, _) = doctor::doctor_module(MODULE_SRC, InputPolicy::Strict)
+                .expect("clean module");
+            lib.add_template(tpl).expect("unique template");
+            let (network, _report) =
+                doctor::doctor_network(lib, &nets, &calls, Some(io), InputPolicy::BestEffort)
+                    .expect("best-effort always yields a network");
+
+            let out = Generator::strings().generate(network);
+            let first = escher::write_diagram("prop", &out.diagram);
+            let reparsed = escher::parse_diagram(out.diagram.network().clone(), &first)
+                .expect("emitted diagram re-parses");
+            let second = escher::write_diagram("prop", &reparsed);
+            prop_assert_eq!(first, second);
+        }
+    }
+}
+
 #[test]
 fn malformed_inputs_are_rejected_with_line_numbers() {
     let net = string_chain(2);
