@@ -1,0 +1,113 @@
+//! Regenerates (or checks) the committed `baselines/*.json` files the
+//! CI perf gate diffs run reports against.
+//!
+//! Each baseline is the normalized run report of one table 6.1
+//! workload: wall-clock timings are zeroed and timing histograms
+//! dropped, so the files are bit-identical across machines and only
+//! deterministic counters, per-net router effort, degradations, and
+//! quality metrics remain. Bless an intentional change by rerunning
+//! this binary and committing the result (see `EXPERIMENTS.md`).
+//!
+//! Usage:
+//!
+//! ```text
+//! baselines [--out-dir DIR] [--check] [--raw]
+//! ```
+//!
+//! `--out-dir` defaults to the workspace `baselines/` directory.
+//! `--check` compares instead of writing and exits 1 on any drift or
+//! missing file, printing the offending stems. `--raw` writes the
+//! *full* run reports (timings intact) instead of normalized
+//! baselines — the "current" side the CI perf gate feeds to
+//! `netart report diff` — and also drops `BENCH_table_6_1.json` at
+//! the repository root for artifact upload.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use netart_bench::{baseline_text, baseline_workloads, rows_json, write_bench_json};
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../baselines");
+    let mut check = false;
+    let mut raw = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out-dir" => match argv.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("baselines: --out-dir needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => check = true,
+            "--raw" => raw = true,
+            other => {
+                eprintln!("baselines: unknown argument `{other}`");
+                eprintln!("usage: baselines [--out-dir DIR] [--check] [--raw]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if !check {
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("baselines: create {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut drifted: Vec<&str> = Vec::new();
+    let mut rows = Vec::new();
+    for (stem, run) in baseline_workloads() {
+        let (row, _) = run();
+        let text = if raw {
+            let mut t = row.report.to_json().render_pretty();
+            t.push('\n');
+            t
+        } else {
+            baseline_text(&row)
+        };
+        rows.push(row);
+        let path = out_dir.join(format!("{stem}.json"));
+        if check {
+            match std::fs::read_to_string(&path) {
+                Ok(committed) if committed == text => {
+                    eprintln!("baselines: {stem} ok");
+                }
+                Ok(_) => {
+                    eprintln!("baselines: {stem} DRIFTED from {}", path.display());
+                    drifted.push(stem);
+                }
+                Err(e) => {
+                    eprintln!("baselines: {stem} unreadable at {}: {e}", path.display());
+                    drifted.push(stem);
+                }
+            }
+        } else {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("baselines: write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("baselines: wrote {}", path.display());
+        }
+    }
+
+    if raw && !check {
+        match write_bench_json("table_6_1", &rows_json(&rows)) {
+            Ok(path) => eprintln!("baselines: wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_table_6_1.json: {e}"),
+        }
+    }
+
+    if drifted.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "baselines: drift in {} — rerun `cargo run --release -p netart-bench --bin baselines` to bless",
+            drifted.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}

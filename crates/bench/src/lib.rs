@@ -165,6 +165,34 @@ pub fn fig6_7() -> (Row, Diagram) {
     (Row::from_outcome("fig 6.7", &outcome, true), outcome.diagram)
 }
 
+/// One gated workload: the `baselines/` file stem and the runner
+/// producing its row.
+pub type BaselineWorkload = (&'static str, fn() -> (Row, Diagram));
+
+/// The workloads whose normalized run reports are committed under
+/// `baselines/` and guarded by the CI perf gate: one per table 6.1
+/// row, keyed by the file stem the baseline is written to.
+pub fn baseline_workloads() -> Vec<BaselineWorkload> {
+    vec![
+        ("fig6_1", fig6_1 as fn() -> (Row, Diagram)),
+        ("fig6_2", fig6_2),
+        ("fig6_3", fig6_3),
+        ("fig6_4", fig6_4),
+        ("fig6_5", fig6_5),
+        ("fig6_6", fig6_6),
+        ("fig6_7", fig6_7),
+    ]
+}
+
+/// The committed baseline text for one row: its run report with
+/// wall-clock stripped (see [`RunReport::normalized`]), so
+/// regeneration is bit-identical across machines.
+pub fn baseline_text(row: &Row) -> String {
+    let mut text = row.report.normalized().to_json().render_pretty();
+    text.push('\n');
+    text
+}
+
 /// All seven rows of table 6.1.
 pub fn table_6_1() -> Vec<Row> {
     vec![

@@ -9,7 +9,11 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match netart_cli::run_eureka(&argv) {
         Ok(out) => {
-            println!("{}", out.message);
+            if out.message_to_stderr {
+                eprintln!("{}", out.message);
+            } else {
+                println!("{}", out.message);
+            }
             out.exit_code()
         }
         Err(e) => {

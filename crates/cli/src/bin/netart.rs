@@ -1,16 +1,48 @@
 //! The `netart` umbrella program: the full pipeline in one invocation;
-//! see [`netart_cli::run_netart`].
+//! see [`netart_cli::run_netart`]. The `report diff` subcommand
+//! compares two run-report files; see [`netart_cli::run_report_diff`].
 //!
 //! Exit codes: 0 clean, 2 degraded (salvaged or ghost-wired nets, or a
 //! recovered phase crash; 1 under `--strict`), 1 failed outright.
+//! `report diff` exits 0 when clean, 3 on regression, 1 on error.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("report") {
+        return match argv.get(1).map(String::as_str) {
+            Some("diff") => match netart_cli::run_report_diff(&argv[2..]) {
+                Ok(out) => {
+                    if out.message_to_stderr {
+                        eprintln!("{}", out.message);
+                    } else {
+                        println!("{}", out.message);
+                    }
+                    if out.regressed {
+                        ExitCode::from(3)
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("netart report diff: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            _ => {
+                eprintln!("netart report: unknown subcommand (expected `diff`)");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match netart_cli::run_netart(&argv) {
         Ok(out) => {
-            println!("{}", out.message);
+            if out.message_to_stderr {
+                eprintln!("{}", out.message);
+            } else {
+                println!("{}", out.message);
+            }
             out.exit_code()
         }
         Err(e) => {

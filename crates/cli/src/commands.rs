@@ -11,7 +11,10 @@ use netart::diagram::{escher, svg, Diagram};
 use netart::netlist::doctor::{self, DoctorCode, DoctorFile, InputPolicy, Severity};
 use netart::netlist::format::quinto;
 use netart::netlist::{Library, Network};
-use netart::obs::{DegradationReport, JsonLinesSubscriber, RunReport, TextSubscriber};
+use netart::obs::{
+    DegradationReport, DiffConfig, FanoutSubscriber, Json, JsonLinesSubscriber, ReportDiff,
+    RunReport, TextSubscriber, TraceBuffer, TraceEventSubscriber,
+};
 use netart_fault::FaultKind;
 use netart::place::{Pablo, PlaceConfig};
 use netart::route::{Budget, NetOrder, RouteConfig};
@@ -25,12 +28,14 @@ fn ns(d: Duration) -> u64 {
 }
 
 /// Parses the shared observability flags and installs the matching
-/// stderr subscriber. `--trace-level <error|warn|info|debug|trace>`
-/// turns on the human-readable text stream; `--log-json` switches the
+/// subscriber. `--trace-level <error|warn|info|debug|trace>` turns on
+/// the human-readable text stream on stderr; `--log-json` switches the
 /// stream to one JSON object per line (at `--trace-level`, defaulting
-/// to `info`). Without either flag no subscriber is installed and the
-/// library instrumentation stays disabled.
-fn install_subscriber(args: &ParsedArgs) -> Result<(), CliError> {
+/// to `info`); `--trace-out <path>` additionally records every span
+/// and event into a Chrome trace-event buffer, returned here so the
+/// caller can write it after the run. Without any flag no subscriber
+/// is installed and the library instrumentation stays disabled.
+fn install_subscriber(args: &ParsedArgs) -> Result<Option<TraceBuffer>, CliError> {
     let level = match args.value("trace-level") {
         Some(s) => Some(s.parse::<tracing::Level>().map_err(|_| ArgError::BadValue {
             flag: "trace-level".into(),
@@ -38,23 +43,72 @@ fn install_subscriber(args: &ParsedArgs) -> Result<(), CliError> {
         })?),
         None => None,
     };
-    // Lenient: in-process callers (tests) may install twice; the first
-    // subscriber wins, which is fine for a diagnostics stream.
+    let mut children: Vec<Box<dyn tracing::Subscriber>> = Vec::new();
     if args.has("log-json") {
-        let _ = tracing::set_global_default(JsonLinesSubscriber::new(
+        children.push(Box::new(JsonLinesSubscriber::new(
             level.unwrap_or(tracing::Level::INFO),
-        ));
+        )));
     } else if let Some(max) = level {
-        let _ = tracing::set_global_default(TextSubscriber::new(max));
+        children.push(Box::new(TextSubscriber::new(max)));
+    }
+    let mut buffer = None;
+    if args.value("trace-out").is_some() {
+        // The trace file is for offline inspection, so record
+        // everything the instrumentation offers regardless of the
+        // stderr stream's level.
+        let (subscriber, buf) = TraceEventSubscriber::new(tracing::Level::TRACE);
+        children.push(Box::new(subscriber));
+        buffer = Some(buf);
+    }
+    if !children.is_empty() {
+        // Lenient: in-process callers (tests) may install twice; the
+        // first subscriber wins, which is fine for a diagnostics
+        // stream (a second run's trace buffer then stays empty).
+        let _ = tracing::set_global_default(FanoutSubscriber::new(children));
+    }
+    Ok(buffer)
+}
+
+/// Which streams claim stdout (`--report-json -` / `--trace-out -`).
+/// At most one may; the human-readable summary then moves to stderr so
+/// the machine-readable stream stays parseable.
+fn stdout_claimed(args: &ParsedArgs) -> Result<bool, CliError> {
+    let report = args.value("report-json") == Some("-");
+    let trace = args.value("trace-out") == Some("-");
+    if report && trace {
+        return Err(CliError::Other(
+            "--report-json - and --trace-out - both claim stdout; write at most one stream there"
+                .into(),
+        ));
+    }
+    Ok(report || trace)
+}
+
+/// Writes `text` to `path`, where `-` means stdout.
+fn write_or_stdout(path: &str, text: &str) -> Result<(), CliError> {
+    if path == "-" {
+        print!("{text}");
+        Ok(())
+    } else {
+        write(Path::new(path), text)
+    }
+}
+
+/// Writes the machine-readable run report when `--report-json <path>`
+/// was given (`-` for stdout).
+fn write_report(args: &ParsedArgs, report: &RunReport) -> Result<(), CliError> {
+    if let Some(path) = args.value("report-json") {
+        write_or_stdout(path, &report.to_json_string())?;
     }
     Ok(())
 }
 
-/// Writes the machine-readable run report when `--report-json <path>`
-/// was given.
-fn write_report(args: &ParsedArgs, report: &RunReport) -> Result<(), CliError> {
-    if let Some(path) = args.value("report-json") {
-        write(Path::new(path), &report.to_json_string())?;
+/// Writes the recorded Chrome trace-event document when `--trace-out
+/// <path>` was given (`-` for stdout). Load the file in
+/// `ui.perfetto.dev` or `chrome://tracing`.
+fn write_trace(args: &ParsedArgs, buffer: Option<&TraceBuffer>) -> Result<(), CliError> {
+    if let (Some(path), Some(buffer)) = (args.value("trace-out"), buffer) {
+        write_or_stdout(path, &buffer.to_json_string())?;
     }
     Ok(())
 }
@@ -170,6 +224,10 @@ pub struct RunOutput {
     pub degraded: bool,
     /// `true` when `--strict` was given: degradation becomes failure.
     pub strict: bool,
+    /// `true` when a machine-readable stream claimed stdout
+    /// (`--report-json -` / `--trace-out -`): the summary must go to
+    /// stderr instead.
+    pub message_to_stderr: bool,
 }
 
 impl RunOutput {
@@ -417,24 +475,31 @@ fn emit_diagram(
 
 /// `pablo [-p n] [-b n] [-c n] [-e n] [-i n] [-s n] [-g preplaced.esc]
 /// [--input-policy strict|repair|best-effort] [--inject spec]
+/// [--trace-out trace.json] [--trace-level lvl] [--log-json]
 /// [-L libdir] [-o name] net-list call-file [io-file]`
 ///
 /// Places the network (Appendix E). With `-g` the given ESCHER diagram
 /// is kept as the preplaced part. Writes `<name>.esc` / `<name>.svg`
 /// with modules and terminals only — nets are EUREKA's job — and
 /// returns a human-readable summary (with one warning line per input
-/// repair the doctor applied).
+/// repair the doctor applied). `--trace-out` records the placement
+/// passes as a Chrome trace-event file.
 ///
 /// # Errors
 ///
 /// Any [`CliError`] condition.
-pub fn run_pablo(argv: &[String]) -> Result<String, CliError> {
+pub fn run_pablo(argv: &[String]) -> Result<RunOutput, CliError> {
     let args = ParsedArgs::parse(
         argv,
-        &["p", "b", "c", "e", "i", "s", "g", "L", "o", "input-policy", "inject"],
-        &[],
+        &[
+            "p", "b", "c", "e", "i", "s", "g", "L", "o", "input-policy", "inject", "trace-out",
+            "trace-level",
+        ],
+        &["log-json"],
         (2, 3),
     )?;
+    let message_to_stderr = stdout_claimed(&args)?;
+    let trace_buffer = install_subscriber(&args)?;
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
     let (network, mut degs) = parse_with_recovery(|| load_network(&args, policy))?;
@@ -493,7 +558,13 @@ pub fn run_pablo(argv: &[String]) -> Result<String, CliError> {
             d.detail.as_deref().unwrap_or(&d.kind)
         ));
     }
-    Ok(message)
+    write_trace(&args, trace_buffer.as_ref())?;
+    Ok(RunOutput {
+        message,
+        degraded: false,
+        strict: false,
+        message_to_stderr,
+    })
 }
 
 /// Validates a preplaced seed diagram (`pablo -g`): strictly
@@ -597,12 +668,13 @@ pub fn run_eureka(argv: &[String]) -> Result<RunOutput, CliError> {
         argv,
         &[
             "m", "order", "L", "o", "diagram", "route-timeout", "max-nodes", "report-json",
-            "trace-level", "input-policy", "inject",
+            "trace-out", "trace-level", "input-policy", "inject",
         ],
         &["u", "d", "r", "l", "s", "no-claims", "no-salvage", "strict", "log-json"],
         (2, 3),
     )?;
-    install_subscriber(&args)?;
+    let message_to_stderr = stdout_claimed(&args)?;
+    let trace_buffer = install_subscriber(&args)?;
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
     let t_parse = Instant::now();
@@ -680,10 +752,12 @@ pub fn run_eureka(argv: &[String]) -> Result<RunOutput, CliError> {
         run_report.push_degradation(d.clone());
     }
     write_report(&args, &run_report)?;
+    write_trace(&args, trace_buffer.as_ref())?;
     Ok(RunOutput {
         message: format!("{summary}\n{}\n{files}", outcome.diagram.metrics()),
         degraded: !outcome.is_clean() || !cli_degs.is_empty(),
         strict: args.has("strict"),
+        message_to_stderr,
     })
 }
 
@@ -736,12 +810,13 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
         argv,
         &[
             "p", "b", "c", "e", "i", "s", "m", "order", "L", "o", "route-timeout", "max-nodes",
-            "report-json", "trace-level", "input-policy", "inject",
+            "report-json", "trace-out", "trace-level", "input-policy", "inject",
         ],
         &["no-claims", "no-salvage", "art", "strict", "log-json"],
         (2, 3),
     )?;
-    install_subscriber(&args)?;
+    let message_to_stderr = stdout_claimed(&args)?;
+    let trace_buffer = install_subscriber(&args)?;
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
     let t_parse = Instant::now();
@@ -804,6 +879,7 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
         run_report.push_degradation(d.clone());
     }
     write_report(&args, &run_report)?;
+    write_trace(&args, trace_buffer.as_ref())?;
 
     let mut summary = format!(
         "placed {} modules in {:?}; routed {}/{} nets in {:?}\n{}\nwrote {out}.esc and {out}.svg",
@@ -845,22 +921,32 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
         message: summary,
         degraded: !outcome.is_clean() || !cli_degs.is_empty(),
         strict: args.has("strict"),
+        message_to_stderr,
     })
 }
 
 /// `quinto [-L libdir] [--input-policy strict|repair|best-effort]
-/// [--inject spec] description.qto […]`
+/// [--inject spec] [--trace-out trace.json] [--trace-level lvl]
+/// [--log-json] description.qto […]`
 ///
 /// Validates module descriptions (Appendix B) through the module
 /// doctor and installs them into the library directory. Under
 /// `repair`/`best-effort` the *repaired* description is what gets
-/// installed, with one warning line per applied repair.
+/// installed, with one warning line per applied repair. `--trace-out`
+/// records the doctor's work as a Chrome trace-event file.
 ///
 /// # Errors
 ///
 /// Any [`CliError`] condition.
-pub fn run_quinto(argv: &[String]) -> Result<String, CliError> {
-    let args = ParsedArgs::parse(argv, &["L", "input-policy", "inject"], &[], (1, usize::MAX))?;
+pub fn run_quinto(argv: &[String]) -> Result<RunOutput, CliError> {
+    let args = ParsedArgs::parse(
+        argv,
+        &["L", "input-policy", "inject", "trace-out", "trace-level"],
+        &["log-json"],
+        (1, usize::MAX),
+    )?;
+    let message_to_stderr = stdout_claimed(&args)?;
+    let trace_buffer = install_subscriber(&args)?;
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
     let dir = match args.value("L") {
@@ -889,11 +975,83 @@ pub fn run_quinto(argv: &[String]) -> Result<String, CliError> {
         write(&target, &quinto::write_module(&template))?;
         added.push(template.name().to_owned());
     }
-    Ok(format!(
-        "added {} module(s): {}{warnings}",
-        added.len(),
-        added.join(", ")
-    ))
+    write_trace(&args, trace_buffer.as_ref())?;
+    Ok(RunOutput {
+        message: format!(
+            "added {} module(s): {}{warnings}",
+            added.len(),
+            added.join(", ")
+        ),
+        degraded: false,
+        strict: false,
+        message_to_stderr,
+    })
+}
+
+/// `netart report diff [--band n] [--diff-json out.json] baseline.json
+/// current.json`
+///
+/// Compares two run-report files with the baseline differ: counters,
+/// per-net effort, degradations and quality exactly, phase wall times
+/// band-tolerantly (`--band` log-2 buckets of slack, default 1).
+/// `--diff-json` additionally writes the machine-readable diff (`-`
+/// for stdout; the text summary then moves to stderr). The caller
+/// exits 3 when [`DiffOutput::regressed`] is set.
+///
+/// # Errors
+///
+/// Any [`CliError`] condition, including unreadable or malformed
+/// report files.
+pub fn run_report_diff(argv: &[String]) -> Result<DiffOutput, CliError> {
+    let args = ParsedArgs::parse(argv, &["band", "diff-json"], &[], (2, 2))?;
+    let band = args.parsed("band", 1usize)?;
+    let load = |path: &str| -> Result<RunReport, CliError> {
+        let text = read(Path::new(path))?;
+        let json = Json::parse(&text).map_err(|e| CliError::Parse {
+            path: PathBuf::from(path),
+            message: e.to_string(),
+        })?;
+        RunReport::from_json(&json).map_err(|message| CliError::Parse {
+            path: PathBuf::from(path),
+            message,
+        })
+    };
+    let files = args.positionals();
+    let baseline = load(&files[0])?;
+    let current = load(&files[1])?;
+    let diff = ReportDiff::diff_with(&baseline, &current, DiffConfig { band_buckets: band });
+    let mut message_to_stderr = false;
+    if let Some(path) = args.value("diff-json") {
+        write_or_stdout(path, &diff.to_json().render_pretty())?;
+        message_to_stderr = path == "-";
+    }
+    let regressed = diff.is_regression();
+    let verdict = if regressed {
+        let names: Vec<&str> = diff.regressions().map(|e| e.metric.as_str()).collect();
+        format!("REGRESSION: {}", names.join(", "))
+    } else {
+        "ok: no regressions".to_owned()
+    };
+    let mut message = diff.render_text();
+    message.push('\n');
+    message.push_str(&verdict);
+    Ok(DiffOutput {
+        message,
+        regressed,
+        message_to_stderr,
+    })
+}
+
+/// What `netart report diff` produced, and how the process should
+/// exit: 0 when clean, 3 on regression, 1 on error.
+#[derive(Debug, Clone)]
+pub struct DiffOutput {
+    /// The text summary (one line per differing metric plus a verdict).
+    pub message: String,
+    /// `true` when any compared metric regressed — the exit 3 case.
+    pub regressed: bool,
+    /// `true` when `--diff-json -` claimed stdout.
+    pub message_to_stderr: bool,
 }
 
 #[cfg(test)]
@@ -939,7 +1097,8 @@ mod tests {
         let msg = run_pablo(&argv(&[
             "-p", "7", "-b", "5", "-L", &lib, "-o", &out, &nets, &calls, &io,
         ]))
-        .expect("pablo runs");
+        .expect("pablo runs")
+        .message;
         assert!(msg.contains("placed 2 modules"), "{msg}");
         assert!(dir.join("placed.esc").exists());
         assert!(dir.join("placed.svg").exists());
@@ -964,7 +1123,9 @@ mod tests {
         let lib = dir.join("lib").to_string_lossy().into_owned();
         let desc = dir.join("buf.qto");
         fs::write(&desc, "module buf 20 20\nin a 0 10\nout y 20 10\n").unwrap();
-        let msg = run_quinto(&argv(&["-L", &lib, &desc.to_string_lossy()])).expect("quinto runs");
+        let msg = run_quinto(&argv(&["-L", &lib, &desc.to_string_lossy()]))
+            .expect("quinto runs")
+            .message;
         assert!(msg.contains("buf"), "{msg}");
         assert!(Path::new(&lib).join("buf.qto").exists());
         // Bad description is rejected with the file named.
@@ -1012,7 +1173,7 @@ mod tests {
         ]))
         .expect("netart runs");
         let doc = fs::read_to_string(dir.join("report.json")).expect("report written");
-        assert!(doc.contains("\"schema_version\": 1"), "{doc}");
+        assert!(doc.contains("\"schema_version\": 2"), "{doc}");
         assert!(doc.contains("\"tool\": \"netart\""), "{doc}");
         for phase in ["parse", "place", "route", "emit"] {
             assert!(doc.contains(&format!("\"name\": \"{phase}\"")), "{doc}");
@@ -1240,7 +1401,8 @@ mod tests {
             &lib,
             &desc.to_string_lossy(),
         ]))
-        .expect("repair installs the snapped module");
+        .expect("repair installs the snapped module")
+        .message;
         assert!(msg.contains("ND008"), "{msg}");
         assert!(Path::new(&lib).join("skew.qto").exists());
         let _ = fs::remove_dir_all(dir);
@@ -1304,7 +1466,8 @@ mod tests {
             &calls,
             &io,
         ]))
-        .expect("repair drops the later seed");
+        .expect("repair drops the later seed")
+        .message;
         assert!(msg.contains("ND012"), "{msg}");
         assert!(dir.join("seeded.esc").exists());
         let _ = fs::remove_dir_all(dir);

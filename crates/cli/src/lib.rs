@@ -28,4 +28,7 @@ mod args;
 mod commands;
 
 pub use args::{ArgError, ParsedArgs};
-pub use commands::{run_eureka, run_netart, run_pablo, run_quinto, CliError, RunOutput};
+pub use commands::{
+    run_eureka, run_netart, run_pablo, run_quinto, run_report_diff, CliError, DiffOutput,
+    RunOutput,
+};

@@ -227,6 +227,7 @@ impl Outcome {
         for d in &self.degradations {
             report.degradations.push(self.degradation_report(d));
         }
+        report.attach_phase_quantiles();
         report
     }
 

@@ -294,6 +294,17 @@ pub struct DoctorReport {
 
 impl DoctorReport {
     fn resolve(diagnostics: Vec<Diagnostic>) -> Self {
+        // One warning event per applied repair, so repairs show up in
+        // diagnostic streams and trace files alongside the phases they
+        // precede.
+        for d in diagnostics.iter().filter(|d| d.repair.is_some()) {
+            tracing::warn!(
+                "doctor repair applied",
+                code = d.code.as_str(),
+                file = d.file.tag(),
+                line = d.line as u64,
+            );
+        }
         let repairs_applied = diagnostics.iter().filter(|d| d.repair.is_some()).count();
         DoctorReport {
             diagnostics,
@@ -392,6 +403,8 @@ pub fn doctor_network(
     io_file: Option<&str>,
     policy: InputPolicy,
 ) -> Result<(Network, DoctorReport), DoctorError> {
+    let doctor_span = tracing::span!(tracing::Level::DEBUG, "doctor.network");
+    let _doctor_guard = doctor_span.enter();
     if let Some(kind) = netart_fault::fire(netart_fault::sites::PARSE_NETWORK) {
         return Err(injected_fault(DoctorFile::NetList, kind.as_str()));
     }
@@ -810,6 +823,8 @@ pub fn doctor_module(
     src: &str,
     policy: InputPolicy,
 ) -> Result<(Template, DoctorReport), DoctorError> {
+    let doctor_span = tracing::span!(tracing::Level::DEBUG, "doctor.module");
+    let _doctor_guard = doctor_span.enter();
     if let Some(kind) = netart_fault::fire(netart_fault::sites::PARSE_MODULE) {
         return Err(injected_fault(DoctorFile::Module, kind.as_str()));
     }

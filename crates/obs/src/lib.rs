@@ -10,9 +10,14 @@
 //!   size, per-phase wall times, per-net router effort, degradation
 //!   context, §4.4 quality metrics and the metrics snapshot, rendered
 //!   through the hand-rolled [`json::Json`] writer;
-//! * `tracing` subscribers ([`TextSubscriber`], [`JsonLinesSubscriber`])
-//!   that turn the spans and events the phase crates emit into stderr
-//!   streams — installed by the CLI, never by library code.
+//! * `tracing` subscribers ([`TextSubscriber`], [`JsonLinesSubscriber`],
+//!   the Chrome trace-event recorder [`TraceEventSubscriber`] and the
+//!   composing [`FanoutSubscriber`]) that turn the spans and events the
+//!   phase crates emit into stderr streams or trace files — installed
+//!   by the CLI, never by library code;
+//! * the cross-run layer: [`Json::parse`] reads written reports back,
+//!   and [`baseline`]'s [`ReportDiff`] compares two [`RunReport`]s so
+//!   `netart report diff` and the CI perf-gate can fail on regressions.
 //!
 //! The span/event vocabulary itself lives in the vendored `tracing`
 //! stand-in; this crate is about *collecting* and *exporting*.
@@ -20,15 +25,19 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod baseline;
 pub mod json;
 mod metrics;
 mod report;
 mod subscribe;
+mod trace;
 
-pub use json::Json;
+pub use baseline::{DiffConfig, DiffEntry, DiffSeverity, ReportDiff};
+pub use json::{Json, JsonParseError};
 pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot};
 pub use report::{
     DegradationReport, NetReport, NetworkReport, PhaseReport, QualityReport, RunReport,
     SCHEMA_VERSION,
 };
-pub use subscribe::{JsonLinesSubscriber, TextSubscriber};
+pub use subscribe::{FanoutSubscriber, JsonLinesSubscriber, TextSubscriber};
+pub use trace::{TraceBuffer, TraceEvent, TraceEventSubscriber};

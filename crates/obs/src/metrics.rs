@@ -41,7 +41,11 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    fn bucket_of(value: u64) -> usize {
+    /// Index of the log-2 bucket holding `value` (0–63). Exposed so the
+    /// baseline differ can band-compare wall-clock quantities the same
+    /// way the histogram buckets them: two values in the same (or
+    /// adjacent) bucket are "the same time" for gating purposes.
+    pub fn bucket_of(value: u64) -> usize {
         63 - u64::leading_zeros(value.max(1)) as usize
     }
 
@@ -76,6 +80,7 @@ impl Histogram {
             min: if self.count == 0 { 0 } else { self.min },
             max: self.max,
             p50: self.quantile(0.50).min(self.max),
+            p90: self.quantile(0.90).min(self.max),
             p95: self.quantile(0.95).min(self.max),
         }
     }
@@ -95,6 +100,8 @@ pub struct HistogramSummary {
     pub max: u64,
     /// Upper bound on the median observation.
     pub p50: u64,
+    /// Upper bound on the 90th-percentile observation.
+    pub p90: u64,
     /// Upper bound on the 95th-percentile observation.
     pub p95: u64,
 }
@@ -117,7 +124,24 @@ impl HistogramSummary {
             .with("min", self.min)
             .with("max", self.max)
             .with("p50", self.p50)
+            .with("p90", self.p90)
             .with("p95", self.p95)
+    }
+
+    /// Reads a summary back from its [`HistogramSummary::to_json`]
+    /// shape. Missing members default to zero (older schema versions
+    /// lacked `p90`).
+    pub fn from_json(json: &Json) -> HistogramSummary {
+        let field = |name: &str| json.get(name).and_then(Json::as_u64).unwrap_or(0);
+        HistogramSummary {
+            count: field("count"),
+            sum: field("sum"),
+            min: field("min"),
+            max: field("max"),
+            p50: field("p50"),
+            p90: field("p90"),
+            p95: field("p95"),
+        }
     }
 }
 
@@ -197,6 +221,30 @@ impl MetricsSnapshot {
         Json::obj()
             .with("counters", counters)
             .with("histograms", histograms)
+    }
+
+    /// Reads a snapshot back from its [`MetricsSnapshot::to_json`]
+    /// shape; non-numeric counters and malformed histograms are
+    /// skipped rather than rejected.
+    pub fn from_json(json: &Json) -> MetricsSnapshot {
+        let mut snapshot = MetricsSnapshot::default();
+        if let Some(members) = json.get("counters").and_then(Json::as_obj) {
+            for (name, value) in members {
+                if let Some(v) = value.as_u64() {
+                    snapshot.counters.insert(name.clone(), v);
+                }
+            }
+        }
+        if let Some(members) = json.get("histograms").and_then(Json::as_obj) {
+            for (name, value) in members {
+                if value.as_obj().is_some() {
+                    snapshot
+                        .histograms
+                        .insert(name.clone(), HistogramSummary::from_json(value));
+                }
+            }
+        }
+        snapshot
     }
 }
 

@@ -12,7 +12,11 @@ use crate::metrics::MetricsSnapshot;
 
 /// Version of the report shape. Bump when members are renamed,
 /// removed, or change meaning.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: **1** — initial shape; **2** — phase entries carry
+/// histogram quantiles (`p50_ns`/`p90_ns`/`max_ns`) and histogram
+/// summaries gained `p90`.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Size of the input network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -32,6 +36,13 @@ pub struct PhaseReport {
     pub name: String,
     /// Wall-clock nanoseconds spent in the phase.
     pub wall_ns: u64,
+    /// Median of the phase's timing histogram (`phase.<name>_ns`),
+    /// when the run recorded one.
+    pub p50_ns: Option<u64>,
+    /// 90th percentile of the phase's timing histogram.
+    pub p90_ns: Option<u64>,
+    /// Largest observation in the phase's timing histogram.
+    pub max_ns: Option<u64>,
 }
 
 /// Router effort and outcome for one net (the per-net span data,
@@ -132,6 +143,7 @@ impl RunReport {
             PhaseReport {
                 name: name.to_owned(),
                 wall_ns,
+                ..PhaseReport::default()
             },
         );
     }
@@ -141,7 +153,22 @@ impl RunReport {
         self.phases.push(PhaseReport {
             name: name.to_owned(),
             wall_ns,
+            ..PhaseReport::default()
         });
+    }
+
+    /// Fills each phase's quantile members from the matching
+    /// `phase.<name>_ns` histogram in the report's metrics snapshot.
+    /// Phases without a histogram (CLI-added `parse`/`emit`) keep
+    /// `None`.
+    pub fn attach_phase_quantiles(&mut self) {
+        for phase in &mut self.phases {
+            if let Some(h) = self.metrics.histograms.get(&format!("phase.{}_ns", phase.name)) {
+                phase.p50_ns = Some(h.p50);
+                phase.p90_ns = Some(h.p90);
+                phase.max_ns = Some(h.max);
+            }
+        }
     }
 
     /// Records a degradation discovered outside the core pipeline
@@ -172,6 +199,9 @@ impl RunReport {
                     Json::obj()
                         .with("name", p.name.as_str())
                         .with("wall_ns", p.wall_ns)
+                        .with("p50_ns", p.p50_ns.map(Json::from))
+                        .with("p90_ns", p.p90_ns.map(Json::from))
+                        .with("max_ns", p.max_ns.map(Json::from))
                 })
                 .collect(),
         );
@@ -230,6 +260,116 @@ impl RunReport {
     /// The pretty-printed JSON document (what `--report-json` writes).
     pub fn to_json_string(&self) -> String {
         self.to_json().render_pretty()
+    }
+
+    /// Reads a report back from its [`RunReport::to_json`] shape.
+    ///
+    /// Accepts schema versions 1 and 2 (version 1 reports simply lack
+    /// the phase quantiles). Anything else — or a document that is not
+    /// an object — is an error naming what was wrong, so the `report
+    /// diff` CLI can point at the offending file.
+    pub fn from_json(json: &Json) -> Result<RunReport, String> {
+        if json.as_obj().is_none() {
+            return Err("report is not a JSON object".to_owned());
+        }
+        let version = json
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing schema_version".to_owned())?;
+        if !(1..=u64::from(SCHEMA_VERSION)).contains(&version) {
+            return Err(format!(
+                "unsupported schema_version {version} (this build reads 1..={SCHEMA_VERSION})"
+            ));
+        }
+        let mut report = RunReport {
+            tool: json
+                .get("tool")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            is_clean: json.get("is_clean").and_then(Json::as_bool).unwrap_or(false),
+            ..RunReport::default()
+        };
+        if let Some(network) = json.get("network") {
+            let field = |name: &str| network.get(name).and_then(Json::as_u64).unwrap_or(0) as usize;
+            report.network = NetworkReport {
+                modules: field("modules"),
+                nets: field("nets"),
+                system_terminals: field("system_terminals"),
+            };
+        }
+        if let Some(phases) = json.get("phases").and_then(Json::as_arr) {
+            for p in phases {
+                report.phases.push(PhaseReport {
+                    name: p.get("name").and_then(Json::as_str).unwrap_or_default().to_owned(),
+                    wall_ns: p.get("wall_ns").and_then(Json::as_u64).unwrap_or(0),
+                    p50_ns: p.get("p50_ns").and_then(Json::as_u64),
+                    p90_ns: p.get("p90_ns").and_then(Json::as_u64),
+                    max_ns: p.get("max_ns").and_then(Json::as_u64),
+                });
+            }
+        }
+        if let Some(nets) = json.get("nets").and_then(Json::as_arr) {
+            for n in nets {
+                report.nets.push(NetReport {
+                    net: n.get("net").and_then(Json::as_str).unwrap_or_default().to_owned(),
+                    routed: n.get("routed").and_then(Json::as_bool).unwrap_or(false),
+                    prerouted: n.get("prerouted").and_then(Json::as_bool).unwrap_or(false),
+                    nodes_expanded: n.get("nodes_expanded").and_then(Json::as_u64).unwrap_or(0),
+                    over_budget: n.get("over_budget").and_then(Json::as_bool).unwrap_or(false),
+                    retried: n.get("retried").and_then(Json::as_bool).unwrap_or(false),
+                    salvage: n.get("salvage").and_then(Json::as_str).map(str::to_owned),
+                    ripup_victims: n.get("ripup_victims").and_then(Json::as_u64).unwrap_or(0) as u32,
+                });
+            }
+        }
+        if let Some(degradations) = json.get("degradations").and_then(Json::as_arr) {
+            for d in degradations {
+                report.degradations.push(DegradationReport {
+                    kind: d.get("kind").and_then(Json::as_str).unwrap_or_default().to_owned(),
+                    net: d.get("net").and_then(Json::as_str).map(str::to_owned),
+                    stage: d.get("stage").and_then(Json::as_str).map(str::to_owned),
+                    routed: d.get("routed").and_then(Json::as_bool),
+                    over_budget: d.get("over_budget").and_then(Json::as_bool),
+                    nodes_expanded: d.get("nodes_expanded").and_then(Json::as_u64),
+                    detail: d.get("detail").and_then(Json::as_str).map(str::to_owned),
+                });
+            }
+        }
+        if let Some(quality) = json.get("quality") {
+            let field = |name: &str| quality.get(name).and_then(Json::as_u64).unwrap_or(0);
+            report.quality = QualityReport {
+                routed_nets: field("routed_nets") as usize,
+                unrouted_nets: field("unrouted_nets") as usize,
+                total_length: field("total_length"),
+                total_bends: field("total_bends"),
+                crossovers: field("crossovers"),
+                branch_points: field("branch_points"),
+                bounding_area: field("bounding_area"),
+                completion: quality.get("completion").and_then(Json::as_f64).unwrap_or(0.0),
+            };
+        }
+        if let Some(metrics) = json.get("metrics") {
+            report.metrics = MetricsSnapshot::from_json(metrics);
+        }
+        Ok(report)
+    }
+
+    /// The report with every wall-clock quantity zeroed: phase times
+    /// and quantiles cleared and `*_ns` histograms dropped. What
+    /// remains is bit-deterministic for a given input, which is what
+    /// the committed `baselines/*.json` store — counters, per-net
+    /// effort, degradations, and quality survive; timings do not.
+    pub fn normalized(&self) -> RunReport {
+        let mut report = self.clone();
+        for phase in &mut report.phases {
+            phase.wall_ns = 0;
+            phase.p50_ns = None;
+            phase.p90_ns = None;
+            phase.max_ns = None;
+        }
+        report.metrics.histograms.retain(|name, _| !name.ends_with("_ns"));
+        report
     }
 }
 

@@ -1,12 +1,16 @@
-//! Tracing subscribers: human-readable text lines and JSON lines,
-//! both to stderr.
+//! Tracing subscribers: human-readable text lines, JSON lines, and a
+//! fan-out that feeds several subscribers at once.
 //!
 //! Library crates never write to stderr themselves — they emit spans
 //! and events, and one of these subscribers (installed by the CLI from
 //! `--trace-level` / `--log-json`) decides how the stream looks.
 //! Stdout is never touched, so piping a tool's output stays clean.
+//! When a run wants both a log stream and a trace file, the CLI wraps
+//! both subscribers in a [`FanoutSubscriber`] — the global slot only
+//! holds one.
 
 use std::io::Write;
+use std::sync::Mutex;
 
 use tracing::{Event, Level, SpanRecord, Subscriber, Value};
 
@@ -79,18 +83,71 @@ impl Subscriber for TextSubscriber {
     }
 }
 
-/// Renders every event and span close as one JSON object per line on
-/// stderr, for machine consumption (`--log-json`).
-#[derive(Debug)]
+/// Renders every event and span close as one JSON object per line,
+/// for machine consumption (`--log-json`). Lines go to stderr unless
+/// a sink is supplied with [`JsonLinesSubscriber::with_sink`].
 pub struct JsonLinesSubscriber {
     max: Level,
+    sink: Option<Mutex<Box<dyn Write + Send>>>,
 }
 
 impl JsonLinesSubscriber {
     /// A JSON-lines subscriber showing `max` and everything less
-    /// verbose.
+    /// verbose, writing to stderr.
     pub fn new(max: Level) -> JsonLinesSubscriber {
-        JsonLinesSubscriber { max }
+        JsonLinesSubscriber { max, sink: None }
+    }
+
+    /// A JSON-lines subscriber writing to `sink` instead of stderr
+    /// (tests capture the stream this way).
+    pub fn with_sink(max: Level, sink: Box<dyn Write + Send>) -> JsonLinesSubscriber {
+        JsonLinesSubscriber {
+            max,
+            sink: Some(Mutex::new(sink)),
+        }
+    }
+
+    fn write_line(&self, line: &str) {
+        match &self.sink {
+            Some(sink) => {
+                if let Ok(mut sink) = sink.lock() {
+                    let _ = writeln!(sink, "{line}");
+                }
+            }
+            None => {
+                let _ = writeln!(std::io::stderr(), "{line}");
+            }
+        }
+    }
+
+    /// The JSON-lines rendering of one event (exactly what
+    /// [`Subscriber::on_event`] writes, without the newline).
+    pub fn event_line(event: &Event<'_>) -> String {
+        Json::obj()
+            .with("type", "event")
+            .with("level", event.level.as_str())
+            .with(
+                "spans",
+                Json::Arr(event.spans.iter().map(|&s| Json::from(s)).collect()),
+            )
+            .with("message", event.message)
+            .with("fields", fields_json(event.fields))
+            .render()
+    }
+
+    /// The JSON-lines rendering of one span close (exactly what
+    /// [`Subscriber::on_span_close`] writes, without the newline).
+    pub fn span_line(span: &SpanRecord<'_>) -> String {
+        Json::obj()
+            .with("type", "span")
+            .with("level", span.level.as_str())
+            .with("name", span.name)
+            .with(
+                "elapsed_ns",
+                span.elapsed.map_or(0, |e| e.as_nanos().min(u128::from(u64::MAX)) as u64),
+            )
+            .with("fields", fields_json(span.fields))
+            .render()
     }
 }
 
@@ -105,7 +162,7 @@ fn field_json(value: &Value) -> Json {
     }
 }
 
-fn fields_json(fields: &[tracing::Field]) -> Json {
+pub(crate) fn fields_json(fields: &[tracing::Field]) -> Json {
     let mut obj = Json::obj();
     for f in fields {
         obj.set(f.name, field_json(&f.value));
@@ -119,31 +176,64 @@ impl Subscriber for JsonLinesSubscriber {
     }
 
     fn on_event(&self, event: &Event<'_>) {
-        let line = Json::obj()
-            .with("type", "event")
-            .with("level", event.level.as_str())
-            .with(
-                "spans",
-                Json::Arr(event.spans.iter().map(|&s| Json::from(s)).collect()),
-            )
-            .with("message", event.message)
-            .with("fields", fields_json(event.fields))
-            .render();
-        let _ = writeln!(std::io::stderr(), "{line}");
+        self.write_line(&Self::event_line(event));
     }
 
     fn on_span_close(&self, span: &SpanRecord<'_>) {
-        let line = Json::obj()
-            .with("type", "span")
-            .with("level", span.level.as_str())
-            .with("name", span.name)
-            .with(
-                "elapsed_ns",
-                span.elapsed.map_or(0, |e| e.as_nanos().min(u128::from(u64::MAX)) as u64),
-            )
-            .with("fields", fields_json(span.fields))
-            .render();
-        let _ = writeln!(std::io::stderr(), "{line}");
+        self.write_line(&Self::span_line(span));
+    }
+}
+
+/// Forwards everything to several child subscribers, each behind its
+/// own level gate. The global subscriber slot holds exactly one value,
+/// so runs that want both a log stream and a trace recorder compose
+/// them here.
+pub struct FanoutSubscriber {
+    children: Vec<Box<dyn Subscriber>>,
+}
+
+impl FanoutSubscriber {
+    /// A fan-out over `children`.
+    pub fn new(children: Vec<Box<dyn Subscriber>>) -> FanoutSubscriber {
+        FanoutSubscriber { children }
+    }
+
+    /// The children that want records at `level`.
+    fn wanting(&self, level: Level) -> impl Iterator<Item = &dyn Subscriber> {
+        self.children
+            .iter()
+            .map(Box::as_ref)
+            .filter(move |c| level.verbosity() <= c.max_verbosity().verbosity())
+    }
+}
+
+impl Subscriber for FanoutSubscriber {
+    /// The most verbose child wins; the per-child gate in dispatch
+    /// keeps quieter children from seeing what they did not ask for.
+    fn max_verbosity(&self) -> Level {
+        self.children
+            .iter()
+            .map(|c| c.max_verbosity())
+            .max()
+            .unwrap_or(Level::ERROR)
+    }
+
+    fn on_event(&self, event: &Event<'_>) {
+        for child in self.wanting(event.level) {
+            child.on_event(event);
+        }
+    }
+
+    fn on_span_enter(&self, span: &SpanRecord<'_>) {
+        for child in self.wanting(span.level) {
+            child.on_span_enter(span);
+        }
+    }
+
+    fn on_span_close(&self, span: &SpanRecord<'_>) {
+        for child in self.wanting(span.level) {
+            child.on_span_close(span);
+        }
     }
 }
 

@@ -1,0 +1,225 @@
+//! Chrome trace-event export: spans become `ph:"B"/"E"` duration
+//! events, events become `ph:"i"` instants.
+//!
+//! A [`TraceEventSubscriber`] records everything the tracing layer
+//! sees into a shared [`TraceBuffer`]; after the run the CLI drains
+//! the buffer into a trace-event JSON array (`--trace-out`) that loads
+//! directly in `ui.perfetto.dev` or `chrome://tracing`. Timestamps are
+//! microseconds from a single [`Instant`] taken at subscriber
+//! construction, so the file is self-consistent regardless of wall
+//! clocks, and `tid` is [`tracing::thread_ordinal`] so per-thread
+//! tracks stay small and stable.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use tracing::{Event, Level, SpanRecord, Subscriber};
+
+use crate::json::Json;
+use crate::subscribe::fields_json;
+
+/// One recorded trace event, already in trace-event vocabulary.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (span name or event message).
+    pub name: String,
+    /// Phase: `B` (span enter), `E` (span close), `i` (instant).
+    pub ph: char,
+    /// Microseconds since the subscriber was constructed.
+    pub ts: f64,
+    /// Ordinal of the recording thread.
+    pub tid: u64,
+    /// The record's level, exported as the event category.
+    pub level: Level,
+    /// Structured fields, exported as `args`.
+    pub args: Json,
+}
+
+/// Shared, clonable store of recorded [`TraceEvent`]s. The CLI keeps
+/// one clone and hands the other to the subscriber it installs in the
+/// global slot — installation consumes the subscriber, so the buffer
+/// is the only handle left to drain after the run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer.
+    pub fn new() -> TraceBuffer {
+        TraceBuffer::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, event: TraceEvent) {
+        if let Ok(mut events) = self.events.lock() {
+            events.push(event);
+        }
+    }
+
+    /// The recorded events as a trace-event JSON array (the document
+    /// `--trace-out` writes). The buffer keeps its contents, so
+    /// rendering twice gives the same document.
+    pub fn to_json(&self) -> Json {
+        let pid = u64::from(std::process::id());
+        let events = self.events.lock().map(|e| e.clone()).unwrap_or_default();
+        Json::Arr(
+            events
+                .iter()
+                .map(|e| {
+                    Json::obj()
+                        .with("name", e.name.as_str())
+                        .with("cat", e.level.as_str())
+                        .with("ph", e.ph.to_string())
+                        .with("ts", e.ts)
+                        .with("pid", pid)
+                        .with("tid", e.tid)
+                        .with("args", e.args.clone())
+                })
+                .collect(),
+        )
+    }
+
+    /// The pretty-printed trace document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render_pretty()
+    }
+}
+
+/// Records spans and events into a [`TraceBuffer`] in trace-event
+/// form. Install alone or as a [`crate::FanoutSubscriber`] child.
+pub struct TraceEventSubscriber {
+    max: Level,
+    buffer: TraceBuffer,
+    origin: Instant,
+}
+
+impl TraceEventSubscriber {
+    /// A recorder keeping `max` and everything less verbose. Returns
+    /// the subscriber and the buffer handle to drain afterwards.
+    pub fn new(max: Level) -> (TraceEventSubscriber, TraceBuffer) {
+        let buffer = TraceBuffer::new();
+        (
+            TraceEventSubscriber {
+                max,
+                buffer: buffer.clone(),
+                origin: Instant::now(),
+            },
+            buffer,
+        )
+    }
+
+    fn now_us(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64() * 1e6
+    }
+
+    fn record(&self, name: &str, ph: char, level: Level, fields: &[tracing::Field]) {
+        self.buffer.push(TraceEvent {
+            name: name.to_owned(),
+            ph,
+            ts: self.now_us(),
+            tid: tracing::thread_ordinal(),
+            level,
+            args: fields_json(fields),
+        });
+    }
+}
+
+impl Subscriber for TraceEventSubscriber {
+    fn max_verbosity(&self) -> Level {
+        self.max
+    }
+
+    fn on_event(&self, event: &Event<'_>) {
+        self.record(event.message, 'i', event.level, event.fields);
+    }
+
+    fn on_span_enter(&self, span: &SpanRecord<'_>) {
+        self.record(span.name, 'B', span.level, span.fields);
+    }
+
+    fn on_span_close(&self, span: &SpanRecord<'_>) {
+        self.record(span.name, 'E', span.level, span.fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracing::{Field, Value};
+
+    fn record_of(name: &'static str, elapsed: Option<std::time::Duration>) -> SpanRecord<'static> {
+        SpanRecord {
+            name,
+            level: Level::INFO,
+            fields: &[],
+            elapsed,
+        }
+    }
+
+    #[test]
+    fn spans_record_balanced_b_e() {
+        let (sub, buf) = TraceEventSubscriber::new(Level::TRACE);
+        sub.on_span_enter(&record_of("route", None));
+        sub.on_span_close(&record_of("route", Some(std::time::Duration::from_micros(5))));
+        assert_eq!(buf.len(), 2);
+        let json = buf.to_json();
+        let events = json.as_arr().unwrap();
+        assert_eq!(events[0].get("ph"), Some(&Json::Str("B".into())));
+        assert_eq!(events[1].get("ph"), Some(&Json::Str("E".into())));
+        assert_eq!(events[0].get("name"), Some(&Json::Str("route".into())));
+        let t0 = events[0].get("ts").and_then(Json::as_f64).unwrap();
+        let t1 = events[1].get("ts").and_then(Json::as_f64).unwrap();
+        assert!(t1 >= t0, "timestamps are monotonic");
+    }
+
+    #[test]
+    fn events_record_instants_with_args() {
+        let (sub, buf) = TraceEventSubscriber::new(Level::TRACE);
+        sub.on_event(&Event {
+            level: Level::WARN,
+            message: "net salvaged",
+            fields: &[Field {
+                name: "net",
+                value: Value::Str("clk".into()),
+            }],
+            spans: &[],
+        });
+        let json = buf.to_json();
+        let e = &json.as_arr().unwrap()[0];
+        assert_eq!(e.get("ph"), Some(&Json::Str("i".into())));
+        assert_eq!(e.get("cat"), Some(&Json::Str("WARN".into())));
+        assert_eq!(
+            e.get("args").and_then(|a| a.get("net")),
+            Some(&Json::Str("clk".into()))
+        );
+        assert!(e.get("pid").and_then(Json::as_u64).is_some());
+        assert!(e.get("tid").and_then(Json::as_u64).unwrap() >= 1);
+    }
+
+    #[test]
+    fn rendered_trace_reparses() {
+        let (sub, buf) = TraceEventSubscriber::new(Level::TRACE);
+        sub.on_span_enter(&record_of("place", None));
+        sub.on_span_close(&record_of("place", Some(std::time::Duration::ZERO)));
+        let text = buf.to_json_string();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_buffer_renders_empty_array() {
+        let buf = TraceBuffer::new();
+        assert!(buf.is_empty());
+        assert_eq!(buf.to_json().render(), "[]");
+    }
+}

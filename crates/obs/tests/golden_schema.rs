@@ -25,7 +25,7 @@ fn exemplar() -> RunReport {
     metrics.observe("route.net_nodes", 40);
     metrics.observe("route.net_nodes", 150);
 
-    RunReport {
+    let mut report = RunReport {
         tool: "netart".to_owned(),
         network: NetworkReport {
             modules: 3,
@@ -36,18 +36,22 @@ fn exemplar() -> RunReport {
             PhaseReport {
                 name: "parse".to_owned(),
                 wall_ns: 250,
+                ..PhaseReport::default()
             },
             PhaseReport {
                 name: "place".to_owned(),
                 wall_ns: 1_000,
+                ..PhaseReport::default()
             },
             PhaseReport {
                 name: "route".to_owned(),
                 wall_ns: 1_500,
+                ..PhaseReport::default()
             },
             PhaseReport {
                 name: "emit".to_owned(),
                 wall_ns: 75,
+                ..PhaseReport::default()
             },
         ],
         nets: vec![
@@ -93,7 +97,11 @@ fn exemplar() -> RunReport {
         },
         metrics: metrics.snapshot(),
         is_clean: false,
-    }
+    };
+    // The `route` phase has a `phase.route_ns` histogram, so it alone
+    // gains quantiles — the other phases keep `null`s.
+    report.attach_phase_quantiles();
+    report
 }
 
 #[test]
@@ -138,4 +146,34 @@ fn golden_parses_and_roundtrips_key_facts() {
             .and_then(|c| c.get("route.nets_routed")),
         Some(&netart_obs::Json::Uint(2))
     );
+}
+
+#[test]
+fn report_roundtrips_through_json() {
+    let original = exemplar();
+    let text = original.to_json_string();
+    let parsed = netart_obs::Json::parse(&text).expect("rendered report parses");
+    let read_back = RunReport::from_json(&parsed).expect("report reads back");
+    assert_eq!(read_back, original);
+    // And the roundtrip is byte-stable, which is what `report diff`
+    // relies on when reading committed baselines.
+    assert_eq!(read_back.to_json_string(), text);
+}
+
+#[test]
+fn normalized_report_is_free_of_wall_clock() {
+    let normalized = exemplar().normalized();
+    for phase in &normalized.phases {
+        assert_eq!(phase.wall_ns, 0);
+        assert_eq!(phase.p50_ns, None);
+    }
+    assert!(
+        normalized.metrics.histograms.keys().all(|k| !k.ends_with("_ns")),
+        "timing histograms must be dropped: {:?}",
+        normalized.metrics.histograms.keys().collect::<Vec<_>>()
+    );
+    // Deterministic content survives.
+    assert!(normalized.metrics.histograms.contains_key("route.net_nodes"));
+    assert_eq!(normalized.nets.len(), 2);
+    assert_eq!(normalized.quality.total_bends, 4);
 }

@@ -1,0 +1,131 @@
+//! End-to-end coverage of the JSON-lines subscriber through the real
+//! macro pipeline: install it as the process-global subscriber with a
+//! captured sink, emit spans and events, and assert on the stream.
+//!
+//! Three guarantees matter to machine consumers of `--log-json`:
+//! every line parses as standalone JSON (no multi-line records), the
+//! level gate holds (a `DEBUG` subscriber never sees `TRACE`), and
+//! span closes come out LIFO (inner spans close before outer ones).
+
+use std::io::Write;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use netart_obs::{Json, JsonLinesSubscriber};
+use tracing::Level;
+
+/// A `Write` sink tests can read back.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn lines(&self) -> Vec<String> {
+        String::from_utf8(self.0.lock().unwrap().clone())
+            .expect("subscriber output is UTF-8")
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    }
+}
+
+/// Installs the subscriber once per test binary (the global slot is
+/// claim-once) and serialises the tests so each sees its own output.
+fn with_captured_stream(f: impl FnOnce(&SharedBuf)) {
+    static SINK: OnceLock<(SharedBuf, Mutex<()>)> = OnceLock::new();
+    let (sink, guard) = SINK.get_or_init(|| {
+        let buf = SharedBuf::default();
+        let sub = JsonLinesSubscriber::with_sink(Level::DEBUG, Box::new(buf.clone()));
+        tracing::set_global_default(sub).expect("first install in this binary");
+        (buf, Mutex::new(()))
+    });
+    let _g = guard.lock().unwrap_or_else(|e| e.into_inner());
+    sink.0.lock().unwrap().clear();
+    f(sink);
+}
+
+#[test]
+fn every_line_is_standalone_json() {
+    with_captured_stream(|sink| {
+        let span = tracing::span!(Level::INFO, "probe.outer", stage = "parse");
+        let _e = span.enter();
+        tracing::info!("probe event", nets = 3u64, clean = true);
+        tracing::warn!("probe warning", file = "design.net");
+        drop(_e);
+
+        let lines = sink.lines();
+        assert!(lines.len() >= 3, "expected events and a span close: {lines:?}");
+        for line in &lines {
+            let parsed = Json::parse(line)
+                .unwrap_or_else(|e| panic!("line is not standalone JSON: {e:?}\n{line}"));
+            let obj = parsed.as_obj().expect("each line is an object");
+            let ty = obj.iter().find(|(k, _)| k == "type").expect("type member");
+            assert!(
+                matches!(ty.1.as_str(), Some("event") | Some("span")),
+                "unexpected record type in {line}"
+            );
+        }
+    });
+}
+
+#[test]
+fn level_gate_holds() {
+    with_captured_stream(|sink| {
+        tracing::trace!("gate probe below threshold");
+        tracing::debug!("gate probe at threshold");
+
+        let lines = sink.lines();
+        assert!(
+            !lines.iter().any(|l| l.contains("below threshold")),
+            "TRACE leaked past a DEBUG subscriber: {lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.contains("at threshold")),
+            "DEBUG record missing: {lines:?}"
+        );
+    });
+}
+
+#[test]
+fn span_closes_are_lifo() {
+    with_captured_stream(|sink| {
+        let outer = tracing::span!(Level::INFO, "lifo.outer");
+        let outer_entered = outer.enter();
+        let inner = tracing::span!(Level::INFO, "lifo.inner");
+        let inner_entered = inner.enter();
+        tracing::info!("lifo probe");
+        drop(inner_entered);
+        drop(outer_entered);
+
+        let lines = sink.lines();
+        let event = lines
+            .iter()
+            .find(|l| l.contains("lifo probe"))
+            .expect("probe event");
+        let spans = Json::parse(event).unwrap();
+        let spans = spans.as_obj().unwrap();
+        let spans = &spans.iter().find(|(k, _)| k == "spans").unwrap().1;
+        assert_eq!(
+            spans.render(),
+            r#"["lifo.outer","lifo.inner"]"#,
+            "event spans must list outermost first"
+        );
+
+        let closes: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains(r#""type":"span""#) && l.contains("lifo."))
+            .collect();
+        assert_eq!(closes.len(), 2, "both spans close: {lines:?}");
+        assert!(closes[0].contains("lifo.inner"), "inner closes first");
+        assert!(closes[1].contains("lifo.outer"), "outer closes last");
+    });
+}

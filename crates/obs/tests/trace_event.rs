@@ -1,0 +1,86 @@
+//! End-to-end trace-event recording: install a [`TraceEventSubscriber`]
+//! behind a [`FanoutSubscriber`] (exactly how the CLI wires
+//! `--trace-out`), drive real spans and events on several threads, and
+//! structurally validate the rendered trace document the way the CI
+//! gate does: a JSON array whose members carry `name`/`ph`/`ts`/`pid`/
+//! `tid`, with `B`/`E` balanced and stack-ordered per thread.
+
+use std::sync::OnceLock;
+
+use netart_obs::{FanoutSubscriber, Json, TraceBuffer, TraceEventSubscriber};
+use tracing::Level;
+
+fn recorded() -> &'static TraceBuffer {
+    static BUFFER: OnceLock<TraceBuffer> = OnceLock::new();
+    BUFFER.get_or_init(|| {
+        let (recorder, buffer) = TraceEventSubscriber::new(Level::TRACE);
+        tracing::set_global_default(FanoutSubscriber::new(vec![Box::new(recorder)]))
+            .expect("first install in this binary");
+
+        // Two worker threads, each with nested spans and an instant
+        // event, so per-thread tracks and tids are exercised.
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let outer = tracing::span!(Level::DEBUG, "work.outer", kind = "probe");
+                    let _o = outer.enter();
+                    tracing::info!("midpoint", step = 1u64);
+                    let inner = tracing::span!(Level::DEBUG, "work.inner");
+                    inner.in_scope(|| tracing::debug!("innermost"));
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker finished");
+        }
+        buffer
+    })
+}
+
+#[test]
+fn trace_document_is_structurally_valid() {
+    let text = recorded().to_json_string();
+    let doc = Json::parse(&text).expect("trace renders as valid JSON");
+    let events = doc.as_arr().expect("trace document is an array");
+    assert!(!events.is_empty(), "worker spans were recorded");
+    for e in events {
+        for member in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(e.get(member).is_some(), "member {member} missing in {e:?}");
+        }
+        let ph = e.get("ph").and_then(Json::as_str).unwrap();
+        assert!(matches!(ph, "B" | "E" | "i"), "unknown phase {ph}");
+        assert!(e.get("ts").and_then(Json::as_f64).unwrap() >= 0.0);
+    }
+}
+
+#[test]
+fn spans_balance_per_thread() {
+    let doc = recorded().to_json();
+    let events = doc.as_arr().unwrap();
+    let tids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+        .collect();
+    assert!(tids.len() >= 2, "two worker threads, two tracks: {tids:?}");
+
+    for tid in tids {
+        // Replay this thread's track; B pushes, E must match the top.
+        let mut stack: Vec<&str> = Vec::new();
+        let mut last_ts = 0.0f64;
+        for e in events
+            .iter()
+            .filter(|e| e.get("tid").and_then(Json::as_u64) == Some(tid))
+        {
+            let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+            assert!(ts >= last_ts, "timestamps are non-decreasing per thread");
+            last_ts = ts;
+            let name = e.get("name").and_then(Json::as_str).unwrap();
+            match e.get("ph").and_then(Json::as_str).unwrap() {
+                "B" => stack.push(name),
+                "E" => assert_eq!(stack.pop(), Some(name), "E matches innermost open B"),
+                _ => {}
+            }
+        }
+        assert!(stack.is_empty(), "every B on tid {tid} has a matching E");
+    }
+}

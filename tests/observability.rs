@@ -53,6 +53,32 @@ fn counters_are_identical_across_paper_workload_reruns() {
 }
 
 #[test]
+fn route_only_counters_and_reports_are_deterministic() {
+    // The eureka path: routing an already-placed diagram must be just
+    // as deterministic as the full pipeline — identical counter maps
+    // and byte-identical normalized run reports across reruns.
+    let run = || {
+        let network = life::network();
+        let hand = life::hand_placement(&network);
+        Generator::new()
+            .with_routing(RouteConfig::new().with_margin(4))
+            .route_only(network, hand)
+            .expect("hand placement is complete")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.metrics.counters, b.metrics.counters,
+        "route-only counter snapshots differ between identical runs"
+    );
+    assert_eq!(
+        a.run_report("eureka").normalized().to_json_string(),
+        b.run_report("eureka").normalized().to_json_string(),
+        "route-only normalized run reports are not byte-identical"
+    );
+}
+
+#[test]
 fn run_report_agrees_with_outcome() {
     let network = string_chain(5);
     let nets = network.net_count();

@@ -25,7 +25,7 @@
 
 use std::cell::RefCell;
 use std::fmt;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -275,6 +275,21 @@ pub fn current_spans() -> Vec<&'static str> {
     SPAN_STACK.with(|s| s.borrow().clone())
 }
 
+/// Monotonic ordinals handed out to threads as they first ask for one.
+static NEXT_THREAD_ORDINAL: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ORDINAL: u64 = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small, stable, per-thread identifier: 1 for the first thread that
+/// asks, 2 for the second, and so on. Unlike [`std::thread::ThreadId`]
+/// the value is a plain integer, which is what trace-event `tid`
+/// members want.
+pub fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|t| *t)
+}
+
 #[doc(hidden)]
 pub fn dispatch_event(level: Level, message: &str, fields: &[Field]) {
     if let Some(sub) = SUBSCRIBER.get() {
@@ -517,6 +532,15 @@ mod tests {
         assert_eq!(seen.len(), 1);
         assert_eq!(seen[0].1, "net salvaged");
         assert_eq!(seen[0].2[0].name, "net");
+    }
+
+    #[test]
+    fn thread_ordinals_are_small_and_stable() {
+        let mine = thread_ordinal();
+        assert!(mine >= 1);
+        assert_eq!(mine, thread_ordinal(), "stable within a thread");
+        let other = std::thread::spawn(thread_ordinal).join().unwrap();
+        assert_ne!(mine, other, "distinct across threads");
     }
 
     #[test]
