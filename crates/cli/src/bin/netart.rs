@@ -1,15 +1,36 @@
 //! The `netart` umbrella program: the full pipeline in one invocation;
 //! see [`netart_cli::run_netart`]. The `report diff` subcommand
 //! compares two run-report files; see [`netart_cli::run_report_diff`].
+//! The `batch` subcommand runs many inputs on a resilient worker pool;
+//! see [`netart_cli::run_batch`].
 //!
 //! Exit codes: 0 clean, 2 degraded (salvaged or ghost-wired nets, or a
 //! recovered phase crash; 1 under `--strict`), 1 failed outright.
 //! `report diff` exits 0 when clean, 3 on regression, 1 on error.
+//! `batch` exits 0 when every job is ok, 2 when any job degraded,
+//! failed, was quarantined or skipped, 1 when the batch could not run.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("batch") {
+        netart_cli::install_drain_handlers();
+        return match netart_cli::run_batch(&argv[1..]) {
+            Ok(out) => {
+                if out.message_to_stderr {
+                    eprintln!("{}", out.message);
+                } else {
+                    println!("{}", out.message);
+                }
+                out.exit_code()
+            }
+            Err(e) => {
+                eprintln!("netart batch: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if argv.first().map(String::as_str) == Some("report") {
         return match argv.get(1).map(String::as_str) {
             Some("diff") => match netart_cli::run_report_diff(&argv[2..]) {

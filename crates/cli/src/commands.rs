@@ -23,7 +23,7 @@ use netart::Generator;
 use crate::{ArgError, ParsedArgs};
 
 /// Nanoseconds of a duration, saturating at `u64::MAX`.
-fn ns(d: Duration) -> u64 {
+pub(crate) fn ns(d: Duration) -> u64 {
     d.as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
@@ -35,7 +35,7 @@ fn ns(d: Duration) -> u64 {
 /// and event into a Chrome trace-event buffer, returned here so the
 /// caller can write it after the run. Without any flag no subscriber
 /// is installed and the library instrumentation stays disabled.
-fn install_subscriber(args: &ParsedArgs) -> Result<Option<TraceBuffer>, CliError> {
+pub(crate) fn install_subscriber(args: &ParsedArgs) -> Result<Option<TraceBuffer>, CliError> {
     let level = match args.value("trace-level") {
         Some(s) => Some(s.parse::<tracing::Level>().map_err(|_| ArgError::BadValue {
             flag: "trace-level".into(),
@@ -72,7 +72,7 @@ fn install_subscriber(args: &ParsedArgs) -> Result<Option<TraceBuffer>, CliError
 /// Which streams claim stdout (`--report-json -` / `--trace-out -`).
 /// At most one may; the human-readable summary then moves to stderr so
 /// the machine-readable stream stays parseable.
-fn stdout_claimed(args: &ParsedArgs) -> Result<bool, CliError> {
+pub(crate) fn stdout_claimed(args: &ParsedArgs) -> Result<bool, CliError> {
     let report = args.value("report-json") == Some("-");
     let trace = args.value("trace-out") == Some("-");
     if report && trace {
@@ -85,7 +85,7 @@ fn stdout_claimed(args: &ParsedArgs) -> Result<bool, CliError> {
 }
 
 /// Writes `text` to `path`, where `-` means stdout.
-fn write_or_stdout(path: &str, text: &str) -> Result<(), CliError> {
+pub(crate) fn write_or_stdout(path: &str, text: &str) -> Result<(), CliError> {
     if path == "-" {
         print!("{text}");
         Ok(())
@@ -115,7 +115,7 @@ fn write_trace(args: &ParsedArgs, buffer: Option<&TraceBuffer>) -> Result<(), Cl
 
 /// Parses `--input-policy <strict|repair|best-effort>` (default
 /// `strict`); see [`InputPolicy`] for what each does.
-fn input_policy(args: &ParsedArgs) -> Result<InputPolicy, CliError> {
+pub(crate) fn input_policy(args: &ParsedArgs) -> Result<InputPolicy, CliError> {
     match args.value("input-policy") {
         None => Ok(InputPolicy::Strict),
         Some(s) => s.parse().map_err(|_| {
@@ -131,7 +131,7 @@ fn input_policy(args: &ParsedArgs) -> Result<InputPolicy, CliError> {
 /// site[:nth][:kind]` (comma-separated) and `NETART_INJECT`. Unless
 /// the binary was built with `--features fault-injection`, arming
 /// anything is an error — the sites compile to nothing.
-fn arm_faults(args: &ParsedArgs) -> Result<(), CliError> {
+pub(crate) fn arm_faults(args: &ParsedArgs) -> Result<(), CliError> {
     netart_fault::disarm_all();
     if let Some(specs) = args.value("inject") {
         for spec in specs.split(',').filter(|s| !s.trim().is_empty()) {
@@ -144,7 +144,7 @@ fn arm_faults(args: &ParsedArgs) -> Result<(), CliError> {
 
 /// A CLI-level degradation record (doctor repairs, recovered parse
 /// faults, emit retries) for the run report.
-fn cli_degradation(kind: &str, stage: Option<String>, detail: String) -> DegradationReport {
+pub(crate) fn cli_degradation(kind: &str, stage: Option<String>, detail: String) -> DegradationReport {
     DegradationReport {
         kind: kind.to_owned(),
         net: None,
@@ -158,7 +158,7 @@ fn cli_degradation(kind: &str, stage: Option<String>, detail: String) -> Degrada
 
 /// Folds a doctor report into degradation records: one per applied
 /// repair, and one per defect the best-effort policy skipped.
-fn doctor_degradations(
+pub(crate) fn doctor_degradations(
     source: &Path,
     report: &doctor::DoctorReport,
     degs: &mut Vec<DegradationReport>,
@@ -245,7 +245,7 @@ impl RunOutput {
 /// Parses the shared robustness flags: `--route-timeout <ms>` and
 /// `--max-nodes <n>` build the per-net routing [`Budget`], `--strict`
 /// is read by the caller.
-fn budget_from_args(args: &ParsedArgs) -> Result<Budget, ArgError> {
+pub(crate) fn budget_from_args(args: &ParsedArgs) -> Result<Budget, ArgError> {
     let mut budget = Budget::new();
     if let Some(ms) = args.value("route-timeout") {
         let ms: u64 = ms.parse().map_err(|_| ArgError::BadValue {
@@ -306,7 +306,7 @@ impl From<ArgError> for CliError {
     }
 }
 
-fn read(path: &Path) -> Result<String, CliError> {
+pub(crate) fn read(path: &Path) -> Result<String, CliError> {
     fs::read_to_string(path).map_err(|source| CliError::Io {
         path: path.to_owned(),
         source,
@@ -323,7 +323,7 @@ fn write(path: &Path, contents: &str) -> Result<(), CliError> {
 /// Loads every `*.qto` quinto module description in the library
 /// directory (`-L`, falling back to `$USER_LIB` like the paper's
 /// tools), running each through the module doctor under `policy`.
-fn load_library(
+pub(crate) fn load_library(
     args: &ParsedArgs,
     policy: InputPolicy,
     degs: &mut Vec<DegradationReport>,
@@ -392,10 +392,32 @@ fn load_network(
     let mut degs = Vec::new();
     let lib = load_library(args, policy, &mut degs)?;
     let files = args.positionals();
-    let net_list = read(Path::new(&files[0]))?;
-    let calls = read(Path::new(&files[1]))?;
-    let io = match files.get(2) {
-        Some(f) => Some(read(Path::new(f))?),
+    let (network, mut net_degs) = load_network_files(
+        lib,
+        Path::new(&files[0]),
+        Path::new(&files[1]),
+        files.get(2).map(Path::new),
+        policy,
+    )?;
+    degs.append(&mut net_degs);
+    Ok((network, degs))
+}
+
+/// Parses one netlist group (`net-list call-file [io-file]`) through
+/// the doctor under `policy` — the path-parameterised core of
+/// [`load_network`], reused per job by `netart batch`.
+pub(crate) fn load_network_files(
+    lib: Library,
+    net_list_path: &Path,
+    calls_path: &Path,
+    io_path: Option<&Path>,
+    policy: InputPolicy,
+) -> Result<(Network, Vec<DegradationReport>), CliError> {
+    let mut degs = Vec::new();
+    let net_list = read(net_list_path)?;
+    let calls = read(calls_path)?;
+    let io = match io_path {
+        Some(f) => Some(read(f)?),
         None => None,
     };
     let (network, report) = doctor::doctor_network(lib, &net_list, &calls, io.as_deref(), policy)
@@ -405,17 +427,18 @@ fn load_network(
                 .diagnostics
                 .iter()
                 .find(|d| d.severity == Severity::Error)
-                .map_or(0, |d| match d.file {
-                    DoctorFile::Calls => 1,
-                    DoctorFile::Io => 2,
-                    _ => 0,
-                });
+                .map_or(DoctorFile::NetList, |d| d.file);
+            let path = match which {
+                DoctorFile::Calls => calls_path,
+                DoctorFile::Io => io_path.unwrap_or(net_list_path),
+                _ => net_list_path,
+            };
             CliError::Parse {
-                path: PathBuf::from(files.get(which).unwrap_or(&files[0])),
+                path: path.to_owned(),
                 message: e.to_string(),
             }
         })?;
-    doctor_degradations(Path::new(&files[0]), &report, &mut degs);
+    doctor_degradations(net_list_path, &report, &mut degs);
     Ok((network, degs))
 }
 
@@ -423,7 +446,7 @@ fn load_network(
 /// the text must parse back into a diagram, otherwise the emission is
 /// redone once (recording an `emit_retried` degradation when a fault
 /// site caused it) and the re-check must pass.
-fn checked_escher(
+pub(crate) fn checked_escher(
     name: &str,
     diagram: &Diagram,
     degs: &mut Vec<DegradationReport>,

@@ -25,9 +25,11 @@
 #![warn(missing_docs)]
 
 mod args;
+mod batch;
 mod commands;
 
 pub use args::{ArgError, ParsedArgs};
+pub use batch::{install_drain_handlers, run_batch};
 pub use commands::{
     run_eureka, run_netart, run_pablo, run_quinto, run_report_diff, CliError, DiffOutput,
     RunOutput,

@@ -22,7 +22,8 @@ use std::sync::Mutex;
 use netart::diagram::escher;
 use netart::netlist::doctor::{self, InputPolicy};
 use netart::netlist::Library;
-use netart_cli::run_netart;
+use netart::obs::{BatchManifest, JobStatus, Json};
+use netart_cli::{run_batch, run_netart};
 
 /// Serialises cases: the fault registry is process-global.
 static GUARD: Mutex<()> = Mutex::new(());
@@ -190,6 +191,114 @@ fn chaos_emit_site() {
     for kind in KINDS {
         case(&format!("emit.escher:1:{kind}"), "emit.escher");
     }
+}
+
+/// Runs a one-job `netart batch` in-process with `spec` armed
+/// (`--jobs 1` so fired-count attribution is unambiguous) and asserts
+/// the shared batch invariants: no panic escapes the engine, the
+/// written manifest re-parses, and it carries exactly one record.
+fn batch_case(spec: &str) -> (netart_cli::RunOutput, BatchManifest) {
+    let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    netart_fault::disarm_all();
+    let tag = format!("batch-{}", spec.replace([':', '.', ','], "-"));
+    let dir = scratch(&tag);
+    let (lib, nets, _calls, _io) = write_inputs(&dir);
+    // The sibling convention wants `<stem>.cal` next to the net-list.
+    fs::copy(dir.join("design.call"), dir.join("design.cal")).unwrap();
+    let out_dir = dir.join("out").to_string_lossy().into_owned();
+    let manifest_path = dir.join("manifest.json");
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_batch(&argv(&[
+            "--input-policy",
+            "repair",
+            "--inject",
+            spec,
+            "--jobs",
+            "1",
+            "-L",
+            &lib,
+            "--out-dir",
+            &out_dir,
+            "--report-json",
+            &manifest_path.to_string_lossy(),
+            &nets,
+        ]))
+    }));
+    let run = result.unwrap_or_else(|_| panic!("{spec}: panic escaped the batch engine"));
+    let run = run.unwrap_or_else(|e| panic!("{spec}: batch failed outright: {e}"));
+    let text = fs::read_to_string(&manifest_path)
+        .unwrap_or_else(|e| panic!("{spec}: manifest not written: {e}"));
+    let manifest = BatchManifest::from_json(
+        &Json::parse(&text).unwrap_or_else(|e| panic!("{spec}: manifest not JSON: {e}")),
+    )
+    .unwrap_or_else(|e| panic!("{spec}: manifest fails the schema: {e}"));
+    assert_eq!(manifest.jobs.len(), 1, "{spec}: one record per input");
+    netart_fault::disarm_all();
+    let _ = fs::remove_dir_all(dir);
+    (run, manifest)
+}
+
+#[test]
+fn chaos_batch_worker_isolation_retries_engine_faults() {
+    // One injected fault at the engine's per-attempt site: attempt 1
+    // fails transiently (a panic kind must not kill the worker),
+    // attempt 2 runs on a burned-out site and succeeds.
+    for kind in KINDS {
+        let spec = format!("engine.job:1:{kind}");
+        let (run, manifest) = batch_case(&spec);
+        let job = &manifest.jobs[0];
+        assert_eq!(job.status, JobStatus::Ok, "{spec}: {:?}", job.error);
+        assert_eq!(job.attempts, 2, "{spec}: retried exactly once");
+        assert!(!run.degraded, "{spec}: a recovered retry is a clean job");
+    }
+}
+
+#[test]
+fn chaos_batch_quarantines_a_poison_job() {
+    // A fault on every attempt (default max-attempts is 3; each armed
+    // spec burns out after firing once, so three specs cover three
+    // attempts): the circuit breaker must quarantine instead of
+    // retrying forever.
+    let (run, manifest) = batch_case("engine.job:1,engine.job:1,engine.job:1");
+    let job = &manifest.jobs[0];
+    assert_eq!(job.status, JobStatus::Quarantined);
+    assert_eq!(job.attempts, 3);
+    assert!(job.error.is_some());
+    assert!(run.degraded, "a quarantined job degrades the batch (exit 2)");
+}
+
+#[test]
+fn chaos_batch_pipeline_sites() {
+    // Faults inside the per-job pipeline, from parse to emit. A panic
+    // during parse is transient (retried against the burned-out site);
+    // a routing error degrades the job through the salvage cascade; a
+    // garbage emit is caught by the always-on re-parse check.
+    let cases: [(&str, JobStatus, u32); 3] = [
+        ("parse.network:1:panic", JobStatus::Ok, 2),
+        ("route.net:1:error", JobStatus::Degraded, 1),
+        ("emit.escher:1:garbage-output", JobStatus::Degraded, 1),
+    ];
+    for (spec, status, attempts) in cases {
+        let (run, manifest) = batch_case(spec);
+        let job = &manifest.jobs[0];
+        assert_eq!(job.status, status, "{spec}: {:?}", job.error);
+        assert_eq!(job.attempts, attempts, "{spec}");
+        assert_eq!(
+            run.degraded,
+            status != JobStatus::Ok,
+            "{spec}: exit code mirrors the job status"
+        );
+    }
+}
+
+#[test]
+fn chaos_batch_manifest_aggregation_survives_a_panic() {
+    // The fault sits after every job has finished, in the manifest
+    // build itself: the batch must still write a complete manifest.
+    let (run, manifest) = batch_case("engine.manifest:1:panic");
+    assert_eq!(manifest.jobs[0].status, JobStatus::Ok);
+    assert!(!run.degraded, "the aggregation fault is contained");
 }
 
 #[test]

@@ -1,0 +1,724 @@
+//! `netart-engine` — the resilient batch execution layer.
+//!
+//! The per-run robustness work (budgets, salvage, the doctor, fault
+//! injection) hardens *one* pipeline invocation; this crate makes a
+//! *fleet* of invocations survivable. It runs a set of jobs through a
+//! caller-supplied pipeline function on a std-thread worker pool, with:
+//!
+//! * a bounded job queue whose blocking `push` is the admission
+//!   control ([`queue::BoundedQueue`]);
+//! * per-job panic isolation — a panicking job is an attempt failure,
+//!   never a dead worker;
+//! * a wall-clock watchdog per attempt that trips a cooperative
+//!   [`CancelToken`] (threaded by the caller into
+//!   `route::BudgetMeter`), so a hung net cannot wedge a worker;
+//! * retry with exponential backoff and deterministic jitter for
+//!   *transient* failures, and a circuit breaker that quarantines
+//!   inputs which fail every retry;
+//! * graceful drain: when the drain token trips (SIGINT/SIGTERM in
+//!   the CLI), in-flight jobs get a grace period to finish before
+//!   their tokens are cancelled, and still-queued jobs are recorded
+//!   as `skipped` — the manifest is always complete.
+//!
+//! The outcome is a deterministic [`BatchManifest`]: records sorted
+//! by input path, every wall-clock quantity strippable via
+//! [`BatchManifest::normalized`], so `--jobs N` and `--jobs 1` runs
+//! compare byte-for-byte.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod queue;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use netart_obs::{BatchManifest, JobRecord, JobStatus};
+pub use netart_route::CancelToken;
+use tracing::{debug, warn};
+
+pub use queue::BoundedQueue;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads (`--jobs`). Clamped to at least 1.
+    pub workers: u32,
+    /// Attempts per job before the circuit breaker quarantines it
+    /// (1 = no retries). Clamped to at least 1.
+    pub max_attempts: u32,
+    /// Wall-clock allowance per attempt before the watchdog cancels
+    /// it; `None` for no watchdog.
+    pub job_timeout: Option<Duration>,
+    /// How long in-flight attempts may keep running after drain is
+    /// requested before their tokens are cancelled.
+    pub drain_grace: Duration,
+    /// First retry delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on any retry delay.
+    pub backoff_cap: Duration,
+    /// Queued (not yet running) jobs admitted at once; `None` means
+    /// twice the worker count.
+    pub queue_depth: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 1,
+            max_attempts: 3,
+            job_timeout: None,
+            drain_grace: Duration::from_secs(5),
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(2),
+            queue_depth: None,
+        }
+    }
+}
+
+/// What one attempt sees of its execution context.
+#[derive(Debug, Clone)]
+pub struct JobContext {
+    /// This attempt's cancellation token. The job function should
+    /// thread it into `RouteConfig::with_cancel` (and may poll it at
+    /// its own checkpoints); the watchdog trips it on timeout and on
+    /// drain-grace expiry.
+    pub cancel: CancelToken,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// Whether this is the final attempt — the job function may
+    /// accept a degraded result here that it would retry otherwise.
+    pub last_attempt: bool,
+}
+
+/// A successful attempt.
+#[derive(Debug, Clone, Default)]
+pub struct JobSuccess {
+    /// The attempt's run report, if the pipeline produced one.
+    pub report: Option<netart_obs::RunReport>,
+    /// Degradations the attempt recorded; `0` means a clean `ok` job.
+    pub degradations: usize,
+}
+
+/// A failed attempt.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Human-readable cause (becomes the record's `error`).
+    pub message: String,
+    /// Whether retrying could plausibly succeed (injected faults,
+    /// budget exhaustion, timeouts). Permanent failures — parse
+    /// errors, I/O — fail the job on the spot.
+    pub transient: bool,
+}
+
+impl JobFailure {
+    /// A transient (retryable) failure.
+    pub fn transient(message: impl Into<String>) -> Self {
+        JobFailure {
+            message: message.into(),
+            transient: true,
+        }
+    }
+
+    /// A permanent failure: no retry will be attempted.
+    pub fn permanent(message: impl Into<String>) -> Self {
+        JobFailure {
+            message: message.into(),
+            transient: false,
+        }
+    }
+}
+
+/// One watchdog slot: the in-flight attempt of one worker.
+struct Watch {
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+}
+
+/// How often the watchdog scans in-flight attempts.
+const WATCHDOG_TICK: Duration = Duration::from_millis(10);
+
+/// FNV-1a, the deterministic jitter source: two runs of the same
+/// batch back off identically, keeping retries reproducible.
+fn fnv1a(input: &str, attempt: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in input.bytes().chain(attempt.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The delay before retry number `attempt + 1`: exponential in the
+/// attempt with a ±25% deterministic jitter, capped.
+fn backoff_delay(config: &EngineConfig, input: &str, attempt: u32) -> Duration {
+    let base = config
+        .backoff_base
+        .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+    let base = base.min(config.backoff_cap);
+    let jitter_span = base.as_nanos() as u64 / 4;
+    if jitter_span == 0 {
+        return base;
+    }
+    base + Duration::from_nanos(fnv1a(input, attempt) % jitter_span)
+}
+
+/// Sleeps for `total`, waking early when `drain` trips.
+fn interruptible_sleep(total: Duration, drain: &CancelToken) {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline {
+        if drain.is_cancelled() {
+            return;
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        std::thread::sleep(left.min(WATCHDOG_TICK));
+    }
+}
+
+/// Extracts a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+/// Runs every `input` through `job` and aggregates the outcomes.
+///
+/// `job` is called as `job(input, &ctx)` and must honour
+/// `ctx.cancel`; it may be called multiple times for the same input
+/// (retries). A panicking call counts as a transient attempt failure.
+/// `drain` is the external stop signal (the CLI trips it from its
+/// SIGINT/SIGTERM handler); `tool` names the manifest producer.
+///
+/// Always returns a complete manifest: one record per input, sorted
+/// by input path, whatever happened.
+pub fn run<F>(
+    tool: &str,
+    inputs: &[String],
+    config: &EngineConfig,
+    drain: &CancelToken,
+    job: F,
+) -> BatchManifest
+where
+    F: Fn(&str, &JobContext) -> Result<JobSuccess, JobFailure> + Send + Sync,
+{
+    let started = Instant::now();
+    let workers = (config.workers.max(1) as usize).min(inputs.len().max(1));
+    let depth = config.queue_depth.unwrap_or(workers * 2);
+    let queue: BoundedQueue<usize> = BoundedQueue::new(depth);
+    let records: Mutex<Vec<JobRecord>> = Mutex::new(Vec::with_capacity(inputs.len()));
+    let slots: Vec<Mutex<Option<Watch>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        // Watchdog: cancels attempts past their deadline, and every
+        // in-flight attempt once the drain grace has expired.
+        s.spawn(|| {
+            let mut drain_deadline: Option<Instant> = None;
+            while !done.load(Ordering::Acquire) {
+                let now = Instant::now();
+                if drain.is_cancelled() && drain_deadline.is_none() {
+                    drain_deadline = Some(now + config.drain_grace);
+                }
+                let drain_expired = drain_deadline.is_some_and(|d| now >= d);
+                for slot in &slots {
+                    let guard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if let Some(watch) = guard.as_ref() {
+                        if drain_expired || watch.deadline.is_some_and(|d| now >= d) {
+                            watch.cancel.cancel();
+                        }
+                    }
+                }
+                std::thread::sleep(WATCHDOG_TICK);
+            }
+        });
+
+        let worker_handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queue = &queue;
+                let records = &records;
+                let slot = &slots[w];
+                let job = &job;
+                s.spawn(move || {
+                    while let Some(idx) = queue.pop() {
+                        let input = inputs[idx].as_str();
+                        let record = if drain.is_cancelled() {
+                            skipped_record(input)
+                        } else {
+                            run_job(input, config, drain, slot, job)
+                        };
+                        records
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push(record);
+                    }
+                })
+            })
+            .collect();
+
+        // The dispatcher runs inline: a full queue blocks it here —
+        // admission control for arbitrarily long manifests.
+        for idx in 0..inputs.len() {
+            if queue.push(idx).is_err() {
+                break;
+            }
+        }
+        queue.close();
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    // Insurance against a lost worker (a panic outside the job's
+    // catch_unwind): any index still queued becomes a skipped record,
+    // so the manifest stays complete.
+    let mut records = records.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    while let Some(idx) = queue.try_pop() {
+        records.push(skipped_record(inputs[idx].as_str()));
+    }
+
+    // Aggregation fault point: the manifest build must survive an
+    // injected panic just like a job must.
+    if catch_unwind(|| netart_fault::fire_hard(netart_fault::sites::ENGINE_MANIFEST)).is_err() {
+        warn!("injected fault at manifest aggregation survived");
+    }
+
+    let mut manifest = BatchManifest::new(tool, workers as u32, drain.is_cancelled(), records);
+    manifest.summary.duration_ns = started.elapsed().as_nanos() as u64;
+    manifest
+}
+
+fn skipped_record(input: &str) -> JobRecord {
+    JobRecord {
+        input: input.to_owned(),
+        status: JobStatus::Skipped,
+        attempts: 0,
+        duration_ns: 0,
+        degradations: 0,
+        error: None,
+        report: None,
+    }
+}
+
+/// Runs one job to a terminal status: attempts with watchdog
+/// registration, panic isolation, retry classification, backoff, and
+/// the quarantine circuit breaker.
+fn run_job<F>(
+    input: &str,
+    config: &EngineConfig,
+    drain: &CancelToken,
+    slot: &Mutex<Option<Watch>>,
+    job: &F,
+) -> JobRecord
+where
+    F: Fn(&str, &JobContext) -> Result<JobSuccess, JobFailure> + Send + Sync,
+{
+    let started = Instant::now();
+    let max_attempts = config.max_attempts.max(1);
+    let mut last_error = String::new();
+    let mut attempts = 0;
+
+    for attempt in 1..=max_attempts {
+        attempts = attempt;
+        let cancel = CancelToken::new();
+        let ctx = JobContext {
+            cancel: cancel.clone(),
+            attempt,
+            last_attempt: attempt == max_attempts,
+        };
+        // If drain was requested with no grace left, don't start.
+        if drain.is_cancelled() && config.drain_grace.is_zero() {
+            return finish(
+                input,
+                JobStatus::Failed,
+                attempt - 1,
+                started,
+                0,
+                Some("cancelled before attempt (drain)".to_owned()),
+                None,
+            );
+        }
+        *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Watch {
+            cancel: cancel.clone(),
+            deadline: config.job_timeout.map(|t| Instant::now() + t),
+        });
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Worker-isolation fault point: fires per attempt, before
+            // the pipeline.
+            if let Some(kind) = netart_fault::fire(netart_fault::sites::ENGINE_JOB) {
+                return Err(JobFailure::transient(format!(
+                    "injected `{kind}` fault at engine.job"
+                )));
+            }
+            job(input, &ctx)
+        }));
+        *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+
+        let failure = match outcome {
+            Ok(Ok(success)) => {
+                let status = if success.degradations == 0 {
+                    JobStatus::Ok
+                } else {
+                    JobStatus::Degraded
+                };
+                return finish(
+                    input,
+                    status,
+                    attempt,
+                    started,
+                    success.degradations,
+                    None,
+                    success.report,
+                );
+            }
+            Ok(Err(failure)) => failure,
+            Err(payload) => JobFailure::transient(panic_message(payload.as_ref())),
+        };
+        last_error = failure.message.clone();
+        debug!(
+            "job attempt failed",
+            input = input,
+            attempt = attempt as u64,
+            transient = failure.transient,
+            error = failure.message.as_str(),
+        );
+
+        // Drain-cancelled attempts are not retried: the batch is
+        // shutting down, so the job resolves as failed (cancelled).
+        if drain.is_cancelled() {
+            return finish(
+                input,
+                JobStatus::Failed,
+                attempt,
+                started,
+                0,
+                Some(format!("cancelled during drain: {last_error}")),
+                None,
+            );
+        }
+        if !failure.transient {
+            return finish(input, JobStatus::Failed, attempt, started, 0, Some(last_error), None);
+        }
+        if attempt < max_attempts {
+            interruptible_sleep(backoff_delay(config, input, attempt), drain);
+            if drain.is_cancelled() {
+                return finish(
+                    input,
+                    JobStatus::Failed,
+                    attempt,
+                    started,
+                    0,
+                    Some(format!("cancelled before retry (drain): {last_error}")),
+                    None,
+                );
+            }
+        }
+    }
+
+    // Circuit breaker: every retry burned on transient symptoms.
+    warn!(
+        "job quarantined",
+        input = input,
+        attempts = attempts as u64,
+        error = last_error.as_str(),
+    );
+    finish(
+        input,
+        JobStatus::Quarantined,
+        attempts,
+        started,
+        0,
+        Some(last_error),
+        None,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    input: &str,
+    status: JobStatus,
+    attempts: u32,
+    started: Instant,
+    degradations: usize,
+    error: Option<String>,
+    report: Option<netart_obs::RunReport>,
+) -> JobRecord {
+    JobRecord {
+        input: input.to_owned(),
+        status,
+        attempts,
+        duration_ns: started.elapsed().as_nanos() as u64,
+        degradations,
+        error,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn fast_config(workers: u32) -> EngineConfig {
+        EngineConfig {
+            workers,
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            ..EngineConfig::default()
+        }
+    }
+
+    fn inputs(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn clean_jobs_all_ok() {
+        let manifest = run(
+            "test",
+            &inputs(&["c", "a", "b"]),
+            &fast_config(2),
+            &CancelToken::new(),
+            |_, _| Ok(JobSuccess::default()),
+        );
+        assert_eq!(manifest.summary.ok, 3);
+        assert_eq!(manifest.exit_code(), 0);
+        let order: Vec<&str> = manifest.jobs.iter().map(|j| j.input.as_str()).collect();
+        assert_eq!(order, ["a", "b", "c"], "records sort by input path");
+        assert!(manifest.jobs.iter().all(|j| j.attempts == 1));
+        assert!(!manifest.drained);
+    }
+
+    #[test]
+    fn degraded_jobs_counted_and_exit_two() {
+        let manifest = run(
+            "test",
+            &inputs(&["a"]),
+            &fast_config(1),
+            &CancelToken::new(),
+            |_, _| {
+                Ok(JobSuccess {
+                    report: None,
+                    degradations: 2,
+                })
+            },
+        );
+        assert_eq!(manifest.summary.degraded, 1);
+        assert_eq!(manifest.jobs[0].status, JobStatus::Degraded);
+        assert_eq!(manifest.jobs[0].degradations, 2);
+        assert_eq!(manifest.exit_code(), 2);
+    }
+
+    #[test]
+    fn transient_failure_retries_then_succeeds() {
+        let calls = AtomicU32::new(0);
+        let manifest = run(
+            "test",
+            &inputs(&["flaky"]),
+            &fast_config(1),
+            &CancelToken::new(),
+            |_, ctx| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                if ctx.attempt < 2 {
+                    Err(JobFailure::transient("transient hiccup"))
+                } else {
+                    Ok(JobSuccess::default())
+                }
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(manifest.jobs[0].status, JobStatus::Ok);
+        assert_eq!(manifest.jobs[0].attempts, 2);
+    }
+
+    #[test]
+    fn exhausted_transient_retries_quarantine() {
+        let manifest = run(
+            "test",
+            &inputs(&["poison", "fine"]),
+            &fast_config(2),
+            &CancelToken::new(),
+            |input, _| {
+                if input == "poison" {
+                    Err(JobFailure::transient("always broken"))
+                } else {
+                    Ok(JobSuccess::default())
+                }
+            },
+        );
+        let poison = manifest.jobs.iter().find(|j| j.input == "poison").unwrap();
+        assert_eq!(poison.status, JobStatus::Quarantined);
+        assert_eq!(poison.attempts, 3);
+        assert_eq!(poison.error.as_deref(), Some("always broken"));
+        let fine = manifest.jobs.iter().find(|j| j.input == "fine").unwrap();
+        assert_eq!(fine.status, JobStatus::Ok, "poison does not starve the batch");
+        assert_eq!(manifest.exit_code(), 2);
+    }
+
+    #[test]
+    fn permanent_failure_fails_without_retry() {
+        let calls = AtomicU32::new(0);
+        let manifest = run(
+            "test",
+            &inputs(&["broken"]),
+            &fast_config(1),
+            &CancelToken::new(),
+            |_, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Err(JobFailure::permanent("parse error"))
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "permanent failures do not retry");
+        assert_eq!(manifest.jobs[0].status, JobStatus::Failed);
+        assert_eq!(manifest.jobs[0].attempts, 1);
+    }
+
+    #[test]
+    fn panicking_job_is_contained_and_quarantined() {
+        let manifest = run(
+            "test",
+            &inputs(&["bomb", "calm"]),
+            &fast_config(2),
+            &CancelToken::new(),
+            |input, _| {
+                if input == "bomb" {
+                    panic!("boom at {input}");
+                }
+                Ok(JobSuccess::default())
+            },
+        );
+        let bomb = manifest.jobs.iter().find(|j| j.input == "bomb").unwrap();
+        assert_eq!(bomb.status, JobStatus::Quarantined, "panics count as transient");
+        assert_eq!(bomb.attempts, 3);
+        assert!(bomb.error.as_deref().unwrap().contains("boom"));
+        let calm = manifest.jobs.iter().find(|j| j.input == "calm").unwrap();
+        assert_eq!(calm.status, JobStatus::Ok, "the pool survives the panic");
+    }
+
+    #[test]
+    fn pre_drained_batch_skips_everything() {
+        let drain = CancelToken::new();
+        drain.cancel();
+        let manifest = run(
+            "test",
+            &inputs(&["a", "b"]),
+            &fast_config(2),
+            &drain,
+            |_, _| Ok(JobSuccess::default()),
+        );
+        assert_eq!(manifest.summary.skipped, 2);
+        assert!(manifest.drained);
+        assert!(manifest.jobs.iter().all(|j| j.attempts == 0));
+    }
+
+    #[test]
+    fn watchdog_cancels_a_hung_attempt() {
+        let config = EngineConfig {
+            workers: 1,
+            max_attempts: 1,
+            job_timeout: Some(Duration::from_millis(30)),
+            ..fast_config(1)
+        };
+        let manifest = run(
+            "test",
+            &inputs(&["hang"]),
+            &config,
+            &CancelToken::new(),
+            |_, ctx| {
+                // A cooperative busy loop, like a router polling its
+                // meter: it only ends when the watchdog trips us.
+                let hung_since = Instant::now();
+                while !ctx.cancel.is_cancelled() {
+                    assert!(
+                        hung_since.elapsed() < Duration::from_secs(10),
+                        "watchdog never fired"
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(JobFailure::transient("cancelled by watchdog"))
+            },
+        );
+        assert_eq!(manifest.jobs[0].status, JobStatus::Quarantined);
+    }
+
+    #[test]
+    fn drain_cancels_in_flight_after_grace_and_skips_queued() {
+        let drain = CancelToken::new();
+        let config = EngineConfig {
+            workers: 1,
+            max_attempts: 3,
+            drain_grace: Duration::from_millis(20),
+            ..fast_config(1)
+        };
+        let drain_for_job = drain.clone();
+        let manifest = run(
+            "test",
+            &inputs(&["running", "queued-1", "queued-2"]),
+            &config,
+            &drain,
+            move |input, ctx| {
+                if input == "running" {
+                    // First job trips the drain itself, then hangs
+                    // until the grace expires and cancels it.
+                    drain_for_job.cancel();
+                    while !ctx.cancel.is_cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    return Err(JobFailure::transient("cancelled mid-flight"));
+                }
+                Ok(JobSuccess::default())
+            },
+        );
+        assert!(manifest.drained);
+        let running = manifest.jobs.iter().find(|j| j.input == "running").unwrap();
+        assert_eq!(running.status, JobStatus::Failed, "in-flight resolves as cancelled");
+        assert!(running.error.as_deref().unwrap().contains("cancelled"));
+        assert_eq!(running.attempts, 1, "no retries during drain");
+        for queued in manifest.jobs.iter().filter(|j| j.input.starts_with("queued")) {
+            assert_eq!(queued.status, JobStatus::Skipped);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_manifests_normalise_identically() {
+        let job = |input: &str, _ctx: &JobContext| {
+            if input.ends_with("bad") {
+                Err(JobFailure::permanent("expected failure"))
+            } else {
+                Ok(JobSuccess::default())
+            }
+        };
+        let inputs = inputs(&["w", "x-bad", "y", "z"]);
+        let serial = run("test", &inputs, &fast_config(1), &CancelToken::new(), job);
+        let parallel = run("test", &inputs, &fast_config(4), &CancelToken::new(), job);
+        // Worker count is a run parameter, not an outcome; align it
+        // like the CLI determinism test does.
+        let mut parallel = parallel.normalized();
+        parallel.jobs_in_flight = serial.jobs_in_flight;
+        assert_eq!(serial.normalized().to_json_string(), parallel.to_json_string());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let config = EngineConfig::default();
+        assert_eq!(
+            backoff_delay(&config, "same", 2),
+            backoff_delay(&config, "same", 2)
+        );
+        assert_ne!(
+            backoff_delay(&config, "same", 1),
+            backoff_delay(&config, "other", 1),
+            "jitter varies by input"
+        );
+        let big = backoff_delay(&config, "x", 30);
+        assert!(big <= config.backoff_cap + config.backoff_cap / 4);
+    }
+}

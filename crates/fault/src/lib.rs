@@ -64,6 +64,11 @@ pub mod sites {
     pub const ROUTE_SALVAGE_LEE: &str = "route.salvage.lee";
     /// ESCHER diagram emission in the CLI.
     pub const EMIT_ESCHER: &str = "emit.escher";
+    /// Batch engine: one hit per job attempt, fired inside the worker
+    /// before the pipeline runs (exercises worker isolation + retry).
+    pub const ENGINE_JOB: &str = "engine.job";
+    /// Batch engine: manifest aggregation/serialisation.
+    pub const ENGINE_MANIFEST: &str = "engine.manifest";
 
     /// Every site, for sweeps and spec validation.
     pub const ALL: &[&str] = &[
@@ -78,6 +83,8 @@ pub mod sites {
         ROUTE_SALVAGE_RIPUP,
         ROUTE_SALVAGE_LEE,
         EMIT_ESCHER,
+        ENGINE_JOB,
+        ENGINE_MANIFEST,
     ];
 }
 

@@ -1,0 +1,384 @@
+//! The machine-readable batch manifest.
+//!
+//! A [`BatchManifest`] is what `netart batch` writes: one record per
+//! input job (status, attempts, duration, degradation count, and the
+//! job's full [`RunReport`] when the pipeline produced one), plus an
+//! aggregate summary. Like the run report, the shape is versioned and
+//! pinned by a golden-file test; adding members is allowed within a
+//! version, renaming or removing them requires a bump.
+//!
+//! Records are kept sorted by input path and the JSON rendering is
+//! fully deterministic, so two batch runs over the same inputs can be
+//! compared byte-for-byte once [`BatchManifest::normalized`] has
+//! stripped the wall-clock quantities.
+
+use crate::json::Json;
+use crate::report::RunReport;
+
+/// Version of the manifest shape. Bump when members are renamed,
+/// removed, or change meaning.
+pub const BATCH_SCHEMA_VERSION: u32 = 1;
+
+/// Terminal status of one batch job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum JobStatus {
+    /// Pipeline ran clean on some attempt.
+    Ok,
+    /// Pipeline finished but needed fallbacks (salvage, doctor
+    /// repairs, emit retries, …).
+    Degraded,
+    /// Permanent failure (parse/IO error, or cancelled mid-flight
+    /// during drain) — retrying would not help.
+    Failed,
+    /// Circuit breaker: the input failed every retry with transient
+    /// symptoms (panic, injected fault, budget exhaustion) and was
+    /// quarantined so it cannot starve the rest of the batch.
+    Quarantined,
+    /// Never started: the job was still queued when the batch drained.
+    Skipped,
+}
+
+impl JobStatus {
+    /// The status as its manifest string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Degraded => "degraded",
+            JobStatus::Failed => "failed",
+            JobStatus::Quarantined => "quarantined",
+            JobStatus::Skipped => "skipped",
+        }
+    }
+
+    /// Parses a manifest status string.
+    pub fn parse(s: &str) -> Option<JobStatus> {
+        match s {
+            "ok" => Some(JobStatus::Ok),
+            "degraded" => Some(JobStatus::Degraded),
+            "failed" => Some(JobStatus::Failed),
+            "quarantined" => Some(JobStatus::Quarantined),
+            "skipped" => Some(JobStatus::Skipped),
+            _ => None,
+        }
+    }
+}
+
+/// One input's journey through the batch engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The job's input path (the manifest's ordering key).
+    pub input: String,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Pipeline attempts made (0 for skipped jobs).
+    pub attempts: u32,
+    /// Wall-clock nanoseconds across all attempts (zeroed by
+    /// [`BatchManifest::normalized`]).
+    pub duration_ns: u64,
+    /// Degradations recorded by the final attempt's run report.
+    pub degradations: usize,
+    /// The last failure message, for failed/quarantined jobs.
+    pub error: Option<String>,
+    /// The final attempt's run report, when the pipeline produced one.
+    pub report: Option<RunReport>,
+}
+
+/// Aggregate counts over a manifest's jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchSummary {
+    /// Jobs per terminal status.
+    pub ok: usize,
+    /// See [`JobStatus::Degraded`].
+    pub degraded: usize,
+    /// See [`JobStatus::Failed`].
+    pub failed: usize,
+    /// See [`JobStatus::Quarantined`].
+    pub quarantined: usize,
+    /// See [`JobStatus::Skipped`].
+    pub skipped: usize,
+    /// Pipeline attempts across all jobs (retries included).
+    pub total_attempts: u32,
+    /// Batch wall-clock nanoseconds (zeroed by
+    /// [`BatchManifest::normalized`]).
+    pub duration_ns: u64,
+}
+
+/// Everything one batch run reports, in a stable JSON shape.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchManifest {
+    /// Which tool produced the manifest (`netart batch`).
+    pub tool: String,
+    /// Worker threads the batch ran with.
+    pub jobs_in_flight: u32,
+    /// Whether the batch drained early on a signal.
+    pub drained: bool,
+    /// One record per input, sorted by input path.
+    pub jobs: Vec<JobRecord>,
+    /// Aggregate counts.
+    pub summary: BatchSummary,
+}
+
+impl BatchManifest {
+    /// A manifest over `jobs`, with records sorted by input path and
+    /// the summary recomputed. `jobs_in_flight` is the worker count;
+    /// `drained` records an early drain.
+    pub fn new(tool: &str, jobs_in_flight: u32, drained: bool, mut jobs: Vec<JobRecord>) -> Self {
+        jobs.sort_by(|a, b| a.input.cmp(&b.input));
+        let mut summary = BatchSummary::default();
+        for job in &jobs {
+            match job.status {
+                JobStatus::Ok => summary.ok += 1,
+                JobStatus::Degraded => summary.degraded += 1,
+                JobStatus::Failed => summary.failed += 1,
+                JobStatus::Quarantined => summary.quarantined += 1,
+                JobStatus::Skipped => summary.skipped += 1,
+            }
+            summary.total_attempts += job.attempts;
+        }
+        BatchManifest {
+            tool: tool.to_owned(),
+            jobs_in_flight,
+            drained,
+            jobs,
+            summary,
+        }
+    }
+
+    /// The batch exit code, mirroring the single-run CLI contract:
+    /// `0` when every job is `ok`, `2` when the batch completed but
+    /// some jobs degraded, failed, were quarantined or skipped. (Exit
+    /// `1` is reserved for the engine itself failing — no inputs,
+    /// unwritable manifest — which never produces a manifest at all.)
+    pub fn exit_code(&self) -> i32 {
+        let s = &self.summary;
+        if s.degraded + s.failed + s.quarantined + s.skipped == 0 {
+            0
+        } else {
+            2
+        }
+    }
+
+    /// The manifest as a JSON tree.
+    pub fn to_json(&self) -> Json {
+        let jobs = Json::Arr(
+            self.jobs
+                .iter()
+                .map(|j| {
+                    Json::obj()
+                        .with("input", j.input.as_str())
+                        .with("status", j.status.as_str())
+                        .with("attempts", j.attempts)
+                        .with("duration_ns", j.duration_ns)
+                        .with("degradations", j.degradations)
+                        .with("error", j.error.as_deref().map(Json::from))
+                        .with("report", j.report.as_ref().map(RunReport::to_json))
+                })
+                .collect(),
+        );
+        let summary = Json::obj()
+            .with("ok", self.summary.ok)
+            .with("degraded", self.summary.degraded)
+            .with("failed", self.summary.failed)
+            .with("quarantined", self.summary.quarantined)
+            .with("skipped", self.summary.skipped)
+            .with("total_attempts", self.summary.total_attempts)
+            .with("duration_ns", self.summary.duration_ns);
+        Json::obj()
+            .with("schema_version", BATCH_SCHEMA_VERSION)
+            .with("tool", self.tool.as_str())
+            .with("jobs_in_flight", self.jobs_in_flight)
+            .with("drained", self.drained)
+            .with("jobs", jobs)
+            .with("summary", summary)
+    }
+
+    /// The pretty-printed JSON document (what `netart batch
+    /// --report-json` writes).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Reads a manifest back from its [`BatchManifest::to_json`]
+    /// shape, with the same error discipline as
+    /// [`RunReport::from_json`].
+    pub fn from_json(json: &Json) -> Result<BatchManifest, String> {
+        if json.as_obj().is_none() {
+            return Err("manifest is not a JSON object".to_owned());
+        }
+        let version = json
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing schema_version".to_owned())?;
+        if version != u64::from(BATCH_SCHEMA_VERSION) {
+            return Err(format!(
+                "unsupported schema_version {version} (this build reads {BATCH_SCHEMA_VERSION})"
+            ));
+        }
+        let mut jobs = Vec::new();
+        if let Some(arr) = json.get("jobs").and_then(Json::as_arr) {
+            for j in arr {
+                let status_str = j.get("status").and_then(Json::as_str).unwrap_or_default();
+                let status = JobStatus::parse(status_str)
+                    .ok_or_else(|| format!("unknown job status {status_str:?}"))?;
+                let report = match j.get("report") {
+                    Some(Json::Null) | None => None,
+                    Some(r) => Some(RunReport::from_json(r)?),
+                };
+                jobs.push(JobRecord {
+                    input: j
+                        .get("input")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_owned(),
+                    status,
+                    attempts: j.get("attempts").and_then(Json::as_u64).unwrap_or(0) as u32,
+                    duration_ns: j.get("duration_ns").and_then(Json::as_u64).unwrap_or(0),
+                    degradations: j.get("degradations").and_then(Json::as_u64).unwrap_or(0)
+                        as usize,
+                    error: j.get("error").and_then(Json::as_str).map(str::to_owned),
+                    report,
+                });
+            }
+        }
+        let mut manifest = BatchManifest::new(
+            json.get("tool").and_then(Json::as_str).unwrap_or_default(),
+            json.get("jobs_in_flight").and_then(Json::as_u64).unwrap_or(0) as u32,
+            json.get("drained").and_then(Json::as_bool).unwrap_or(false),
+            jobs,
+        );
+        // Keep the on-disk summary durations (recomputation only
+        // covers counts).
+        if let Some(summary) = json.get("summary") {
+            manifest.summary.duration_ns =
+                summary.get("duration_ns").and_then(Json::as_u64).unwrap_or(0);
+        }
+        Ok(manifest)
+    }
+
+    /// The manifest with every wall-clock quantity zeroed — job and
+    /// summary durations, plus [`RunReport::normalized`] applied to
+    /// every embedded report. Two batch runs over the same inputs
+    /// render this form byte-identically regardless of `--jobs` or
+    /// machine speed.
+    pub fn normalized(&self) -> BatchManifest {
+        let mut manifest = self.clone();
+        manifest.summary.duration_ns = 0;
+        for job in &mut manifest.jobs {
+            job.duration_ns = 0;
+            job.report = job.report.as_ref().map(RunReport::normalized);
+        }
+        manifest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BatchManifest {
+        BatchManifest::new(
+            "netart batch",
+            4,
+            false,
+            vec![
+                JobRecord {
+                    input: "b.net".into(),
+                    status: JobStatus::Quarantined,
+                    attempts: 3,
+                    duration_ns: 500,
+                    degradations: 0,
+                    error: Some("injected panic".into()),
+                    report: None,
+                },
+                JobRecord {
+                    input: "a.net".into(),
+                    status: JobStatus::Ok,
+                    attempts: 1,
+                    duration_ns: 900,
+                    degradations: 0,
+                    error: None,
+                    report: Some(RunReport {
+                        tool: "netart".into(),
+                        is_clean: true,
+                        ..RunReport::default()
+                    }),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn jobs_sort_by_input_and_summary_counts() {
+        let m = sample();
+        let inputs: Vec<&str> = m.jobs.iter().map(|j| j.input.as_str()).collect();
+        assert_eq!(inputs, ["a.net", "b.net"]);
+        assert_eq!(m.summary.ok, 1);
+        assert_eq!(m.summary.quarantined, 1);
+        assert_eq!(m.summary.total_attempts, 4);
+        assert_eq!(m.exit_code(), 2);
+    }
+
+    #[test]
+    fn all_ok_exits_zero() {
+        let m = BatchManifest::new(
+            "netart batch",
+            1,
+            false,
+            vec![JobRecord {
+                input: "a.net".into(),
+                status: JobStatus::Ok,
+                attempts: 1,
+                duration_ns: 1,
+                degradations: 0,
+                error: None,
+                report: None,
+            }],
+        );
+        assert_eq!(m.exit_code(), 0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = sample();
+        let parsed = BatchManifest::from_json(&Json::parse(&m.to_json_string()).unwrap())
+            .expect("manifest re-parses");
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn unknown_status_and_version_are_errors() {
+        let bad = Json::parse(r#"{"schema_version":99}"#).unwrap();
+        assert!(BatchManifest::from_json(&bad).unwrap_err().contains("schema_version"));
+        let bad = Json::parse(
+            r#"{"schema_version":1,"jobs":[{"input":"x","status":"exploded"}]}"#,
+        )
+        .unwrap();
+        assert!(BatchManifest::from_json(&bad).unwrap_err().contains("exploded"));
+    }
+
+    #[test]
+    fn normalized_zeroes_every_duration() {
+        let n = sample().normalized();
+        assert_eq!(n.summary.duration_ns, 0);
+        assert!(n.jobs.iter().all(|j| j.duration_ns == 0));
+        assert_eq!(
+            n.to_json_string(),
+            sample().normalized().to_json_string(),
+            "normalisation is deterministic"
+        );
+    }
+
+    #[test]
+    fn status_strings_roundtrip() {
+        for s in [
+            JobStatus::Ok,
+            JobStatus::Degraded,
+            JobStatus::Failed,
+            JobStatus::Quarantined,
+            JobStatus::Skipped,
+        ] {
+            assert_eq!(JobStatus::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(JobStatus::parse("nope"), None);
+    }
+}

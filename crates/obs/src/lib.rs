@@ -26,6 +26,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod baseline;
+mod batch;
 pub mod json;
 mod metrics;
 mod report;
@@ -33,6 +34,7 @@ mod subscribe;
 mod trace;
 
 pub use baseline::{DiffConfig, DiffEntry, DiffSeverity, ReportDiff};
+pub use batch::{BatchManifest, BatchSummary, JobRecord, JobStatus, BATCH_SCHEMA_VERSION};
 pub use json::{Json, JsonParseError};
 pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot};
 pub use report::{

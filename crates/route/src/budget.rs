@@ -7,7 +7,50 @@
 //! default budget is unlimited, so bounded routing is strictly opt-in
 //! and unbudgeted runs behave exactly as before.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A cooperative cancellation flag shared between a supervisor (a
+/// watchdog thread, a batch engine draining on SIGTERM) and the
+/// routing hot path.
+///
+/// Cloning is cheap — clones observe the same flag. The flag is
+/// checked by [`BudgetMeter::charge`] on the same
+/// [`TIME_POLL_STRIDE`] cadence as the wall-clock deadline, so a
+/// cancelled search stops within one stride of charges instead of
+/// running to exhaustion; once set it cannot be unset.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Irrevocable; safe to call from any
+    /// thread and from signal-adjacent contexts (a single atomic
+    /// store).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Tokens compare by identity: two tokens are equal when they share
+/// the same underlying flag (what config equality actually means).
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for CancelToken {}
 
 /// Bounds on the search effort spent on a single net.
 ///
@@ -69,6 +112,8 @@ pub enum BudgetBreach {
     Time,
     /// The node cap was reached.
     Nodes,
+    /// The attached [`CancelToken`] was cancelled.
+    Cancelled,
 }
 
 /// Running consumption against one [`Budget`].
@@ -83,11 +128,13 @@ pub struct BudgetMeter {
     deadline: Option<Instant>,
     nodes_left: Option<u64>,
     charges: u64,
+    since_poll: u64,
+    cancel: Option<CancelToken>,
     breach: Option<BudgetBreach>,
 }
 
-/// How many charges pass between deadline polls.
-const TIME_POLL_STRIDE: u64 = 64;
+/// How many charge units pass between deadline/cancellation polls.
+pub const TIME_POLL_STRIDE: u64 = 64;
 
 impl BudgetMeter {
     /// Starts metering `budget` from now.
@@ -96,6 +143,8 @@ impl BudgetMeter {
             deadline: budget.time.map(|t| Instant::now() + t),
             nodes_left: budget.nodes,
             charges: 0,
+            since_poll: 0,
+            cancel: None,
             breach: None,
         }
     }
@@ -105,22 +154,42 @@ impl BudgetMeter {
         BudgetMeter::start(Budget::UNLIMITED)
     }
 
+    /// Attaches a cancellation token, checked on the same
+    /// [`TIME_POLL_STRIDE`] cadence as the deadline.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Records one unit of search work; returns the breach, if any.
     /// Once tripped, a meter stays tripped.
     pub fn charge(&mut self) -> Option<BudgetBreach> {
+        self.charge_many(1)
+    }
+
+    /// Records `units` of search work in one call (a Lee wave, a long
+    /// swept segment). Polling is by *accumulated* units, not by
+    /// charge-call count: as soon as ≥ [`TIME_POLL_STRIDE`] units have
+    /// piled up since the last poll — even within a single large
+    /// charge — the deadline and cancellation token are checked.
+    pub fn charge_many(&mut self, units: u64) -> Option<BudgetBreach> {
         if self.breach.is_some() {
             return self.breach;
         }
         if let Some(left) = &mut self.nodes_left {
-            if *left == 0 {
+            if *left < units {
                 self.breach = Some(BudgetBreach::Nodes);
                 return self.breach;
             }
-            *left -= 1;
+            *left -= units;
         }
-        self.charges += 1;
-        if let Some(deadline) = self.deadline {
-            if self.charges.is_multiple_of(TIME_POLL_STRIDE) && Instant::now() >= deadline {
+        self.charges = self.charges.saturating_add(units);
+        self.since_poll = self.since_poll.saturating_add(units);
+        if self.since_poll >= TIME_POLL_STRIDE {
+            self.since_poll = 0;
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                self.breach = Some(BudgetBreach::Cancelled);
+            } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
                 self.breach = Some(BudgetBreach::Time);
             }
         }
@@ -174,6 +243,68 @@ mod tests {
             }
         }
         assert!(tripped, "zero deadline must trip within one poll stride");
+    }
+
+    #[test]
+    fn one_large_charge_polls_the_deadline() {
+        // Regression: polling used to look only at multiples of the
+        // stride, so a single charge of ≥ TIME_POLL_STRIDE units could
+        // jump over every poll point and never notice the deadline.
+        let mut m = BudgetMeter::start(Budget::new().with_time_limit(Duration::ZERO));
+        assert_eq!(
+            m.charge_many(1000),
+            Some(BudgetBreach::Time),
+            "a 1000-unit charge must poll a zero deadline"
+        );
+        assert_eq!(m.breach(), Some(BudgetBreach::Time));
+    }
+
+    #[test]
+    fn accumulated_small_charges_poll_between_strides() {
+        let mut m = BudgetMeter::start(Budget::new().with_time_limit(Duration::ZERO));
+        // 63 units, then 3 more: the poll must fire at 66 accumulated
+        // units even though neither call count nor total is a stride
+        // multiple.
+        assert_eq!(m.charge_many(TIME_POLL_STRIDE - 1), None);
+        let breach = m.charge_many(3);
+        assert_eq!(breach, Some(BudgetBreach::Time));
+    }
+
+    #[test]
+    fn cancellation_trips_within_one_stride() {
+        let token = CancelToken::new();
+        let mut m = BudgetMeter::unlimited().with_cancel(token.clone());
+        for _ in 0..10 * TIME_POLL_STRIDE {
+            assert_eq!(m.charge(), None, "uncancelled token never trips");
+        }
+        token.cancel();
+        let mut tripped = 0u64;
+        while m.charge() != Some(BudgetBreach::Cancelled) {
+            tripped += 1;
+            assert!(tripped <= TIME_POLL_STRIDE, "must trip within one stride");
+        }
+        // Sticky, like every other breach.
+        assert_eq!(m.charge(), Some(BudgetBreach::Cancelled));
+    }
+
+    #[test]
+    fn cancel_token_clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert_eq!(a, b, "clones compare equal (same flag)");
+        assert_ne!(a, CancelToken::new(), "fresh tokens are distinct");
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn node_cap_breaches_on_oversized_charge() {
+        let mut m = BudgetMeter::start(Budget::new().with_node_limit(10));
+        assert_eq!(m.charge_many(10), None, "exact drain is within budget");
+        assert_eq!(m.charge_many(1), Some(BudgetBreach::Nodes));
+        let mut m = BudgetMeter::start(Budget::new().with_node_limit(10));
+        assert_eq!(m.charge_many(11), Some(BudgetBreach::Nodes));
     }
 
     #[test]

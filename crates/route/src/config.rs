@@ -14,7 +14,7 @@ pub enum NetOrder {
     FewestPinsFirst,
 }
 
-use crate::Budget;
+use crate::{Budget, CancelToken};
 
 /// Routing options, mirroring the `eureka` command line of Appendix F.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +48,11 @@ pub struct RouteConfig {
     /// engages after a net has already failed, so clean runs are
     /// untouched.
     pub salvage: bool,
+    /// Cooperative cancellation for the whole routing run: every
+    /// per-net meter checks the token on the deadline-poll cadence,
+    /// and a cancelled run stops attempting (and salvaging) further
+    /// nets. `None` (the default) means not cancellable.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for RouteConfig {
@@ -61,6 +66,7 @@ impl Default for RouteConfig {
             order: NetOrder::Definition,
             budget: Budget::UNLIMITED,
             salvage: true,
+            cancel: None,
         }
     }
 }
@@ -135,6 +141,14 @@ impl RouteConfig {
     /// unrouted, as in the paper.
     pub fn without_salvage(mut self) -> Self {
         self.salvage = false;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token (watchdogs, batch
+    /// drain). Cancellation makes in-flight searches breach with
+    /// [`crate::BudgetBreach::Cancelled`] and skips remaining nets.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 }

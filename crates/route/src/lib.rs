@@ -63,7 +63,7 @@ pub mod line_expansion;
 mod obstacles;
 mod router;
 
-pub use budget::{Budget, BudgetBreach, BudgetMeter};
+pub use budget::{Budget, BudgetBreach, BudgetMeter, CancelToken, TIME_POLL_STRIDE};
 pub use config::{NetOrder, RouteConfig};
 pub use obstacles::{Obstacle, ObstacleKind, ObstacleMap};
 pub use router::{Eureka, NetRouteStats, RouteReport, SalvageRecord, SalvageStep};

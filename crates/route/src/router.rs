@@ -150,6 +150,24 @@ impl Eureka {
         &self.config
     }
 
+    /// Starts a meter for `budget`, attaching the run's cancellation
+    /// token (if any) so every per-net search honours it.
+    fn meter(&self, budget: crate::Budget) -> BudgetMeter {
+        let meter = BudgetMeter::start(budget);
+        match &self.config.cancel {
+            Some(token) => meter.with_cancel(token.clone()),
+            None => meter,
+        }
+    }
+
+    /// Whether the run's cancellation token has been tripped.
+    fn cancelled(&self) -> bool {
+        self.config
+            .cancel
+            .as_ref()
+            .is_some_and(crate::CancelToken::is_cancelled)
+    }
+
     /// Routes every unrouted net of the diagram. Prerouted nets are
     /// respected as obstacles and extended where incomplete; the
     /// placement is never changed. Cyclic prerouted nets violate the
@@ -216,6 +234,12 @@ impl Eureka {
                 report.routed.push(n);
                 continue;
             }
+            if self.cancelled() {
+                // Drain: remaining nets are recorded as failed without
+                // spending any more search effort.
+                failed_first_pass.push((n, false));
+                continue;
+            }
             let net_span = span!(Level::DEBUG, "eureka.net", net = network.net(n).name());
             let _guard = net_span.enter();
             let sabotage = injected.and_then(|(victim, kind)| (victim == n).then_some(kind));
@@ -247,7 +271,7 @@ impl Eureka {
             let net_span = span!(Level::DEBUG, "eureka.retry", net = network.net(n).name());
             let _guard = net_span.enter();
             let sabotage = injected.and_then(|(victim, kind)| (victim == n).then_some(kind));
-            let (routed, nodes, over) = if self.config.retry_failed {
+            let (routed, nodes, over) = if self.config.retry_failed && !self.cancelled() {
                 self.attempt_net(diagram, &network, &mut map, n, sabotage)
             } else {
                 (false, 0, false)
@@ -266,9 +290,16 @@ impl Eureka {
 
         // The salvage cascade: rip-up + escalated retry, then the Lee
         // fallback, then a ghost wire. Claims are irrelevant this deep.
-        if self.config.salvage && !failures.is_empty() {
+        if self.config.salvage && !failures.is_empty() && !self.cancelled() {
             map.remove_all_claims();
-            for (n, over_budget) in failures.drain(..) {
+            let pending = std::mem::take(&mut failures);
+            for (n, over_budget) in pending {
+                if self.cancelled() {
+                    // Cancelled mid-cascade: report the rest as plain
+                    // failures, unsalvaged.
+                    failures.push((n, over_budget));
+                    continue;
+                }
                 let net_span = span!(Level::DEBUG, "eureka.salvage", net = network.net(n).name());
                 let _guard = net_span.enter();
                 let (step, nodes_spent, ripup_victims) =
@@ -562,7 +593,7 @@ impl Eureka {
         } else {
             self.config.budget
         };
-        let mut meter = BudgetMeter::start(budget);
+        let mut meter = self.meter(budget);
         let mut routed = sabotage != Some(FaultKind::Error)
             && self.route_net(diagram, network, map, net, &mut meter);
         if routed {
@@ -678,14 +709,14 @@ impl Eureka {
                 map.remove_net(*v);
             }
             let mut ok = {
-                let mut meter = BudgetMeter::start(ripup_budget);
+                let mut meter = self.meter(ripup_budget);
                 let routed = self.route_net(diagram, network, map, net, &mut meter);
                 nodes_spent += meter.spent();
                 routed
             };
             if ok {
                 for (v, _) in &saved {
-                    let mut meter = BudgetMeter::start(ripup_budget);
+                    let mut meter = self.meter(ripup_budget);
                     let routed = self.route_net(diagram, network, map, *v, &mut meter);
                     nodes_spent += meter.spent();
                     if !routed {
@@ -807,7 +838,7 @@ impl Eureka {
             }
         };
 
-        let mut meter = BudgetMeter::start(budget);
+        let mut meter = self.meter(budget);
         let mut ok = true;
         while ok {
             let next = (0..pins.len()).filter(|&i| !connected[i]).min_by_key(|&i| {
@@ -967,6 +998,32 @@ mod tests {
         let mut d = Diagram::new(network, placement);
         let report = Eureka::new(RouteConfig::default()).route(&mut d);
         assert!(report.failed.is_empty(), "{report:?}");
+        assert!(d.check().is_ok(), "{}", d.check());
+    }
+
+    #[test]
+    fn pre_cancelled_run_fails_every_net_without_searching() {
+        let (mut d, n) = simple_diagram();
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let report =
+            Eureka::new(RouteConfig::default().with_cancel(token)).route(&mut d);
+        assert_eq!(report.failed, vec![n]);
+        assert!(report.routed.is_empty());
+        assert!(report.salvaged.is_empty(), "no salvage after cancel");
+        assert!(d.route(n).is_none());
+        let spent: u64 = report.net_stats.iter().map(|s| s.nodes_expanded).sum();
+        assert_eq!(spent, 0, "cancelled run must not expand nodes");
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let (mut d, n) = simple_diagram();
+        let report =
+            Eureka::new(RouteConfig::default().with_cancel(crate::CancelToken::new()))
+                .route(&mut d);
+        assert!(report.failed.is_empty());
+        assert_eq!(report.routed, vec![n]);
         assert!(d.check().is_ok(), "{}", d.check());
     }
 

@@ -17,6 +17,7 @@
 //! always produce identical networks.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod life;
 mod random;

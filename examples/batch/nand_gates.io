@@ -1,0 +1,3 @@
+a in
+b in
+q out

@@ -101,7 +101,7 @@ mod escher_fixed_point {
     const MODULE_SRC: &str = "module inv 40 20\nin a 0 10\nout y 40 10\n";
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig { cases: 24 })]
 
         /// Emit → parse → emit is a fixed point, even for diagrams
         /// generated from defective inputs the doctor repaired under
