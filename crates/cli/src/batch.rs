@@ -69,6 +69,18 @@ pub fn install_drain_handlers() {
     }
 }
 
+/// Whether a SIGINT/SIGTERM drain request is pending. Observed by
+/// [`run_batch`]'s poller and by `netart serve`'s accept loop.
+pub(crate) fn signal_drain_requested() -> bool {
+    SIGNAL_DRAIN.load(Ordering::SeqCst)
+}
+
+/// Clears a pending drain request so each resident run starts fresh
+/// (a signal delivered to a *previous* run must not drain this one).
+pub(crate) fn reset_signal_drain() {
+    SIGNAL_DRAIN.store(false, Ordering::SeqCst);
+}
+
 /// One batch job: a netlist group plus its output stem.
 #[derive(Debug, Clone)]
 struct BatchJob {

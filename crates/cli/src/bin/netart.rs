@@ -2,13 +2,17 @@
 //! see [`netart_cli::run_netart`]. The `report diff` subcommand
 //! compares two run-report files; see [`netart_cli::run_report_diff`].
 //! The `batch` subcommand runs many inputs on a resilient worker pool;
-//! see [`netart_cli::run_batch`].
+//! see [`netart_cli::run_batch`]. The `serve` subcommand keeps the
+//! pipeline resident behind an HTTP endpoint; see
+//! [`netart_cli::run_serve`].
 //!
 //! Exit codes: 0 clean, 2 degraded (salvaged or ghost-wired nets, or a
 //! recovered phase crash; 1 under `--strict`), 1 failed outright.
 //! `report diff` exits 0 when clean, 3 on regression, 1 on error.
 //! `batch` exits 0 when every job is ok, 2 when any job degraded,
 //! failed, was quarantined or skipped, 1 when the batch could not run.
+//! `serve` exits 0 on a clean signal-driven drain, 1 when it could not
+//! boot.
 
 use std::process::ExitCode;
 
@@ -27,6 +31,23 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("netart batch: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        netart_cli::install_drain_handlers();
+        return match netart_cli::run_serve(&argv[1..]) {
+            Ok(out) => {
+                if out.message_to_stderr {
+                    eprintln!("{}", out.message);
+                } else {
+                    println!("{}", out.message);
+                }
+                out.exit_code()
+            }
+            Err(e) => {
+                eprintln!("netart serve: {e}");
                 ExitCode::FAILURE
             }
         };

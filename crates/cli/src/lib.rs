@@ -23,10 +23,13 @@
 //! the binaries are thin wrappers.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod args;
 mod batch;
 mod commands;
+mod http;
+mod serve;
 
 pub use args::{ArgError, ParsedArgs};
 pub use batch::{install_drain_handlers, run_batch};
@@ -34,3 +37,4 @@ pub use commands::{
     run_eureka, run_netart, run_pablo, run_quinto, run_report_diff, CliError, DiffOutput,
     RunOutput,
 };
+pub use serve::run_serve;

@@ -1,0 +1,803 @@
+//! `netart serve` — a hardened resident diagram service.
+//!
+//! The batch engine answers "run this list and exit"; serving answers
+//! "stay up and answer diagram requests until told to stop". The
+//! robustness posture is the point, not the transport:
+//!
+//! * **admission control** — requests pass through the engine
+//!   [`Service`]'s bounded queue; a full queue sheds with `429
+//!   Retry-After` instead of queueing unboundedly, and a declared
+//!   body over the cap is refused with `413` before it is buffered;
+//! * **deadline propagation** — each request's `timeout_ms` (capped
+//!   by the server-side ceiling) becomes the service deadline *and*
+//!   the per-net routing budget ceiling, so the watchdog trips the
+//!   request's [`CancelToken`](netart::route::CancelToken) and the
+//!   router surfaces mid-expansion; the client gets a structured
+//!   degraded response, not a hung connection;
+//! * **content-addressed artifact cache** — the response artifacts
+//!   are keyed by a hash of the line-normalized input plus the
+//!   rendering options; concurrent identical requests coalesce onto
+//!   one computation ([`SingleFlight`]) and replays are byte-identical
+//!   ([`ByteCache`], byte-budgeted LRU);
+//! * **lifecycle** — `/healthz` says the process is alive, `/readyz`
+//!   flips to `503` the moment SIGINT/SIGTERM arrives, in-flight work
+//!   drains within the grace bound, and a panicking request answers
+//!   `500` while the listener lives on.
+//!
+//! The response taxonomy mirrors the CLI exit codes: exit `0`/`2`/`1`
+//! become `200` clean / `200` degraded / `422` (rejected input) or
+//! `500` (pipeline failure), each carrying a [`ServeReport`] body
+//! with the full run report inline.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netart::netlist::doctor::{self, InputPolicy};
+use netart::netlist::Library;
+use netart::obs::{CacheOutcome, Json, ServeReport, ServeStats, ServeStatus};
+use netart::place::PlaceConfig;
+use netart::route::{Budget, NetOrder, RouteConfig};
+use netart::diagram::svg;
+use netart_engine::{ByteCache, JobContext, Service, ServiceConfig, SingleFlight, SubmitError, TicketOutcome};
+
+use crate::commands::{
+    arm_faults, budget_from_args, checked_escher, cli_degradation, doctor_degradations,
+    input_policy, install_subscriber, ns, CliError, RunOutput,
+};
+use crate::http::{read_request, respond, RequestError};
+use crate::{ArgError, ParsedArgs};
+
+/// How long a connection may dribble its request before the read
+/// times out — bounds slow-loris clients without a reactor.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The idle tick of the accept loop (non-blocking accept poll and
+/// drain-signal check).
+const ACCEPT_TICK: Duration = Duration::from_millis(5);
+
+/// Fixed per-entry overhead charged to the cache budget on top of the
+/// artifact bytes (key, map entry, report structure).
+const CACHE_ENTRY_OVERHEAD: usize = 512;
+
+/// The rendering options a request may set, resolved against the
+/// server's defaults. The deadline is deliberately *not* part of the
+/// cache identity — the artifact a timeout produces is the same
+/// artifact, just slower.
+#[derive(Clone, Copy)]
+struct RenderOptions {
+    margin: i32,
+    order: NetOrder,
+}
+
+/// One admitted diagram job, as the worker pool sees it.
+struct DiagramJob {
+    net: String,
+    cal: String,
+    io: Option<String>,
+    options: RenderOptions,
+    timeout: Duration,
+    artifact: String,
+}
+
+/// What one pipeline run produced, before HTTP framing.
+struct Computed {
+    report: ServeReport,
+    /// `true` for doctor rejections (`422`), `false` for pipeline
+    /// failures (`500`). Meaningless unless the status is `Failed`.
+    rejected: bool,
+    /// Deterministic results may be cached; a deadline-cancelled run
+    /// is timing-dependent and must be recomputed next time.
+    cacheable: bool,
+    deadline_cancelled: bool,
+}
+
+/// How a flight (one admission attempt shared by coalesced callers)
+/// resolved.
+enum FlightResult {
+    Done(Box<Computed>),
+    Shed,
+    Draining,
+    Panicked(String),
+}
+
+/// Everything the handler needs per request; cloned cheaply off the
+/// server state (the library is the only real payload).
+struct HandlerState {
+    library: Library,
+    policy: InputPolicy,
+    base_budget: Budget,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    clean: AtomicU64,
+    degraded: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+    too_large: AtomicU64,
+    drain_rejects: AtomicU64,
+    deadline_cancelled: AtomicU64,
+    panics: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+struct ServerState {
+    service: Service<DiagramJob, Computed>,
+    flight: SingleFlight<String, Arc<FlightResult>>,
+    cache: ByteCache<String, Arc<ServeReport>>,
+    counters: Counters,
+    ready: AtomicBool,
+    default_timeout: Duration,
+    timeout_ceiling: Duration,
+    max_body: usize,
+    default_options: RenderOptions,
+}
+
+/// FNV-1a, the content-address hash: deterministic, dependency-free,
+/// and plenty for a cache key spread.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn feed(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Hashes `text` line-normalized: trailing whitespace (CR
+    /// included) stripped, blank lines dropped. Two spellings of the
+    /// same netlist address the same artifact.
+    fn feed_normalized(&mut self, text: &str) {
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            self.feed(line.as_bytes());
+            self.feed(b"\n");
+        }
+    }
+
+    fn separator(&mut self) {
+        self.feed(&[0xff]);
+    }
+}
+
+/// The content address of one request: normalized input plus the
+/// options that change the artifact.
+fn artifact_key(net: &str, cal: &str, io: Option<&str>, options: &RenderOptions) -> String {
+    let mut h = Fnv::new();
+    h.feed_normalized(net);
+    h.separator();
+    h.feed_normalized(cal);
+    h.separator();
+    h.feed_normalized(io.unwrap_or(""));
+    h.separator();
+    h.feed(format!("m={};order={:?}", options.margin, options.order).as_bytes());
+    format!("{:016x}", h.0)
+}
+
+/// The pipeline, request-scoped: doctor → place → route (under the
+/// request's token and budget ceiling) → checked emit. Runs on a
+/// service worker under `catch_unwind`; a panic here is the worker's
+/// problem, not the listener's.
+fn handle_job(state: &HandlerState, job: DiagramJob, ctx: &JobContext) -> Computed {
+    // The canonical "my handler exploded" site: inside the worker's
+    // catch_unwind, so an injected panic must answer `500` and leave
+    // the listener serving.
+    if let Some(kind) = netart_fault::fire(netart_fault::sites::SERVE_REQUEST) {
+        return Computed {
+            report: ServeReport::failure(format!("injected {kind} fault at `serve.request`")),
+            rejected: false,
+            cacheable: false,
+            deadline_cancelled: false,
+        };
+    }
+
+    let mut degs = Vec::new();
+    let t_doctor = Instant::now();
+    let network = match doctor::doctor_network(
+        state.library.clone(),
+        &job.net,
+        &job.cal,
+        job.io.as_deref(),
+        state.policy,
+    ) {
+        Ok((network, report)) => {
+            doctor_degradations(Path::new("request"), &report, &mut degs);
+            network
+        }
+        Err(e) => {
+            return Computed {
+                report: ServeReport::failure(format!("input rejected: {e}")),
+                rejected: true,
+                cacheable: false,
+                deadline_cancelled: false,
+            }
+        }
+    };
+    let doctor_ns = ns(t_doctor.elapsed());
+
+    // The deadline both bounds the whole request (the service
+    // watchdog trips the token) and ceilings the per-net routing
+    // budget, so a single pathological net cannot eat the allowance
+    // the client gave the whole diagram.
+    let route = RouteConfig::new()
+        .with_margin(job.options.margin)
+        .with_order(job.options.order)
+        .with_budget(state.base_budget.with_time_ceiling(job.timeout))
+        .with_cancel(ctx.cancel.clone());
+    let outcome = netart::Generator::new()
+        .with_placing(PlaceConfig::new())
+        .with_routing(route)
+        .generate(network);
+    let deadline_cancelled = ctx.cancel.is_cancelled();
+
+    let t_emit = Instant::now();
+    let escher = match checked_escher("netart_serve", &outcome.diagram, &mut degs) {
+        Ok(text) => text,
+        Err(e) => {
+            return Computed {
+                report: ServeReport::failure(format!("emit failed: {e}")),
+                rejected: false,
+                cacheable: false,
+                deadline_cancelled,
+            }
+        }
+    };
+    let svg = svg::render_with_structure(&outcome.diagram);
+
+    let mut run_report = outcome.run_report("netart serve");
+    run_report.push_phase_front("doctor", doctor_ns);
+    run_report.push_phase("emit", ns(t_emit.elapsed()));
+    if deadline_cancelled {
+        degs.push(cli_degradation(
+            "deadline_cancelled",
+            Some("route".to_owned()),
+            format!(
+                "request deadline of {:?} cancelled the pipeline mid-run; the diagram is truncated",
+                job.timeout
+            ),
+        ));
+    }
+    for d in &degs {
+        run_report.push_degradation(d.clone());
+    }
+
+    let degraded = !outcome.is_clean() || !degs.is_empty();
+    Computed {
+        report: ServeReport {
+            status: if degraded {
+                ServeStatus::Degraded
+            } else {
+                ServeStatus::Clean
+            },
+            cache: CacheOutcome::Miss,
+            artifact: job.artifact,
+            escher,
+            svg,
+            error: None,
+            report: Some(run_report),
+        },
+        rejected: false,
+        cacheable: !deadline_cancelled,
+        deadline_cancelled,
+    }
+}
+
+/// A `get` that survives an injected `serve.cache` fault: any fired
+/// kind (panic included) degrades to a miss — recompute rather than
+/// crash or serve garbage.
+fn cache_get(state: &ServerState, key: &str) -> Option<Arc<ServeReport>> {
+    catch_unwind(AssertUnwindSafe(|| {
+        if netart_fault::fire(netart_fault::sites::SERVE_CACHE).is_some() {
+            return None;
+        }
+        state.cache.get(&key.to_owned())
+    }))
+    .unwrap_or(None)
+}
+
+/// A `put` that survives an injected `serve.cache` fault: the insert
+/// is skipped, the response already computed is unaffected.
+fn cache_put(state: &ServerState, key: String, report: &ServeReport) {
+    let bytes = report.escher.len() + report.svg.len() + key.len() + CACHE_ENTRY_OVERHEAD;
+    let value = Arc::new(report.clone());
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        if netart_fault::fire(netart_fault::sites::SERVE_CACHE).is_some() {
+            return;
+        }
+        state.cache.put(key, value, bytes);
+    }));
+}
+
+fn count(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn count_status(counters: &Counters, status: ServeStatus) {
+    match status {
+        ServeStatus::Clean => count(&counters.clean),
+        ServeStatus::Degraded => count(&counters.degraded),
+        ServeStatus::Failed => count(&counters.failed),
+    }
+}
+
+/// One framed response: status code, extra headers, body.
+struct HttpReply {
+    status: u16,
+    headers: Vec<(&'static str, String)>,
+    body: String,
+}
+
+impl HttpReply {
+    fn json(status: u16, body: String) -> Self {
+        HttpReply {
+            status,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    fn report(status: u16, report: &ServeReport) -> Self {
+        HttpReply::json(status, report.to_json_string())
+    }
+}
+
+/// `POST /v1/diagram`: parse the request document, consult the cache,
+/// coalesce with identical concurrent requests, admit through the
+/// bounded queue, frame the outcome.
+fn handle_diagram(state: &Arc<ServerState>, body: &[u8]) -> HttpReply {
+    count(&state.counters.requests);
+
+    let parsed = std::str::from_utf8(body)
+        .map_err(|_| "request body is not UTF-8".to_owned())
+        .and_then(|text| Json::parse(text).map_err(|e| format!("request body is not JSON: {e}")));
+    let doc = match parsed {
+        Ok(doc) => doc,
+        Err(message) => {
+            count(&state.counters.failed);
+            return HttpReply::report(400, &ServeReport::failure(message));
+        }
+    };
+    let field = |name: &str| doc.get(name).and_then(Json::as_str).map(str::to_owned);
+    let (Some(net), Some(cal)) = (field("net"), field("cal")) else {
+        count(&state.counters.failed);
+        return HttpReply::report(
+            422,
+            &ServeReport::failure(
+                "request must carry string members `net` and `cal` (optionally `io`, `options`)",
+            ),
+        );
+    };
+    let io = field("io");
+    let options_doc = doc.get("options");
+    let opt = |name: &str| options_doc.and_then(|o| o.get(name));
+    let margin = match opt("margin").map(|j| j.as_u64().ok_or(())) {
+        None => state.default_options.margin,
+        Some(Ok(m)) if i32::try_from(m).is_ok() => m as i32,
+        _ => {
+            count(&state.counters.failed);
+            return HttpReply::report(
+                422,
+                &ServeReport::failure("options.margin must be a small non-negative integer"),
+            );
+        }
+    };
+    let order = match opt("order").and_then(Json::as_str) {
+        None => state.default_options.order,
+        Some("def") => NetOrder::Definition,
+        Some("most") => NetOrder::MostPinsFirst,
+        Some("few") => NetOrder::FewestPinsFirst,
+        Some(other) => {
+            count(&state.counters.failed);
+            return HttpReply::report(
+                422,
+                &ServeReport::failure(format!(
+                    "options.order must be def|most|few, not {other:?}"
+                )),
+            );
+        }
+    };
+    let timeout = match opt("timeout_ms").map(|j| j.as_u64().ok_or(())) {
+        None | Some(Ok(0)) => state.default_timeout,
+        Some(Ok(ms)) => Duration::from_millis(ms),
+        Some(Err(())) => {
+            count(&state.counters.failed);
+            return HttpReply::report(
+                422,
+                &ServeReport::failure("options.timeout_ms must be a non-negative integer"),
+            );
+        }
+    }
+    .min(state.timeout_ceiling);
+
+    let options = RenderOptions { margin, order };
+    let key = artifact_key(&net, &cal, io.as_deref(), &options);
+
+    if let Some(cached) = cache_get(state, &key) {
+        count(&state.counters.cache_hits);
+        count_status(&state.counters, cached.status);
+        let mut report = (*cached).clone();
+        report.cache = CacheOutcome::Hit;
+        return HttpReply::report(200, &report);
+    }
+
+    if !state.ready.load(Ordering::Acquire) {
+        count(&state.counters.drain_rejects);
+        return HttpReply::report(503, &ServeReport::failure("draining: not accepting work"));
+    }
+
+    let job = DiagramJob {
+        net,
+        cal,
+        io,
+        options,
+        timeout,
+        artifact: key.clone(),
+    };
+    let (result, leads) = state.flight.run(&key, || {
+        match state.service.submit(job, Some(timeout)) {
+            Err(SubmitError::Busy) => Arc::new(FlightResult::Shed),
+            Err(SubmitError::Draining) => Arc::new(FlightResult::Draining),
+            Ok((ticket, _token)) => match ticket.wait() {
+                TicketOutcome::Panicked(message) => Arc::new(FlightResult::Panicked(message)),
+                TicketOutcome::Finished(computed) => {
+                    // Insert while the flight is still open: anyone
+                    // arriving after the flight resolves must find the
+                    // cache already warm (no recompute window).
+                    if computed.cacheable && computed.report.status != ServeStatus::Failed {
+                        cache_put(state, key.clone(), &computed.report);
+                    }
+                    Arc::new(FlightResult::Done(Box::new(computed)))
+                }
+            },
+        }
+    });
+
+    match &*result {
+        FlightResult::Done(computed) => {
+            let outcome = if leads {
+                count(&state.counters.cache_misses);
+                CacheOutcome::Miss
+            } else {
+                count(&state.counters.coalesced);
+                CacheOutcome::Coalesced
+            };
+            count_status(&state.counters, computed.report.status);
+            if computed.deadline_cancelled {
+                count(&state.counters.deadline_cancelled);
+            }
+            let mut report = computed.report.clone();
+            report.cache = outcome;
+            let status = match report.status {
+                ServeStatus::Clean | ServeStatus::Degraded => 200,
+                ServeStatus::Failed if computed.rejected => 422,
+                ServeStatus::Failed => 500,
+            };
+            HttpReply::report(status, &report)
+        }
+        FlightResult::Shed => {
+            count(&state.counters.shed);
+            let mut reply = HttpReply::report(
+                429,
+                &ServeReport::failure("saturated: the admission queue is full; retry shortly"),
+            );
+            reply.headers.push(("Retry-After", "1".to_owned()));
+            reply
+        }
+        FlightResult::Draining => {
+            count(&state.counters.drain_rejects);
+            HttpReply::report(503, &ServeReport::failure("draining: not accepting work"))
+        }
+        FlightResult::Panicked(message) => {
+            count(&state.counters.panics);
+            count(&state.counters.failed);
+            HttpReply::report(
+                500,
+                &ServeReport::failure(format!("request handler panicked: {message}")),
+            )
+        }
+    }
+}
+
+fn stats_snapshot(state: &ServerState) -> ServeStats {
+    let cache = state.cache.stats();
+    let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    ServeStats {
+        requests: load(&state.counters.requests),
+        clean: load(&state.counters.clean),
+        degraded: load(&state.counters.degraded),
+        failed: load(&state.counters.failed),
+        shed: load(&state.counters.shed),
+        too_large: load(&state.counters.too_large),
+        drain_rejects: load(&state.counters.drain_rejects),
+        deadline_cancelled: load(&state.counters.deadline_cancelled),
+        panics: load(&state.counters.panics),
+        cache_hits: load(&state.counters.cache_hits),
+        cache_misses: load(&state.counters.cache_misses),
+        coalesced: load(&state.counters.coalesced),
+        cache_bytes: cache.bytes as u64,
+        cache_entries: cache.entries as u64,
+        in_flight: state.service.in_flight() as u64,
+        queued: state.service.queued() as u64,
+    }
+}
+
+fn route_request(state: &Arc<ServerState>, method: &str, path: &str, body: &[u8]) -> HttpReply {
+    match (method, path) {
+        ("GET", "/healthz") => HttpReply::json(200, "{\"status\": \"ok\"}".to_owned()),
+        ("GET", "/readyz") => {
+            if state.ready.load(Ordering::Acquire) {
+                HttpReply::json(200, "{\"status\": \"ready\"}".to_owned())
+            } else {
+                HttpReply::json(503, "{\"status\": \"draining\"}".to_owned())
+            }
+        }
+        ("GET", "/stats") => HttpReply::json(200, stats_snapshot(state).to_json_string()),
+        ("POST", "/v1/diagram") => handle_diagram(state, body),
+        (_, "/healthz" | "/readyz" | "/stats" | "/v1/diagram") => HttpReply::report(
+            405,
+            &ServeReport::failure(format!("{method} is not supported on {path}")),
+        ),
+        _ => HttpReply::report(404, &ServeReport::failure(format!("no such endpoint {path}"))),
+    }
+}
+
+/// One connection, one request, one response. Runs on its own thread;
+/// the final defence in depth — even a panic past the service's
+/// `catch_unwind` (routing, framing) kills only this connection.
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let reply = match read_request(&mut stream, state.max_body) {
+        Ok(request) => {
+            match catch_unwind(AssertUnwindSafe(|| {
+                route_request(state, &request.method, &request.path, &request.body)
+            })) {
+                Ok(reply) => reply,
+                Err(_) => {
+                    count(&state.counters.panics);
+                    HttpReply::report(
+                        500,
+                        &ServeReport::failure("internal error while framing the response"),
+                    )
+                }
+            }
+        }
+        Err(RequestError::BodyTooLarge { declared, limit }) => {
+            count(&state.counters.too_large);
+            HttpReply::report(
+                413,
+                &ServeReport::failure(format!(
+                    "request body of {declared} bytes exceeds the {limit}-byte cap"
+                )),
+            )
+        }
+        Err(RequestError::Malformed(message)) => {
+            HttpReply::report(400, &ServeReport::failure(message))
+        }
+        Err(RequestError::Io(e)) => {
+            // Probe connections and abrupt client deaths: nothing to
+            // answer, but worth a diagnostics-stream breadcrumb.
+            tracing::debug!("connection dropped before a request", error = e.to_string());
+            return;
+        }
+    };
+    let _ = respond(&mut stream, reply.status, &reply.headers, &reply.body);
+}
+
+fn parse_millis(args: &ParsedArgs, flag: &str, default_ms: u64) -> Result<Duration, CliError> {
+    Ok(Duration::from_millis(args.parsed(flag, default_ms)?))
+}
+
+/// `netart serve [--addr host:port] [-L libdir] [--workers n]
+/// [--queue-depth n] [--default-timeout ms] [--timeout-ceiling ms]
+/// [--max-body bytes] [--cache-bytes n] [--drain-grace ms]
+/// [--route-timeout ms] [--max-nodes n] [-m margin] [--order o]
+/// [--input-policy p] [--inject spec] [--trace-level lvl] [--log-json]`
+///
+/// Boots the resident diagram service and blocks until SIGINT/SIGTERM
+/// drains it. The first stdout line is `serving on http://ADDR` (the
+/// resolved address, so `--addr 127.0.0.1:0` works for tests and
+/// supervisors). Endpoints: `GET /healthz`, `GET /readyz`,
+/// `GET /stats`, `POST /v1/diagram` with a JSON document
+/// `{"net": …, "cal": …, "io"?: …, "options"?: {"timeout_ms",
+/// "margin", "order"}}`.
+///
+/// # Errors
+///
+/// Any [`CliError`] condition at boot (bad flags, unreadable library,
+/// unbindable address). After boot the server degrades, it does not
+/// error.
+pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
+    let args = ParsedArgs::parse(
+        argv,
+        &[
+            "addr", "L", "workers", "queue-depth", "default-timeout", "timeout-ceiling",
+            "max-body", "cache-bytes", "drain-grace", "route-timeout", "max-nodes", "m", "order",
+            "input-policy", "inject", "trace-level",
+        ],
+        &["log-json"],
+        (0, 0),
+    )?;
+    let _trace = install_subscriber(&args)?;
+    arm_faults(&args)?;
+    let policy = input_policy(&args)?;
+    let base_budget = budget_from_args(&args)?;
+
+    let mut boot_degs = Vec::new();
+    let library = crate::commands::load_library(&args, policy, &mut boot_degs)?;
+
+    let margin = args.parsed("m", 4i32)?;
+    let order = match args.value("order").unwrap_or("def") {
+        "def" => NetOrder::Definition,
+        "most" => NetOrder::MostPinsFirst,
+        "few" => NetOrder::FewestPinsFirst,
+        other => {
+            return Err(ArgError::BadValue {
+                flag: "order".into(),
+                value: other.into(),
+            }
+            .into())
+        }
+    };
+    let timeout_ceiling = parse_millis(&args, "timeout-ceiling", 30_000)?;
+    let default_timeout = parse_millis(&args, "default-timeout", 10_000)?.min(timeout_ceiling);
+    let drain_grace = parse_millis(&args, "drain-grace", 5_000)?;
+    let config = ServiceConfig {
+        workers: args.parsed("workers", 2u32)?,
+        queue_depth: args.parsed("queue-depth", 4usize)?,
+        drain_grace,
+    };
+
+    let handler_state = HandlerState {
+        library,
+        policy,
+        base_budget,
+    };
+    let service = Service::new(&config, move |job, ctx| handle_job(&handler_state, job, ctx));
+    let state = Arc::new(ServerState {
+        service,
+        flight: SingleFlight::new(),
+        cache: ByteCache::new(args.parsed("cache-bytes", 16 * 1024 * 1024usize)?),
+        counters: Counters::default(),
+        ready: AtomicBool::new(true),
+        default_timeout,
+        timeout_ceiling,
+        max_body: args.parsed("max-body", 1024 * 1024usize)?,
+        default_options: RenderOptions { margin, order },
+    });
+
+    let addr = args.value("addr").unwrap_or("127.0.0.1:4817");
+    let listener = TcpListener::bind(addr).map_err(|source| CliError::Io {
+        path: addr.into(),
+        source,
+    })?;
+    let local = listener.local_addr().map_err(|source| CliError::Io {
+        path: addr.into(),
+        source,
+    })?;
+    listener.set_nonblocking(true).map_err(|source| CliError::Io {
+        path: addr.into(),
+        source,
+    })?;
+
+    // The contract with supervisors and tests: the first stdout line
+    // names the resolved address, flushed before any request lands.
+    println!("serving on http://{local}");
+    let _ = std::io::stdout().flush();
+    for d in &boot_degs {
+        eprintln!("warning: {}", d.detail.as_deref().unwrap_or(&d.kind));
+    }
+
+    crate::batch::reset_signal_drain();
+    let connections = Arc::new(AtomicUsize::new(0));
+    let mut draining_since: Option<Instant> = None;
+    loop {
+        if draining_since.is_none() && crate::batch::signal_drain_requested() {
+            // Readiness flips *first* so load balancers stop routing,
+            // then admission closes; queued and running requests keep
+            // their connections and finish within the grace.
+            state.ready.store(false, Ordering::Release);
+            state.service.drain();
+            draining_since = Some(Instant::now());
+        }
+        // Accept everything already pending *before* judging whether
+        // the drain has settled: a connection that completed its
+        // handshake before the signal must be served, not dropped by
+        // an accept/settle race.
+        while let Ok((stream, _peer)) = listener.accept() {
+            let state = Arc::clone(&state);
+            let connections = Arc::clone(&connections);
+            connections.fetch_add(1, Ordering::SeqCst);
+            std::thread::spawn(move || {
+                handle_connection(&state, stream);
+                connections.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        if let Some(since) = draining_since {
+            let settled =
+                state.service.drained() && connections.load(Ordering::SeqCst) == 0;
+            // The hard stop covers a connection wedged on a dead
+            // client: drain grace for the work, a little more for the
+            // final response writes.
+            if settled || since.elapsed() > drain_grace + Duration::from_secs(2) {
+                break;
+            }
+        }
+        std::thread::sleep(ACCEPT_TICK);
+    }
+
+    let stats = stats_snapshot(&state);
+    Ok(RunOutput {
+        message: format!(
+            "drained cleanly: {} requests ({} clean, {} degraded, {} failed, {} shed), \
+             {} cache hits, {} coalesced, {} panics contained",
+            stats.requests,
+            stats.clean,
+            stats.degraded,
+            stats.failed,
+            stats.shed,
+            stats.cache_hits,
+            stats.coalesced,
+            stats.panics,
+        ),
+        degraded: false,
+        strict: false,
+        message_to_stderr: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_keys_ignore_whitespace_but_not_content_or_options() {
+        let options = RenderOptions {
+            margin: 4,
+            order: NetOrder::Definition,
+        };
+        let a = artifact_key("n0 u0 y\nn0 u1 a\n", "u0 inv\n", None, &options);
+        let b = artifact_key("n0 u0 y   \r\n\r\nn0 u1 a\n", "u0 inv\n", None, &options);
+        assert_eq!(a, b, "line-normalization: same artifact");
+
+        let c = artifact_key("n0 u0 y\nn0 u1 b\n", "u0 inv\n", None, &options);
+        assert_ne!(a, c, "different netlist: different artifact");
+
+        let wider = RenderOptions {
+            margin: 8,
+            order: NetOrder::Definition,
+        };
+        let d = artifact_key("n0 u0 y\nn0 u1 a\n", "u0 inv\n", None, &wider);
+        assert_ne!(a, d, "different options: different artifact");
+
+        let e = artifact_key("n0 u0 y\nn0 u1 a\n", "u0 inv\n", Some("in in\n"), &options);
+        assert_ne!(a, e, "io file participates in the address");
+    }
+
+    #[test]
+    fn artifact_keys_are_stable_hex() {
+        let options = RenderOptions {
+            margin: 4,
+            order: NetOrder::Definition,
+        };
+        let key = artifact_key("x", "y", None, &options);
+        assert_eq!(key.len(), 16);
+        assert!(key.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(key, artifact_key("x", "y", None, &options));
+    }
+}

@@ -13,6 +13,8 @@
 //! Only compiled with `--features fault-injection` (a `required-features`
 //! test target); the default build carries no fault-point overhead.
 
+mod common;
+
 use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -22,7 +24,7 @@ use std::sync::Mutex;
 use netart::diagram::escher;
 use netart::netlist::doctor::{self, InputPolicy};
 use netart::netlist::Library;
-use netart::obs::{BatchManifest, JobStatus, Json};
+use netart::obs::{BatchManifest, JobStatus, Json, ServeReport};
 use netart_cli::{run_batch, run_netart};
 
 /// Serialises cases: the fault registry is process-global.
@@ -299,6 +301,115 @@ fn chaos_batch_manifest_aggregation_survives_a_panic() {
     let (run, manifest) = batch_case("engine.manifest:1:panic");
     assert_eq!(manifest.jobs[0].status, JobStatus::Ok);
     assert!(!run.degraded, "the aggregation fault is contained");
+}
+
+/// Parses a serve response body as a [`ServeReport`].
+fn serve_report(body: &str) -> ServeReport {
+    ServeReport::from_json(&Json::parse(body).unwrap_or_else(|e| panic!("not JSON: {e}: {body}")))
+        .unwrap_or_else(|e| panic!("not a serve report: {e}: {body}"))
+}
+
+#[test]
+fn chaos_serve_request_faults_answer_500_and_the_listener_survives() {
+    // The fault registry lives in the spawned server, not this
+    // process, so no GUARD is needed: each case boots its own binary
+    // with the spec armed via `--inject`.
+    for kind in KINDS {
+        let spec = format!("serve.request:1:{kind}");
+        let dir = common::scratch(&format!("chaos-request-{kind}"));
+        let lib = common::write_lib(&dir);
+        let server = common::ServeProc::start(&lib, &["--inject", &spec]);
+        let (net, cal, io) = common::chain_inputs(3);
+        let body = common::diagram_request(&net, &cal, Some(&io)).render_pretty();
+
+        // The armed fault trips inside the worker: whatever the kind
+        // (a panic included — the worker's catch_unwind contains it),
+        // the client gets a structured 500, not a dropped connection.
+        let faulted = server.exchange("POST", "/v1/diagram", Some(&body));
+        assert_eq!(faulted.status, 500, "{spec}: {}", faulted.body);
+        let report = serve_report(&faulted.body);
+        assert_eq!(report.status.as_str(), "failed", "{spec}");
+        assert!(report.error.is_some(), "{spec}: failure carries a message");
+
+        // The listener survived, the faulted result was never cached,
+        // and the burned-out one-shot site lets the retry succeed.
+        assert_eq!(server.exchange("GET", "/healthz", None).status, 200, "{spec}");
+        let retry = server.exchange("POST", "/v1/diagram", Some(&body));
+        assert_eq!(retry.status, 200, "{spec}: {}", retry.body);
+        assert_ne!(serve_report(&retry.body).status.as_str(), "failed", "{spec}");
+        let _ = fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn chaos_serve_cache_insert_faults_degrade_to_recompute() {
+    // `serve.cache` fires on both cache calls; `nth:2` lands the
+    // fault on the first request's *insert*. The contract: the insert
+    // is lost, nothing else — the in-hand response is unaffected, the
+    // next identical request recomputes (and caches), replays are
+    // still byte-identical.
+    for kind in KINDS {
+        let spec = format!("serve.cache:2:{kind}");
+        let dir = common::scratch(&format!("chaos-cacheput-{kind}"));
+        let lib = common::write_lib(&dir);
+        let server = common::ServeProc::start(&lib, &["--inject", &spec]);
+        let (net, cal, io) = common::chain_inputs(3);
+        let body = common::diagram_request(&net, &cal, Some(&io)).render_pretty();
+
+        let first = server.exchange("POST", "/v1/diagram", Some(&body));
+        assert_eq!(first.status, 200, "{spec}: {}", first.body);
+        let first = serve_report(&first.body);
+        assert_eq!(first.cache.as_str(), "miss", "{spec}");
+
+        let second = server.exchange("POST", "/v1/diagram", Some(&body));
+        assert_eq!(second.status, 200, "{spec}: {}", second.body);
+        let second = serve_report(&second.body);
+        assert_eq!(
+            second.cache.as_str(),
+            "miss",
+            "{spec}: the faulted insert must have been dropped"
+        );
+        assert_eq!(second.escher, first.escher, "{spec}: recompute is deterministic");
+
+        let third = server.exchange("POST", "/v1/diagram", Some(&body));
+        assert_eq!(third.status, 200, "{spec}: {}", third.body);
+        let third = serve_report(&third.body);
+        assert_eq!(third.cache.as_str(), "hit", "{spec}: the retry's insert stuck");
+        assert_eq!(third.escher, first.escher, "{spec}: byte-identical replay");
+        let _ = fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn chaos_serve_cache_lookup_panic_degrades_to_a_miss() {
+    // `nth:3` lands a panic on the *second* request's lookup, with the
+    // cache already warm: the lookup degrades to a miss (recompute),
+    // it does not crash the connection or serve garbage.
+    let dir = common::scratch("chaos-cacheget");
+    let lib = common::write_lib(&dir);
+    let server = common::ServeProc::start(&lib, &["--inject", "serve.cache:3:panic"]);
+    let (net, cal, io) = common::chain_inputs(3);
+    let body = common::diagram_request(&net, &cal, Some(&io)).render_pretty();
+
+    let first = server.exchange("POST", "/v1/diagram", Some(&body));
+    assert_eq!(first.status, 200, "{}", first.body);
+    let first = serve_report(&first.body);
+    assert_eq!(first.cache.as_str(), "miss");
+
+    let second = server.exchange("POST", "/v1/diagram", Some(&body));
+    assert_eq!(second.status, 200, "{}", second.body);
+    let second = serve_report(&second.body);
+    assert_eq!(
+        second.cache.as_str(),
+        "miss",
+        "a panicking lookup is a miss, not a crash"
+    );
+    assert_eq!(second.escher, first.escher);
+
+    let third = server.exchange("POST", "/v1/diagram", Some(&body));
+    assert_eq!(third.status, 200, "{}", third.body);
+    assert_eq!(serve_report(&third.body).cache.as_str(), "hit");
+    let _ = fs::remove_dir_all(dir);
 }
 
 #[test]

@@ -1,0 +1,214 @@
+//! Shared helpers for the integration suites that drive the `netart`
+//! binary: scratch fixtures, a minimal HTTP/1.1 client, and a handle
+//! on a spawned `netart serve` process.
+//!
+//! Lives in `tests/common/` (not directly under `tests/`) so cargo
+//! does not treat it as a test target of its own.
+
+#![allow(dead_code)] // each including test target uses a subset
+
+use std::fs;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use netart::obs::Json;
+
+pub const MODULE_SRC: &str = "module inv 40 20\nin a 0 10\nout y 40 10\n";
+
+/// A scratch directory unique to this test and process.
+pub fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("netart-serve-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Writes the one-module library and returns its directory as a string.
+pub fn write_lib(dir: &Path) -> String {
+    let lib = dir.join("lib");
+    fs::create_dir_all(&lib).expect("lib dir");
+    fs::write(lib.join("inv.qto"), MODULE_SRC).expect("module file");
+    lib.to_string_lossy().into_owned()
+}
+
+/// A chain of `n` inverters (`u0 → u1 → … → u{n-1}`) plus the system
+/// input, as request-body strings `(net, cal, io)`. Bigger `n` means
+/// genuinely more placement and routing work — the knob the serve
+/// tests use to hold a worker busy for a while.
+pub fn chain_inputs(n: usize) -> (String, String, String) {
+    assert!(n >= 2);
+    let mut net = String::from("nin root in\nnin u0 a\n");
+    let mut cal = String::new();
+    for k in 0..n - 1 {
+        net.push_str(&format!("n{k} u{k} y\nn{k} u{} a\n", k + 1));
+    }
+    for k in 0..n {
+        cal.push_str(&format!("u{k} inv\n"));
+    }
+    (net, cal, "in in\n".to_owned())
+}
+
+/// The `POST /v1/diagram` document for a netlist group.
+pub fn diagram_request(net: &str, cal: &str, io: Option<&str>) -> Json {
+    Json::obj()
+        .with("net", net)
+        .with("cal", cal)
+        .with("io", io.map(Json::from))
+}
+
+/// One parsed HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub head: String,
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Whether a response header is present (name match only,
+    /// case-insensitive).
+    pub fn has_header(&self, name: &str) -> bool {
+        let needle = format!("{}:", name.to_ascii_lowercase());
+        self.head
+            .lines()
+            .any(|l| l.to_ascii_lowercase().starts_with(&needle))
+    }
+}
+
+/// One `Connection: close` HTTP/1.1 exchange against `addr`.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: netart\r\n");
+    if let Some(body) = body {
+        request.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    request.push_str("\r\n");
+    if let Some(body) = body {
+        request.push_str(body);
+    }
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("no header end: {raw:?}"))
+    })?;
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad status line: {head:?}"))
+        })?;
+    Ok(HttpResponse {
+        status,
+        head: head.to_owned(),
+        body: body.to_owned(),
+    })
+}
+
+/// A spawned `netart serve` process bound to an ephemeral port.
+pub struct ServeProc {
+    child: Child,
+    pub addr: String,
+    stdout_rest: Arc<Mutex<String>>,
+    collector: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeProc {
+    /// Boots `netart serve --addr 127.0.0.1:0 -L <lib> <extra…>` and
+    /// reads the resolved address off the first stdout line.
+    pub fn start(lib: &str, extra: &[&str]) -> ServeProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_netart"))
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0", "-L", lib])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("netart serve spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("serve prints its address");
+        let addr = line
+            .trim()
+            .strip_prefix("serving on http://")
+            .unwrap_or_else(|| panic!("unexpected first line {line:?}"))
+            .to_owned();
+        // Keep draining stdout so the child can never block on a full
+        // pipe; the drained text carries the final summary line.
+        let stdout_rest = Arc::new(Mutex::new(String::new()));
+        let collector = {
+            let stdout_rest = Arc::clone(&stdout_rest);
+            std::thread::spawn(move || {
+                let mut rest = String::new();
+                let _ = reader.read_to_string(&mut rest);
+                stdout_rest.lock().expect("collector lock").push_str(&rest);
+            })
+        };
+        ServeProc {
+            child,
+            addr,
+            stdout_rest,
+            collector: Some(collector),
+        }
+    }
+
+    /// One HTTP exchange against this server.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        http_request(&self.addr, method, path, body)
+    }
+
+    /// Like [`ServeProc::request`] but panics on transport failure —
+    /// for exchanges the test expects to simply work.
+    pub fn exchange(&self, method: &str, path: &str, body: Option<&str>) -> HttpResponse {
+        self.request(method, path, body)
+            .unwrap_or_else(|e| panic!("{method} {path} failed: {e}"))
+    }
+
+    /// Sends SIGTERM (the supervisor's stop signal).
+    pub fn sigterm(&self) {
+        let status = Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .expect("kill runs");
+        assert!(status.success(), "kill -TERM failed");
+    }
+
+    /// Waits for exit; returns the exit code and the remaining stdout
+    /// (which carries the drain summary).
+    pub fn wait_exit(&mut self) -> (Option<i32>, String) {
+        let status = self.child.wait().expect("serve exits");
+        if let Some(collector) = self.collector.take() {
+            let _ = collector.join();
+        }
+        let rest = self.stdout_rest.lock().expect("collector lock").clone();
+        (status.code(), rest)
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        // Idempotent: killing an already-exited child just errors.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(collector) = self.collector.take() {
+            let _ = collector.join();
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Integration suite for `netart serve`: boots the real binary on an
+//! ephemeral port and drives it over real sockets. Covers the
+//! hardened-service contract end to end — lifecycle endpoints,
+//! content-addressed cache replays (byte-identical), single-flight
+//! coalescing, admission-control shedding under overload, deadline
+//! propagation into structured degraded responses, and the
+//! SIGTERM-drain exit path.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use common::{chain_inputs, diagram_request, scratch, write_lib, HttpResponse, ServeProc};
+use netart::obs::{Json, ServeReport, ServeStats};
+
+fn parse_report(response: &HttpResponse) -> ServeReport {
+    let doc = Json::parse(&response.body)
+        .unwrap_or_else(|e| panic!("response body is not JSON: {e}: {}", response.body));
+    ServeReport::from_json(&doc)
+        .unwrap_or_else(|e| panic!("response fails the serve schema: {e}: {}", response.body))
+}
+
+fn stats(server: &ServeProc) -> ServeStats {
+    let response = server.exchange("GET", "/stats", None);
+    assert_eq!(response.status, 200);
+    ServeStats::from_json(&Json::parse(&response.body).expect("stats body is JSON"))
+        .expect("stats body fits the schema")
+}
+
+#[test]
+fn lifecycle_and_rejection_endpoints_respond() {
+    let dir = scratch("lifecycle");
+    let server = ServeProc::start(&write_lib(&dir), &[]);
+
+    assert_eq!(server.exchange("GET", "/healthz", None).status, 200);
+    let ready = server.exchange("GET", "/readyz", None);
+    assert_eq!(ready.status, 200);
+    assert!(ready.body.contains("ready"));
+    assert_eq!(server.exchange("GET", "/stats", None).status, 200);
+
+    // Unknown endpoint and wrong method are diagnosed, not dropped.
+    assert_eq!(server.exchange("GET", "/nope", None).status, 404);
+    assert_eq!(server.exchange("GET", "/v1/diagram", None).status, 405);
+
+    // Protocol rejections: non-JSON body, JSON without the required
+    // members, and a doctor rejection (unknown module under the
+    // default strict policy).
+    let bad = server.exchange("POST", "/v1/diagram", Some("not json"));
+    assert_eq!(bad.status, 400);
+    let empty = server.exchange("POST", "/v1/diagram", Some("{}"));
+    assert_eq!(empty.status, 422);
+    let unknown_module = diagram_request("n0 u0 y\n", "u0 mystery\n", None).render_pretty();
+    let rejected = server.exchange("POST", "/v1/diagram", Some(&unknown_module));
+    assert_eq!(rejected.status, 422);
+    let report = parse_report(&rejected);
+    assert_eq!(report.status.as_str(), "failed");
+    assert!(report.error.is_some(), "rejection carries a message");
+
+    let after = stats(&server);
+    assert_eq!(after.requests, 3, "only POST /v1/diagram counts as a request");
+    assert_eq!(after.failed, 3);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn oversized_bodies_are_refused_with_413() {
+    let dir = scratch("toolarge");
+    let server = ServeProc::start(&write_lib(&dir), &["--max-body", "256"]);
+
+    let (net, cal, io) = chain_inputs(40);
+    let body = diagram_request(&net, &cal, Some(&io)).render_pretty();
+    assert!(body.len() > 256);
+    let response = server.exchange("POST", "/v1/diagram", Some(&body));
+    assert_eq!(response.status, 413);
+    assert_eq!(parse_report(&response).status.as_str(), "failed");
+
+    // The refusal happened at admission: the pipeline never ran and
+    // the server is still healthy.
+    let after = stats(&server);
+    assert_eq!(after.too_large, 1);
+    assert_eq!(after.requests, 0);
+    assert_eq!(server.exchange("GET", "/healthz", None).status, 200);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cache_replays_are_byte_identical() {
+    let dir = scratch("cache");
+    let server = ServeProc::start(&write_lib(&dir), &[]);
+
+    let (net, cal, io) = chain_inputs(6);
+    let body = diagram_request(&net, &cal, Some(&io)).render_pretty();
+
+    let first = server.exchange("POST", "/v1/diagram", Some(&body));
+    assert_eq!(first.status, 200, "{}", first.body);
+    let first = parse_report(&first);
+    assert_eq!(first.cache.as_str(), "miss");
+    assert!(!first.escher.is_empty() && !first.svg.is_empty());
+    assert!(first.report.is_some(), "run report is inline");
+
+    // A whitespace-respelled identical input must hit the cache and
+    // replay the artifacts byte for byte.
+    let respelled = net.replace('\n', "   \r\n");
+    let body2 = diagram_request(&respelled, &cal, Some(&io)).render_pretty();
+    let second = server.exchange("POST", "/v1/diagram", Some(&body2));
+    assert_eq!(second.status, 200);
+    let second = parse_report(&second);
+    assert_eq!(second.cache.as_str(), "hit");
+    assert_eq!(second.artifact, first.artifact);
+    assert_eq!(second.escher, first.escher, "byte-identical replay");
+    assert_eq!(second.svg, first.svg, "byte-identical replay");
+
+    // Different options address a different artifact: a miss.
+    let reordered = diagram_request(&net, &cal, Some(&io))
+        .with("options", Json::obj().with("order", "most"))
+        .render_pretty();
+    let third = parse_report(&server.exchange("POST", "/v1/diagram", Some(&reordered)));
+    assert_eq!(third.cache.as_str(), "miss");
+    assert_ne!(third.artifact, first.artifact);
+
+    let after = stats(&server);
+    assert_eq!(after.cache_hits, 1);
+    assert_eq!(after.cache_misses, 2);
+    assert!(after.cache_entries >= 2);
+    assert!(after.cache_bytes > 0);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn concurrent_identical_requests_compute_once() {
+    let dir = scratch("flight");
+    let server = ServeProc::start(&write_lib(&dir), &["--workers", "2"]);
+
+    let (net, cal, io) = chain_inputs(30);
+    let body = diagram_request(&net, &cal, Some(&io)).render_pretty();
+    let reports: Vec<ServeReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let body = &body;
+                let server = &server;
+                scope.spawn(move || {
+                    let response = server.exchange("POST", "/v1/diagram", Some(body));
+                    assert_eq!(response.status, 200, "{}", response.body);
+                    parse_report(&response)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    // Exactly one computation; everyone got byte-identical artifacts,
+    // whether they coalesced onto the flight or replayed the cache.
+    for r in &reports[1..] {
+        assert_eq!(r.artifact, reports[0].artifact);
+        assert_eq!(r.escher, reports[0].escher, "byte-identical across callers");
+        assert_eq!(r.svg, reports[0].svg);
+    }
+    let after = stats(&server);
+    assert_eq!(after.cache_misses, 1, "one leader computed");
+    assert_eq!(
+        after.coalesced + after.cache_hits,
+        3,
+        "the rest coalesced or hit the cache: {after:?}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn overload_sheds_with_429_and_the_server_survives() {
+    let dir = scratch("overload");
+    // One worker, queue depth one: the third concurrent distinct
+    // request must shed.
+    let server = ServeProc::start(&write_lib(&dir), &["--workers", "1", "--queue-depth", "1"]);
+
+    // Eight *distinct* heavy requests (coalescing would defeat the
+    // point) fired concurrently.
+    let bodies: Vec<String> = (0..8)
+        .map(|k| {
+            let (net, cal, io) = chain_inputs(60 + k);
+            diagram_request(&net, &cal, Some(&io)).render_pretty()
+        })
+        .collect();
+    let responses: Vec<HttpResponse> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bodies
+            .iter()
+            .map(|body| {
+                let server = &server;
+                scope.spawn(move || server.exchange("POST", "/v1/diagram", Some(body)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    let shed: Vec<&HttpResponse> = responses.iter().filter(|r| r.status == 429).collect();
+    assert!(!shed.is_empty(), "a saturated queue must shed");
+    for r in &shed {
+        assert!(r.has_header("Retry-After"), "shed responses say when to retry");
+        assert_eq!(parse_report(r).status.as_str(), "failed");
+    }
+    for r in &responses {
+        assert!(
+            r.status == 200 || r.status == 429,
+            "overload answers cleanly or sheds, got {}: {}",
+            r.status,
+            r.body
+        );
+    }
+
+    // The server took the overload without dying, and the ledger adds
+    // up: every request either resolved or shed.
+    let after = stats(&server);
+    assert_eq!(after.requests, 8);
+    assert_eq!(after.shed, shed.len() as u64);
+    assert_eq!(
+        after.clean + after.degraded + after.failed + after.shed,
+        8,
+        "{after:?}"
+    );
+    assert_eq!(server.exchange("GET", "/healthz", None).status, 200);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn deadline_breach_degrades_structurally_and_is_not_cached() {
+    let dir = scratch("deadline");
+    let server = ServeProc::start(&write_lib(&dir), &[]);
+
+    let (net, cal, io) = chain_inputs(60);
+    let body = diagram_request(&net, &cal, Some(&io))
+        .with("options", Json::obj().with("timeout_ms", 1u64))
+        .render_pretty();
+
+    let response = server.exchange("POST", "/v1/diagram", Some(&body));
+    assert_eq!(response.status, 200, "a deadline breach degrades, it does not fail");
+    let report = parse_report(&response);
+    assert_eq!(report.status.as_str(), "degraded");
+    assert!(!report.escher.is_empty(), "the truncated diagram is still emitted");
+    assert!(
+        response.body.contains("deadline_cancelled"),
+        "the degradation is named in the run report: {}",
+        response.body
+    );
+
+    // Timing-dependent results are never cached: the same request
+    // computes again instead of replaying a truncated artifact.
+    let again = parse_report(&server.exchange("POST", "/v1/diagram", Some(&body)));
+    assert_eq!(again.cache.as_str(), "miss");
+
+    let after = stats(&server);
+    assert!(after.deadline_cancelled >= 2, "{after:?}");
+    assert_eq!(after.cache_hits, 0);
+    assert_eq!(after.degraded, 2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn sigterm_flips_readiness_drains_and_exits_zero() {
+    let dir = scratch("sigterm");
+    let mut server = ServeProc::start(
+        &write_lib(&dir),
+        &["--workers", "1", "--drain-grace", "2000"],
+    );
+
+    // A completed request before the signal, so the drain summary has
+    // something to count.
+    let (net, cal, io) = chain_inputs(6);
+    let body = diagram_request(&net, &cal, Some(&io)).render_pretty();
+    assert_eq!(server.exchange("POST", "/v1/diagram", Some(&body)).status, 200);
+
+    // Hold one connection open across the signal: the server must
+    // keep answering health probes while it drains instead of
+    // slamming the door.
+    let held = std::net::TcpStream::connect(&server.addr).expect("held connection");
+
+    server.sigterm();
+
+    // Readiness flips within the drain window...
+    let deadline = Instant::now() + Duration::from_secs(3);
+    let flipped = loop {
+        match server.request("GET", "/readyz", None) {
+            Ok(r) if r.status == 503 => break true,
+            _ if Instant::now() > deadline => break false,
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    assert!(flipped, "readyz must answer 503 once draining");
+
+    // ...while liveness stays green and *new* work is refused with
+    // 503. (The input must be fresh: cached artifacts keep replaying
+    // during drain, by design.)
+    assert_eq!(server.exchange("GET", "/healthz", None).status, 200);
+    let (net2, cal2, io2) = chain_inputs(8);
+    let fresh = diagram_request(&net2, &cal2, Some(&io2)).render_pretty();
+    let refused = server.exchange("POST", "/v1/diagram", Some(&fresh));
+    assert_eq!(refused.status, 503);
+    assert_eq!(parse_report(&refused).status.as_str(), "failed");
+
+    drop(held);
+    let (code, rest) = server.wait_exit();
+    assert_eq!(code, Some(0), "a signal-driven drain is a clean exit");
+    assert!(
+        rest.contains("drained cleanly"),
+        "exit summary reports the drain: {rest:?}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

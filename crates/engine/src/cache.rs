@@ -1,0 +1,207 @@
+//! A byte-budgeted LRU cache for content-addressed artifacts.
+//!
+//! The server keys completed artifacts by a content hash of the
+//! normalized input plus options; this cache bounds how many of those
+//! artifacts stay resident. The budget is in *bytes* (the caller
+//! reports each entry's size), not entry count, so a few huge
+//! diagrams cannot OOM the process any more than many small ones can:
+//! inserting past the budget evicts least-recently-used entries until
+//! the total fits, and an entry larger than the whole budget is
+//! refused outright.
+//!
+//! All operations take one mutex; eviction is a deterministic
+//! oldest-stamp scan.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Mutex, PoisonError};
+
+struct Entry<V> {
+    value: V,
+    bytes: usize,
+    stamp: u64,
+}
+
+struct CacheState<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    bytes: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// Counters a cache accumulates over its lifetime, plus the current
+/// occupancy gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// `get` calls that found their key.
+    pub hits: u64,
+    /// `get` calls that did not.
+    pub misses: u64,
+    /// Entries accepted by `put`.
+    pub insertions: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// `put`s refused because one entry exceeded the whole budget.
+    pub rejected_oversize: u64,
+    /// Bytes resident right now.
+    pub bytes: usize,
+    /// Entries resident right now.
+    pub entries: usize,
+}
+
+/// A fixed-byte-budget LRU map. `V` must be cheap to clone — wrap
+/// large artifacts in an `Arc`.
+pub struct ByteCache<K: Eq + Hash + Clone, V: Clone> {
+    budget: usize,
+    state: Mutex<CacheState<K, V>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ByteCache<K, V> {
+    /// An empty cache holding at most `budget_bytes` of entries.
+    pub fn new(budget_bytes: usize) -> Self {
+        ByteCache {
+            budget: budget_bytes,
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                bytes: 0,
+                clock: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState<K, V>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut state = self.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        match state.entries.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = clock;
+                let value = entry.value.clone();
+                state.stats.hits += 1;
+                Some(value)
+            }
+            None => {
+                state.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value`, charging `bytes` against the budget and
+    /// evicting least-recently-used entries until the total fits.
+    /// Returns `false` when the entry alone exceeds the whole budget
+    /// (it is not stored — the cache can never hold more than its
+    /// budget, so it can never OOM the server).
+    pub fn put(&self, key: K, value: V, bytes: usize) -> bool {
+        let mut state = self.lock();
+        if bytes > self.budget {
+            state.stats.rejected_oversize += 1;
+            return false;
+        }
+        state.clock += 1;
+        let stamp = state.clock;
+        if let Some(old) = state.entries.insert(key, Entry { value, bytes, stamp }) {
+            state.bytes -= old.bytes;
+        }
+        state.bytes += bytes;
+        state.stats.insertions += 1;
+        while state.bytes > self.budget {
+            // Deterministic LRU: the smallest stamp is the coldest.
+            let Some(coldest) = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(evicted) = state.entries.remove(&coldest) {
+                state.bytes -= evicted.bytes;
+                state.stats.evictions += 1;
+            }
+        }
+        true
+    }
+
+    /// A snapshot of the counters and occupancy gauges.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.lock();
+        CacheStats {
+            bytes: state.bytes,
+            entries: state.entries.len(),
+            ..state.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_stats() {
+        let cache: ByteCache<&str, u32> = ByteCache::new(100);
+        assert_eq!(cache.get(&"a"), None);
+        assert!(cache.put("a", 1, 10));
+        assert_eq!(cache.get(&"a"), Some(1));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!((stats.bytes, stats.entries), (10, 1));
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let cache: ByteCache<&str, u32> = ByteCache::new(30);
+        assert!(cache.put("a", 1, 10));
+        assert!(cache.put("b", 2, 10));
+        assert!(cache.put("c", 3, 10));
+        // Touch `a` so `b` is now the coldest entry.
+        assert_eq!(cache.get(&"a"), Some(1));
+        assert!(cache.put("d", 4, 10));
+        assert_eq!(cache.get(&"b"), None, "the coldest entry was evicted");
+        assert_eq!(cache.get(&"a"), Some(1), "the refreshed entry survived");
+        assert_eq!(cache.get(&"c"), Some(3));
+        assert_eq!(cache.get(&"d"), Some(4));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.bytes <= 30, "never over budget: {}", stats.bytes);
+    }
+
+    #[test]
+    fn a_large_insert_evicts_several() {
+        let cache: ByteCache<&str, u32> = ByteCache::new(30);
+        assert!(cache.put("a", 1, 10));
+        assert!(cache.put("b", 2, 10));
+        assert!(cache.put("c", 3, 25));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 2, "both cold entries had to go");
+        assert_eq!(stats.entries, 1);
+        assert_eq!(cache.get(&"c"), Some(3));
+    }
+
+    #[test]
+    fn oversized_entries_are_refused() {
+        let cache: ByteCache<&str, u32> = ByteCache::new(10);
+        assert!(!cache.put("huge", 1, 11));
+        assert_eq!(cache.get(&"huge"), None);
+        let stats = cache.stats();
+        assert_eq!(stats.rejected_oversize, 1);
+        assert_eq!(stats.insertions, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_charging() {
+        let cache: ByteCache<&str, u32> = ByteCache::new(100);
+        assert!(cache.put("a", 1, 40));
+        assert!(cache.put("a", 2, 60));
+        let stats = cache.stats();
+        assert_eq!(stats.bytes, 60, "the old entry's bytes were released");
+        assert_eq!(cache.get(&"a"), Some(2));
+    }
+}

@@ -1,0 +1,255 @@
+//! Single-flight deduplication.
+//!
+//! When N identical requests arrive concurrently, exactly one of them
+//! (the *leader*) runs the expensive computation; the others (the
+//! *followers*) block on the leader's flight and receive a clone of
+//! its result — byte-identical artifacts for free. The flight is
+//! removed once the leader publishes, so a *later* identical request
+//! recomputes (a cache in front of the flight handles reuse over
+//! time; this type only collapses *concurrent* duplicates).
+//!
+//! Panic safety: a leader that unwinds marks its flight abandoned and
+//! wakes every follower, each of which loops back and competes to
+//! lead a fresh flight — nobody hangs on a dead leader.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+enum FlightState<V> {
+    Pending,
+    Done(V),
+    Abandoned,
+}
+
+struct FlightSlot<V> {
+    state: Mutex<FlightState<V>>,
+    done: Condvar,
+}
+
+impl<V> FlightSlot<V> {
+    fn new() -> Self {
+        FlightSlot {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, state: FlightState<V>) {
+        *self.state.lock().unwrap_or_else(PoisonError::into_inner) = state;
+        self.done.notify_all();
+    }
+}
+
+/// A keyed single-flight group. `V` must be cheap to clone — wrap
+/// large artifacts in an `Arc`.
+pub struct SingleFlight<K: Eq + Hash + Clone, V: Clone> {
+    flights: Mutex<HashMap<K, Arc<FlightSlot<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+/// Removes the leader's flight on unwind so followers re-compete
+/// instead of waiting forever.
+struct LeaderGuard<'a, K: Eq + Hash + Clone, V: Clone> {
+    group: &'a SingleFlight<K, V>,
+    key: &'a K,
+    slot: Arc<FlightSlot<V>>,
+    published: bool,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for LeaderGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.group.remove(self.key);
+            self.slot.publish(FlightState::Abandoned);
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
+    /// An empty group.
+    pub fn new() -> Self {
+        SingleFlight {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn remove(&self, key: &K) {
+        self.flights
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(key);
+    }
+
+    /// Runs `compute` under single-flight semantics for `key`.
+    ///
+    /// Returns the value and whether *this* call led the flight
+    /// (`false` means the result was coalesced from a concurrent
+    /// leader). A leader panic propagates to the leader's caller;
+    /// followers of an abandoned flight retry leadership.
+    pub fn run<F: FnOnce() -> V>(&self, key: &K, compute: F) -> (V, bool) {
+        let mut compute = Some(compute);
+        loop {
+            let (slot, leads) = {
+                let mut flights = self.flights.lock().unwrap_or_else(PoisonError::into_inner);
+                match flights.get(key) {
+                    Some(slot) => (Arc::clone(slot), false),
+                    None => {
+                        let slot = Arc::new(FlightSlot::new());
+                        flights.insert(key.clone(), Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+            if leads {
+                let mut guard = LeaderGuard {
+                    group: self,
+                    key,
+                    slot: Arc::clone(&slot),
+                    published: false,
+                };
+                // `expect` is unreachable: `compute` is taken at most
+                // once per loop, and a leader always returns.
+                let compute = compute.take().expect("single-flight leader runs once");
+                let value = compute(); // may unwind → guard abandons the flight
+                self.remove(key);
+                slot.publish(FlightState::Done(value.clone()));
+                guard.published = true;
+                drop(guard);
+                return (value, true);
+            }
+            let mut state = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                match &*state {
+                    FlightState::Done(value) => return (value.clone(), false),
+                    FlightState::Abandoned => break, // compete for a fresh flight
+                    FlightState::Pending => {
+                        state = slot.done.wait(state).unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flights currently pending (an observability gauge).
+    pub fn in_flight(&self) -> usize {
+        self.flights
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn n_concurrent_callers_one_compute_identical_values() {
+        const N: usize = 8;
+        let flight: Arc<SingleFlight<String, Arc<String>>> = Arc::new(SingleFlight::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Barrier::new(N));
+        let key = "the-key".to_owned();
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let flight = Arc::clone(&flight);
+                let computes = Arc::clone(&computes);
+                let gate = Arc::clone(&gate);
+                let key = key.clone();
+                std::thread::spawn(move || {
+                    gate.wait();
+                    flight.run(&key, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Stay in flight long enough for every waiting
+                        // thread to coalesce rather than re-lead.
+                        std::thread::sleep(Duration::from_millis(100));
+                        Arc::new("artifact-bytes".to_owned())
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<(Arc<String>, bool)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one compute");
+        assert_eq!(results.iter().filter(|(_, led)| *led).count(), 1);
+        let leader_value = &results.iter().find(|(_, led)| *led).unwrap().0;
+        for (value, _) in &results {
+            assert!(
+                Arc::ptr_eq(value, leader_value),
+                "followers share the leader's artifact allocation"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let flight: SingleFlight<u32, u32> = SingleFlight::new();
+        let (a, led_a) = flight.run(&1, || 10);
+        let (b, led_b) = flight.run(&2, || 20);
+        assert_eq!((a, b), (10, 20));
+        assert!(led_a && led_b);
+        assert_eq!(flight.in_flight(), 0, "completed flights are removed");
+    }
+
+    #[test]
+    fn sequential_calls_recompute() {
+        let flight: SingleFlight<u32, u32> = SingleFlight::new();
+        let computes = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let (v, led) = flight.run(&7, || {
+                computes.fetch_add(1, Ordering::SeqCst);
+                42
+            });
+            assert_eq!(v, 42);
+            assert!(led, "no concurrency, so every call leads");
+        }
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            3,
+            "single-flight collapses concurrent calls only; reuse is the cache's job"
+        );
+    }
+
+    #[test]
+    fn abandoned_flight_does_not_hang_followers() {
+        let flight: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let gate = Arc::new(Barrier::new(2));
+        let leader = {
+            let flight = Arc::clone(&flight);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    flight.run(&1, || {
+                        gate.wait();
+                        std::thread::sleep(Duration::from_millis(50));
+                        panic!("leader dies mid-flight");
+                    })
+                }));
+                assert!(result.is_err(), "the leader's own panic propagates");
+            })
+        };
+        let follower = {
+            let flight = Arc::clone(&flight);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.wait();
+                // Joins the doomed flight (or, if it lost the race,
+                // simply leads a fresh one) — either way it finishes.
+                flight.run(&1, || 99)
+            })
+        };
+        leader.join().unwrap();
+        let (value, _) = follower.join().unwrap();
+        assert_eq!(value, 99, "the follower recovered by leading a retry");
+        assert_eq!(flight.in_flight(), 0);
+    }
+}

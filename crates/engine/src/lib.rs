@@ -28,18 +28,24 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod cache;
+mod flight;
 mod queue;
+mod service;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use netart_obs::{BatchManifest, JobRecord, JobStatus};
+use netart_obs::{BatchManifest, JobRecord, JobStatus, QuarantineReport};
 pub use netart_route::CancelToken;
 use tracing::{debug, warn};
 
-pub use queue::BoundedQueue;
+pub use cache::{ByteCache, CacheStats};
+pub use flight::SingleFlight;
+pub use queue::{BoundedQueue, TryPushError};
+pub use service::{Service, ServiceConfig, SubmitError, Ticket, TicketOutcome};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -303,6 +309,7 @@ fn skipped_record(input: &str) -> JobRecord {
         duration_ns: 0,
         degradations: 0,
         error: None,
+        quarantine: None,
         report: None,
     }
 }
@@ -429,15 +436,20 @@ where
         attempts = attempts as u64,
         error = last_error.as_str(),
     );
-    finish(
+    let mut record = finish(
         input,
         JobStatus::Quarantined,
         attempts,
         started,
         0,
-        Some(last_error),
+        Some(last_error.clone()),
         None,
-    )
+    );
+    record.quarantine = Some(QuarantineReport {
+        after_attempts: attempts,
+        symptom: last_error,
+    });
+    record
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -457,6 +469,7 @@ fn finish(
         duration_ns: started.elapsed().as_nanos() as u64,
         degradations,
         error,
+        quarantine: None,
         report,
     }
 }
@@ -558,6 +571,9 @@ mod tests {
         assert_eq!(poison.status, JobStatus::Quarantined);
         assert_eq!(poison.attempts, 3);
         assert_eq!(poison.error.as_deref(), Some("always broken"));
+        let quarantine = poison.quarantine.as_ref().expect("breaker context recorded");
+        assert_eq!(quarantine.after_attempts, 3);
+        assert_eq!(quarantine.symptom, "always broken");
         let fine = manifest.jobs.iter().find(|j| j.input == "fine").unwrap();
         assert_eq!(fine.status, JobStatus::Ok, "poison does not starve the batch");
         assert_eq!(manifest.exit_code(), 2);

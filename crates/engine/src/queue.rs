@@ -14,6 +14,16 @@ struct State<T> {
     closed: bool,
 }
 
+/// Why a [`BoundedQueue::try_push`] did not enqueue; the item comes
+/// back in either case.
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity — shed the load.
+    Full(T),
+    /// The queue is closed (draining) — stop admitting.
+    Closed(T),
+}
+
 /// A fixed-capacity multi-producer/multi-consumer queue.
 pub struct BoundedQueue<T> {
     capacity: usize,
@@ -81,6 +91,34 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Enqueues `item` without blocking — the load-shedding admission
+    /// path of `netart serve`. A full or closed queue hands the item
+    /// back immediately instead of queueing unboundedly; the caller
+    /// turns that into a `429`/`503`.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Items currently queued (racy the instant the lock drops — an
+    /// observability gauge, not a synchronisation primitive).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is empty right now (same caveat as [`len`](BoundedQueue::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Dequeues without blocking; `None` when empty (closed or not).
     pub fn try_pop(&self) -> Option<T> {
         let mut state = self.lock();
@@ -138,6 +176,19 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         producer.join().unwrap().unwrap();
         assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn try_push_sheds_instead_of_blocking() {
+        let q = BoundedQueue::new(1);
+        assert!(q.try_push(1).is_ok());
+        assert!(matches!(q.try_push(2), Err(TryPushError::Full(2))));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.is_empty());
+        assert!(q.try_push(3).is_ok(), "capacity freed by the pop");
+        q.close();
+        assert!(matches!(q.try_push(4), Err(TryPushError::Closed(4))));
     }
 
     #[test]

@@ -69,6 +69,13 @@ pub mod sites {
     pub const ENGINE_JOB: &str = "engine.job";
     /// Batch engine: manifest aggregation/serialisation.
     pub const ENGINE_MANIFEST: &str = "engine.manifest";
+    /// Serve: one hit per admitted request, fired inside the worker's
+    /// `catch_unwind` before the pipeline (a panicking request must
+    /// come back as a `500`, never kill the listener).
+    pub const SERVE_REQUEST: &str = "serve.request";
+    /// Serve: the artifact-cache lookup/insert path (a cache fault
+    /// must degrade to a recompute, never break the response).
+    pub const SERVE_CACHE: &str = "serve.cache";
 
     /// Every site, for sweeps and spec validation.
     pub const ALL: &[&str] = &[
@@ -85,6 +92,8 @@ pub mod sites {
         EMIT_ESCHER,
         ENGINE_JOB,
         ENGINE_MANIFEST,
+        SERVE_REQUEST,
+        SERVE_CACHE,
     ];
 }
 

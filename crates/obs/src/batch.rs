@@ -63,6 +63,20 @@ impl JobStatus {
     }
 }
 
+/// Why the circuit breaker quarantined a job: which symptom burned
+/// the final attempt, and how many attempts it took to trip. Present
+/// exactly on [`JobStatus::Quarantined`] records, so batch and serve
+/// consumers can report breaker decisions without re-deriving them
+/// from free-text errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Attempts burned before the breaker tripped.
+    pub after_attempts: u32,
+    /// The transient symptom of the final attempt (panic message,
+    /// injected fault, budget exhaustion, …).
+    pub symptom: String,
+}
+
 /// One input's journey through the batch engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
@@ -79,6 +93,8 @@ pub struct JobRecord {
     pub degradations: usize,
     /// The last failure message, for failed/quarantined jobs.
     pub error: Option<String>,
+    /// The breaker's decision context, for quarantined jobs.
+    pub quarantine: Option<QuarantineReport>,
     /// The final attempt's run report, when the pipeline produced one.
     pub report: Option<RunReport>,
 }
@@ -171,6 +187,14 @@ impl BatchManifest {
                         .with("duration_ns", j.duration_ns)
                         .with("degradations", j.degradations)
                         .with("error", j.error.as_deref().map(Json::from))
+                        .with(
+                            "quarantine",
+                            j.quarantine.as_ref().map(|q| {
+                                Json::obj()
+                                    .with("after_attempts", q.after_attempts)
+                                    .with("symptom", q.symptom.as_str())
+                            }),
+                        )
                         .with("report", j.report.as_ref().map(RunReport::to_json))
                 })
                 .collect(),
@@ -236,6 +260,20 @@ impl BatchManifest {
                     degradations: j.get("degradations").and_then(Json::as_u64).unwrap_or(0)
                         as usize,
                     error: j.get("error").and_then(Json::as_str).map(str::to_owned),
+                    quarantine: j.get("quarantine").and_then(|q| {
+                        q.as_obj()?;
+                        Some(QuarantineReport {
+                            after_attempts: q
+                                .get("after_attempts")
+                                .and_then(Json::as_u64)
+                                .unwrap_or(0) as u32,
+                            symptom: q
+                                .get("symptom")
+                                .and_then(Json::as_str)
+                                .unwrap_or_default()
+                                .to_owned(),
+                        })
+                    }),
                     report,
                 });
             }
@@ -288,6 +326,10 @@ mod tests {
                     duration_ns: 500,
                     degradations: 0,
                     error: Some("injected panic".into()),
+                    quarantine: Some(QuarantineReport {
+                        after_attempts: 3,
+                        symptom: "injected panic".into(),
+                    }),
                     report: None,
                 },
                 JobRecord {
@@ -297,6 +339,7 @@ mod tests {
                     duration_ns: 900,
                     degradations: 0,
                     error: None,
+                    quarantine: None,
                     report: Some(RunReport {
                         tool: "netart".into(),
                         is_clean: true,
@@ -331,6 +374,7 @@ mod tests {
                 duration_ns: 1,
                 degradations: 0,
                 error: None,
+                quarantine: None,
                 report: None,
             }],
         );

@@ -30,16 +30,20 @@ mod batch;
 pub mod json;
 mod metrics;
 mod report;
+mod serve;
 mod subscribe;
 mod trace;
 
 pub use baseline::{DiffConfig, DiffEntry, DiffSeverity, ReportDiff};
-pub use batch::{BatchManifest, BatchSummary, JobRecord, JobStatus, BATCH_SCHEMA_VERSION};
+pub use batch::{
+    BatchManifest, BatchSummary, JobRecord, JobStatus, QuarantineReport, BATCH_SCHEMA_VERSION,
+};
 pub use json::{Json, JsonParseError};
 pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot};
 pub use report::{
     DegradationReport, NetReport, NetworkReport, PhaseReport, QualityReport, RunReport,
     SCHEMA_VERSION,
 };
+pub use serve::{CacheOutcome, ServeReport, ServeStats, ServeStatus, SERVE_SCHEMA_VERSION};
 pub use subscribe::{FanoutSubscriber, JsonLinesSubscriber, TextSubscriber};
 pub use trace::{TraceBuffer, TraceEvent, TraceEventSubscriber};

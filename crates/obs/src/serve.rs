@@ -1,0 +1,370 @@
+//! The machine-readable serve response schema.
+//!
+//! `netart serve` answers every diagram request with a
+//! [`ServeReport`]: the artifact id and bodies, how the cache treated
+//! the request, and the same status taxonomy the CLI's exit codes
+//! carry (`clean`/`degraded`/`failed` mirroring exit `0`/`2`/`1`),
+//! with the pipeline's full [`RunReport`] inline. Like the run report
+//! and batch manifest, the shape is versioned and additions are
+//! allowed within a version; renames and removals require a bump.
+//!
+//! [`ServeStats`] is the `/stats` endpoint's body: the service's
+//! lifetime counters (sheds, cache hits, coalesced requests, panics
+//! contained) plus point-in-time gauges. Counters are cumulative and
+//! monotone; gauges are racy snapshots.
+
+use crate::json::Json;
+use crate::report::RunReport;
+
+/// Version of the serve response shape. Bump when members are
+/// renamed, removed, or change meaning.
+pub const SERVE_SCHEMA_VERSION: u32 = 1;
+
+/// The response-level status taxonomy, mirroring the CLI exit codes:
+/// clean run → `0`, degraded-but-emitted → `2`, failed → `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeStatus {
+    /// The pipeline ran clean; artifacts are present.
+    Clean,
+    /// The pipeline emitted artifacts but needed fallbacks (salvage,
+    /// doctor repairs, a deadline cancellation mid-route, …).
+    Degraded,
+    /// No artifacts: the input was rejected or the pipeline failed.
+    Failed,
+}
+
+impl ServeStatus {
+    /// The status as its response string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ServeStatus::Clean => "clean",
+            ServeStatus::Degraded => "degraded",
+            ServeStatus::Failed => "failed",
+        }
+    }
+
+    /// Parses a response status string.
+    pub fn parse(s: &str) -> Option<ServeStatus> {
+        match s {
+            "clean" => Some(ServeStatus::Clean),
+            "degraded" => Some(ServeStatus::Degraded),
+            "failed" => Some(ServeStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// How the artifact cache treated one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the cache without recomputing.
+    Hit,
+    /// Computed fresh (and, when cacheable, inserted).
+    Miss,
+    /// Coalesced onto a concurrent identical request's computation
+    /// (single-flight follower).
+    Coalesced,
+}
+
+impl CacheOutcome {
+    /// The outcome as its response string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Coalesced => "coalesced",
+        }
+    }
+
+    /// Parses a response cache-outcome string.
+    pub fn parse(s: &str) -> Option<CacheOutcome> {
+        match s {
+            "hit" => Some(CacheOutcome::Hit),
+            "miss" => Some(CacheOutcome::Miss),
+            "coalesced" => Some(CacheOutcome::Coalesced),
+            _ => None,
+        }
+    }
+}
+
+/// One diagram request's response body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Response status (`clean`/`degraded`/`failed`).
+    pub status: ServeStatus,
+    /// How the cache treated the request.
+    pub cache: CacheOutcome,
+    /// The content address of the artifact: a stable hash of the
+    /// doctored-normalized input plus the rendering options. Two
+    /// requests with the same artifact id receive byte-identical
+    /// bodies. Empty on failed requests.
+    pub artifact: String,
+    /// The ESCHER diagram text. Empty on failed requests.
+    pub escher: String,
+    /// The SVG rendering. Empty on failed requests.
+    pub svg: String,
+    /// The failure message, for failed requests.
+    pub error: Option<String>,
+    /// The pipeline's run report, when one was produced.
+    pub report: Option<RunReport>,
+}
+
+impl ServeReport {
+    /// A failed response carrying only an error message.
+    pub fn failure(message: impl Into<String>) -> Self {
+        ServeReport {
+            status: ServeStatus::Failed,
+            cache: CacheOutcome::Miss,
+            artifact: String::new(),
+            escher: String::new(),
+            svg: String::new(),
+            error: Some(message.into()),
+            report: None,
+        }
+    }
+
+    /// The response as a JSON tree.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("schema_version", SERVE_SCHEMA_VERSION)
+            .with("status", self.status.as_str())
+            .with("cache", self.cache.as_str())
+            .with("artifact", self.artifact.as_str())
+            .with("escher", self.escher.as_str())
+            .with("svg", self.svg.as_str())
+            .with("error", self.error.as_deref().map(Json::from))
+            .with("report", self.report.as_ref().map(RunReport::to_json))
+    }
+
+    /// The rendered JSON document (one response body).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Reads a response back from its [`ServeReport::to_json`] shape.
+    pub fn from_json(json: &Json) -> Result<ServeReport, String> {
+        if json.as_obj().is_none() {
+            return Err("serve report is not a JSON object".to_owned());
+        }
+        let version = json
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing schema_version".to_owned())?;
+        if version != u64::from(SERVE_SCHEMA_VERSION) {
+            return Err(format!(
+                "unsupported schema_version {version} (this build reads {SERVE_SCHEMA_VERSION})"
+            ));
+        }
+        let status_str = json.get("status").and_then(Json::as_str).unwrap_or_default();
+        let status = ServeStatus::parse(status_str)
+            .ok_or_else(|| format!("unknown serve status {status_str:?}"))?;
+        let cache_str = json.get("cache").and_then(Json::as_str).unwrap_or_default();
+        let cache = CacheOutcome::parse(cache_str)
+            .ok_or_else(|| format!("unknown cache outcome {cache_str:?}"))?;
+        let report = match json.get("report") {
+            Some(Json::Null) | None => None,
+            Some(r) => Some(RunReport::from_json(r)?),
+        };
+        Ok(ServeReport {
+            status,
+            cache,
+            artifact: json
+                .get("artifact")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            escher: json
+                .get("escher")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            svg: json
+                .get("svg")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            error: json.get("error").and_then(Json::as_str).map(str::to_owned),
+            report,
+        })
+    }
+}
+
+/// The `/stats` endpoint's body: lifetime counters and current
+/// gauges of one serve process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests that reached admission (every `POST /v1/diagram`).
+    pub requests: u64,
+    /// Responses per status.
+    pub clean: u64,
+    /// See [`ServeStatus::Degraded`].
+    pub degraded: u64,
+    /// See [`ServeStatus::Failed`].
+    pub failed: u64,
+    /// Requests shed with `429` because the queue was full.
+    pub shed: u64,
+    /// Requests refused with `413` for an oversized body.
+    pub too_large: u64,
+    /// Requests refused with `503` during drain.
+    pub drain_rejects: u64,
+    /// Requests whose deadline cancelled the pipeline mid-run.
+    pub deadline_cancelled: u64,
+    /// Requests whose handler panicked (contained, answered `500`).
+    pub panics: u64,
+    /// Artifact-cache hits.
+    pub cache_hits: u64,
+    /// Artifact-cache misses (fresh computes).
+    pub cache_misses: u64,
+    /// Requests coalesced onto a concurrent identical computation.
+    pub coalesced: u64,
+    /// Artifact-cache bytes resident (gauge).
+    pub cache_bytes: u64,
+    /// Artifact-cache entries resident (gauge).
+    pub cache_entries: u64,
+    /// Requests executing right now (gauge).
+    pub in_flight: u64,
+    /// Requests admitted but not yet started (gauge).
+    pub queued: u64,
+}
+
+impl ServeStats {
+    /// The stats as a JSON tree.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("schema_version", SERVE_SCHEMA_VERSION)
+            .with("requests", self.requests)
+            .with("clean", self.clean)
+            .with("degraded", self.degraded)
+            .with("failed", self.failed)
+            .with("shed", self.shed)
+            .with("too_large", self.too_large)
+            .with("drain_rejects", self.drain_rejects)
+            .with("deadline_cancelled", self.deadline_cancelled)
+            .with("panics", self.panics)
+            .with("cache_hits", self.cache_hits)
+            .with("cache_misses", self.cache_misses)
+            .with("coalesced", self.coalesced)
+            .with("cache_bytes", self.cache_bytes)
+            .with("cache_entries", self.cache_entries)
+            .with("in_flight", self.in_flight)
+            .with("queued", self.queued)
+    }
+
+    /// The rendered JSON document (the `/stats` body).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Reads stats back from their [`ServeStats::to_json`] shape
+    /// (missing counters read as zero, so additions stay compatible).
+    pub fn from_json(json: &Json) -> Result<ServeStats, String> {
+        if json.as_obj().is_none() {
+            return Err("serve stats is not a JSON object".to_owned());
+        }
+        let field = |name: &str| json.get(name).and_then(Json::as_u64).unwrap_or(0);
+        Ok(ServeStats {
+            requests: field("requests"),
+            clean: field("clean"),
+            degraded: field("degraded"),
+            failed: field("failed"),
+            shed: field("shed"),
+            too_large: field("too_large"),
+            drain_rejects: field("drain_rejects"),
+            deadline_cancelled: field("deadline_cancelled"),
+            panics: field("panics"),
+            cache_hits: field("cache_hits"),
+            cache_misses: field("cache_misses"),
+            coalesced: field("coalesced"),
+            cache_bytes: field("cache_bytes"),
+            cache_entries: field("cache_entries"),
+            in_flight: field("in_flight"),
+            queued: field("queued"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeReport {
+        ServeReport {
+            status: ServeStatus::Degraded,
+            cache: CacheOutcome::Miss,
+            artifact: "a1b2c3d4e5f60718".to_owned(),
+            escher: "module top 10 10\n".to_owned(),
+            svg: "<svg/>".to_owned(),
+            error: None,
+            report: Some(RunReport {
+                tool: "netart".to_owned(),
+                is_clean: false,
+                ..RunReport::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let original = sample();
+        let text = original.to_json_string();
+        let parsed = Json::parse(&text).expect("rendered report parses");
+        let read_back = ServeReport::from_json(&parsed).expect("report reads back");
+        assert_eq!(read_back, original);
+        assert_eq!(read_back.to_json_string(), text, "roundtrip is byte-stable");
+    }
+
+    #[test]
+    fn failure_report_is_failed_with_empty_artifacts() {
+        let r = ServeReport::failure("doctor rejected the netlist");
+        assert_eq!(r.status, ServeStatus::Failed);
+        assert!(r.artifact.is_empty() && r.escher.is_empty() && r.svg.is_empty());
+        let text = r.to_json_string();
+        let read_back = ServeReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(read_back, r);
+    }
+
+    #[test]
+    fn unknown_status_and_version_are_errors() {
+        let bad = Json::parse(r#"{"schema_version":99}"#).unwrap();
+        assert!(ServeReport::from_json(&bad).unwrap_err().contains("schema_version"));
+        let bad =
+            Json::parse(r#"{"schema_version":1,"status":"exploded","cache":"hit"}"#).unwrap();
+        assert!(ServeReport::from_json(&bad).unwrap_err().contains("exploded"));
+        let bad =
+            Json::parse(r#"{"schema_version":1,"status":"clean","cache":"warmish"}"#).unwrap();
+        assert!(ServeReport::from_json(&bad).unwrap_err().contains("warmish"));
+    }
+
+    #[test]
+    fn status_and_cache_strings_roundtrip() {
+        for s in [ServeStatus::Clean, ServeStatus::Degraded, ServeStatus::Failed] {
+            assert_eq!(ServeStatus::parse(s.as_str()), Some(s));
+        }
+        for c in [CacheOutcome::Hit, CacheOutcome::Miss, CacheOutcome::Coalesced] {
+            assert_eq!(CacheOutcome::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(ServeStatus::parse("nope"), None);
+        assert_eq!(CacheOutcome::parse("nope"), None);
+    }
+
+    #[test]
+    fn stats_roundtrip_with_missing_fields_reading_zero() {
+        let stats = ServeStats {
+            requests: 10,
+            clean: 6,
+            degraded: 2,
+            failed: 1,
+            shed: 1,
+            cache_hits: 4,
+            coalesced: 3,
+            ..ServeStats::default()
+        };
+        let read_back =
+            ServeStats::from_json(&Json::parse(&stats.to_json_string()).unwrap()).unwrap();
+        assert_eq!(read_back, stats);
+        let sparse = Json::parse(r#"{"schema_version":1,"requests":3}"#).unwrap();
+        let read_back = ServeStats::from_json(&sparse).unwrap();
+        assert_eq!(read_back.requests, 3);
+        assert_eq!(read_back.shed, 0, "missing counters read as zero");
+    }
+}

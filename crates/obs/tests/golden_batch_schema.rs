@@ -9,7 +9,7 @@
 
 use std::path::PathBuf;
 
-use netart_obs::{BatchManifest, JobRecord, JobStatus, RunReport};
+use netart_obs::{BatchManifest, JobRecord, JobStatus, QuarantineReport, RunReport};
 
 /// A manifest exercising every member of the schema with fixed values.
 fn exemplar() -> BatchManifest {
@@ -25,6 +25,7 @@ fn exemplar() -> BatchManifest {
                 duration_ns: 1_000,
                 degradations: 0,
                 error: None,
+                quarantine: None,
                 report: Some(RunReport {
                     tool: "netart".to_owned(),
                     is_clean: true,
@@ -38,6 +39,7 @@ fn exemplar() -> BatchManifest {
                 duration_ns: 2_000,
                 degradations: 2,
                 error: None,
+                quarantine: None,
                 report: Some(RunReport {
                     tool: "netart".to_owned(),
                     is_clean: false,
@@ -51,6 +53,10 @@ fn exemplar() -> BatchManifest {
                 duration_ns: 3_000,
                 degradations: 0,
                 error: Some("injected panic at engine.job".to_owned()),
+                quarantine: Some(QuarantineReport {
+                    after_attempts: 3,
+                    symptom: "injected panic at engine.job".to_owned(),
+                }),
                 report: None,
             },
             JobRecord {
@@ -60,6 +66,7 @@ fn exemplar() -> BatchManifest {
                 duration_ns: 500,
                 degradations: 0,
                 error: Some("parse error: line 3: unknown template".to_owned()),
+                quarantine: None,
                 report: None,
             },
             JobRecord {
@@ -69,6 +76,7 @@ fn exemplar() -> BatchManifest {
                 duration_ns: 0,
                 degradations: 0,
                 error: None,
+                quarantine: None,
                 report: None,
             },
         ],

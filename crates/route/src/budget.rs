@@ -90,6 +90,16 @@ impl Budget {
         self
     }
 
+    /// Clamps the wall-clock limit to at most `ceiling`: an unlimited
+    /// budget becomes `ceiling`, a larger limit shrinks to it, a
+    /// smaller one is untouched. This is how a server-side deadline
+    /// ceiling caps whatever a request asked for without ever
+    /// *extending* a stricter per-net budget.
+    pub fn with_time_ceiling(mut self, ceiling: Duration) -> Self {
+        self.time = Some(self.time.map_or(ceiling, |t| t.min(ceiling)));
+        self
+    }
+
     /// Whether neither limit is set.
     pub fn is_unlimited(&self) -> bool {
         self.time.is_none() && self.nodes.is_none()
@@ -316,6 +326,28 @@ mod tests {
         assert_eq!(b.time, Some(Duration::from_millis(200)));
         assert_eq!(b.nodes, Some(4000));
         assert!(Budget::UNLIMITED.scaled(4).is_unlimited());
+    }
+
+    #[test]
+    fn time_ceiling_caps_without_extending() {
+        let unlimited = Budget::new().with_time_ceiling(Duration::from_millis(100));
+        assert_eq!(unlimited.time, Some(Duration::from_millis(100)));
+        let looser = Budget::new()
+            .with_time_limit(Duration::from_secs(5))
+            .with_time_ceiling(Duration::from_millis(100));
+        assert_eq!(looser.time, Some(Duration::from_millis(100)));
+        let stricter = Budget::new()
+            .with_time_limit(Duration::from_millis(10))
+            .with_time_ceiling(Duration::from_millis(100));
+        assert_eq!(
+            stricter.time,
+            Some(Duration::from_millis(10)),
+            "a ceiling never loosens an existing limit"
+        );
+        let node_only = Budget::new()
+            .with_node_limit(7)
+            .with_time_ceiling(Duration::from_millis(100));
+        assert_eq!(node_only.nodes, Some(7), "node cap untouched");
     }
 
     #[test]

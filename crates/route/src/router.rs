@@ -716,6 +716,12 @@ impl Eureka {
             };
             if ok {
                 for (v, _) in &saved {
+                    // A cancelled run must not keep rerouting victims;
+                    // failing here rolls everything back below.
+                    if self.cancelled() {
+                        ok = false;
+                        break;
+                    }
                     let mut meter = self.meter(ripup_budget);
                     let routed = self.route_net(diagram, network, map, *v, &mut meter);
                     nodes_spent += meter.spent();
@@ -754,12 +760,17 @@ impl Eureka {
         } else {
             escalated
         };
-        let (lee_ok, lee_nodes) =
-            if matches!(lee_inject, Some(FaultKind::Error | FaultKind::GarbageOutput)) {
-                (false, 0)
-            } else {
-                self.lee_fallback(diagram, network, map, net, lee_budget)
-            };
+        // The Lee stage is skipped outright on a cancelled run — the
+        // net goes straight to its ghost wire so salvage ends within
+        // one poll stride of the cancellation instead of starting
+        // another escalated maze search.
+        let (lee_ok, lee_nodes) = if self.cancelled()
+            || matches!(lee_inject, Some(FaultKind::Error | FaultKind::GarbageOutput))
+        {
+            (false, 0)
+        } else {
+            self.lee_fallback(diagram, network, map, net, lee_budget)
+        };
         nodes_spent += lee_nodes;
         if lee_ok {
             return (SalvageStep::LeeFallback, nodes_spent, ripup_victims);

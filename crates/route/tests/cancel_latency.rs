@@ -1,0 +1,116 @@
+//! Cancellation-latency tests: a cancelled route must return
+//! *quickly*, not merely eventually. The serve deadline contract
+//! depends on this — the watchdog trips a request's token and expects
+//! the router to surface within a small bound even if the run is in
+//! the middle of the salvage cascade (rip-up retry, Lee fallback).
+
+use std::time::{Duration, Instant};
+
+use netart_diagram::Diagram;
+use netart_place::{Pablo, PlaceConfig};
+use netart_route::{CancelToken, Eureka, RouteConfig};
+use netart_workloads::{random_network, string_chain, RandomSpec};
+
+/// The router must surface within this long of the token tripping.
+/// Generous for CI machines; the point is "milliseconds, not the
+/// seconds an escalated salvage budget would allow".
+const LATENCY_BOUND: Duration = Duration::from_secs(2);
+
+/// A congested workload where salvage genuinely runs: many nets with
+/// fanout over few modules, placed tightly.
+fn congested_diagram() -> Diagram {
+    let net = random_network(&RandomSpec {
+        modules: 10,
+        nets: 16,
+        max_fanout: 3,
+        system_terminals: 2,
+        seed: 7,
+    });
+    let placement = Pablo::new(PlaceConfig::strings().with_module_spacing(1)).place(&net);
+    Diagram::new(net, placement)
+}
+
+#[test]
+fn mid_run_cancellation_returns_within_the_bound() {
+    let mut diagram = congested_diagram();
+    let token = CancelToken::new();
+    let mut config = RouteConfig::default().with_cancel(token.clone());
+    config.retry_failed = true;
+
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            token.cancel();
+            Instant::now()
+        })
+    };
+    let report = Eureka::new(config).route(&mut diagram);
+    let returned = Instant::now();
+    let cancelled_at = canceller.join().expect("canceller thread");
+
+    assert!(
+        returned.saturating_duration_since(cancelled_at) < LATENCY_BOUND,
+        "router took {:?} after cancellation",
+        returned.saturating_duration_since(cancelled_at)
+    );
+    // The report stays complete: every net resolves as routed or
+    // failed, whatever the token did.
+    assert_eq!(
+        report.routed.len() + report.failed.len(),
+        diagram.network().net_count()
+    );
+}
+
+#[test]
+fn cancellation_during_salvage_skips_the_remaining_cascade() {
+    // A pre-cancelled token with salvage enabled: pick_victims,
+    // rip-up and the Lee fallback are all downstream of the
+    // cancellation polls, so the run must fail every net fast instead
+    // of burning 4x-escalated budgets per net.
+    let mut diagram = congested_diagram();
+    let token = CancelToken::new();
+    token.cancel();
+    let mut config = RouteConfig::default().with_cancel(token);
+    config.retry_failed = true;
+
+    let started = Instant::now();
+    let report = Eureka::new(config).route(&mut diagram);
+    assert!(
+        started.elapsed() < LATENCY_BOUND,
+        "pre-cancelled salvage run took {:?}",
+        started.elapsed()
+    );
+    assert!(report.routed.is_empty(), "nothing routes after cancellation");
+    assert_eq!(report.failed.len(), diagram.network().net_count());
+}
+
+#[test]
+fn long_chain_cancellation_still_reports_every_net() {
+    // A larger, well-formed workload (the paper's string placement
+    // shape): cancel mid-run and check the invariant that failed nets
+    // carry no wires while routed nets keep theirs.
+    let net = string_chain(40);
+    let placement = Pablo::new(PlaceConfig::strings()).place(&net);
+    let mut diagram = Diagram::new(net, placement);
+    let token = CancelToken::new();
+    let config = RouteConfig::default().with_cancel(token.clone());
+
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(2));
+        token.cancel();
+    });
+    let report = Eureka::new(config).route(&mut diagram);
+    canceller.join().expect("canceller thread");
+
+    assert_eq!(
+        report.routed.len() + report.failed.len(),
+        diagram.network().net_count()
+    );
+    for n in &report.failed {
+        assert!(diagram.route(*n).is_none(), "failed net has no wires");
+    }
+    for n in &report.routed {
+        assert!(diagram.route(*n).is_some());
+    }
+}
