@@ -1,10 +1,12 @@
 //! The `netart` umbrella program: the full pipeline in one invocation;
 //! see [`netart_cli::run_netart`]. The `report diff` subcommand
-//! compares two run-report files; see [`netart_cli::run_report_diff`].
-//! The `batch` subcommand runs many inputs on a resilient worker pool;
-//! see [`netart_cli::run_batch`]. The `serve` subcommand keeps the
-//! pipeline resident behind an HTTP endpoint; see
-//! [`netart_cli::run_serve`].
+//! compares two run-report or heat-map profile files; see
+//! [`netart_cli::run_report_diff`]. The `batch` subcommand runs many
+//! inputs on a resilient worker pool; see [`netart_cli::run_batch`].
+//! The `serve` subcommand keeps the pipeline resident behind an HTTP
+//! endpoint; see [`netart_cli::run_serve`]. The `profile` subcommand
+//! renders the routing heat map of one design; see
+//! [`netart_cli::run_profile`].
 //!
 //! Exit codes: 0 clean, 2 degraded (salvaged or ghost-wired nets, or a
 //! recovered phase crash; 1 under `--strict`), 1 failed outright.
@@ -48,6 +50,22 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("netart serve: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("profile") {
+        return match netart_cli::run_profile(&argv[1..]) {
+            Ok(out) => {
+                if out.message_to_stderr {
+                    eprint!("{}", out.message);
+                } else {
+                    print!("{}", out.message);
+                }
+                out.exit_code()
+            }
+            Err(e) => {
+                eprintln!("netart profile: {e}");
                 ExitCode::FAILURE
             }
         };

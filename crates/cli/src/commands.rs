@@ -12,8 +12,8 @@ use netart::netlist::doctor::{self, DoctorCode, DoctorFile, InputPolicy, Severit
 use netart::netlist::format::quinto;
 use netart::netlist::{Library, Network};
 use netart::obs::{
-    DegradationReport, DiffConfig, FanoutSubscriber, Json, JsonLinesSubscriber, ReportDiff,
-    RunReport, TextSubscriber, TraceBuffer, TraceEventSubscriber,
+    DegradationReport, DiffConfig, FanoutSubscriber, Json, JsonLinesSubscriber, ProfileReport,
+    ReportDiff, RunReport, TextSubscriber, TraceBuffer, TraceEventSubscriber,
 };
 use netart_fault::FaultKind;
 use netart::place::{Pablo, PlaceConfig};
@@ -106,7 +106,7 @@ fn write_report(args: &ParsedArgs, report: &RunReport) -> Result<(), CliError> {
 /// Writes the recorded Chrome trace-event document when `--trace-out
 /// <path>` was given (`-` for stdout). Load the file in
 /// `ui.perfetto.dev` or `chrome://tracing`.
-fn write_trace(args: &ParsedArgs, buffer: Option<&TraceBuffer>) -> Result<(), CliError> {
+pub(crate) fn write_trace(args: &ParsedArgs, buffer: Option<&TraceBuffer>) -> Result<(), CliError> {
     if let (Some(path), Some(buffer)) = (args.value("trace-out"), buffer) {
         write_or_stdout(path, &buffer.to_json_string())?;
     }
@@ -385,7 +385,7 @@ pub(crate) fn load_library(
 /// Parses the Appendix A positional files `net-list call-file
 /// [io-file]` through the netlist doctor under `policy`, collecting
 /// applied repairs as degradation records.
-fn load_network(
+pub(crate) fn load_network(
     args: &ParsedArgs,
     policy: InputPolicy,
 ) -> Result<(Network, Vec<DegradationReport>), CliError> {
@@ -1034,6 +1034,18 @@ pub fn run_report_diff(argv: &[String]) -> Result<DiffOutput, CliError> {
             path: PathBuf::from(path),
             message: e.to_string(),
         })?;
+        // Heat-map profiles diff through the same machinery: both
+        // sides are lowered to a synthetic counter-only RunReport, so
+        // a self-diff is empty and cell drift shows up as a counter
+        // regression.
+        if ProfileReport::is_profile_json(&json) {
+            return ProfileReport::from_json(&json)
+                .map(|profile| profile.to_run_report())
+                .map_err(|message| CliError::Parse {
+                    path: PathBuf::from(path),
+                    message,
+                });
+        }
         RunReport::from_json(&json).map_err(|message| CliError::Parse {
             path: PathBuf::from(path),
             message,

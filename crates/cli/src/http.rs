@@ -162,15 +162,18 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one `Connection: close` JSON response.
+/// Writes one `Connection: close` response with the given
+/// `Content-Type` (the serve endpoints answer JSON everywhere except
+/// the Prometheus `/metrics` text exposition).
 pub(crate) fn respond<S: Write>(
     stream: &mut S,
     status: u16,
+    content_type: &str,
     extra_headers: &[(&str, String)],
     body: &str,
 ) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len(),
     );
@@ -282,12 +285,14 @@ mod tests {
         respond(
             &mut out,
             429,
+            "application/json",
             &[("Retry-After", "1".to_owned())],
             "{\"status\":\"shed\"}",
         )
         .expect("writes");
         let text = String::from_utf8(out).expect("utf8");
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.contains("Content-Length: 17\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));

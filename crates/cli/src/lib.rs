@@ -29,6 +29,7 @@ mod args;
 mod batch;
 mod commands;
 mod http;
+mod profile;
 mod serve;
 
 pub use args::{ArgError, ParsedArgs};
@@ -37,4 +38,5 @@ pub use commands::{
     run_eureka, run_netart, run_pablo, run_quinto, run_report_diff, CliError, DiffOutput,
     RunOutput,
 };
+pub use profile::run_profile;
 pub use serve::run_serve;

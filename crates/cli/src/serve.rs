@@ -22,24 +22,34 @@
 //! * **lifecycle** — `/healthz` says the process is alive, `/readyz`
 //!   flips to `503` the moment SIGINT/SIGTERM arrives, in-flight work
 //!   drains within the grace bound, and a panicking request answers
-//!   `500` while the listener lives on.
+//!   `500` while the listener lives on;
+//! * **live telemetry** — `GET /metrics` exposes the
+//!   [`Telemetry`] registry in Prometheus text exposition (counters
+//!   by outcome, queue/cache gauges, latency and routing-effort
+//!   histograms), `--access-log` appends one JSON line per request
+//!   (request id, cache outcome, deadline fate, phase timings), and
+//!   the same request id stamps the `tracing` spans so a
+//!   `--trace-out` Perfetto trace correlates line-for-line with the
+//!   access log. A fault at `serve.telemetry` degrades to "metrics
+//!   unavailable" — observing a request never fails it.
 //!
 //! The response taxonomy mirrors the CLI exit codes: exit `0`/`2`/`1`
 //! become `200` clean / `200` degraded / `422` (rejected input) or
 //! `500` (pipeline failure), each carrying a [`ServeReport`] body
 //! with the full run report inline.
 
+use std::fs::File;
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use netart::netlist::doctor::{self, InputPolicy};
 use netart::netlist::Library;
-use netart::obs::{CacheOutcome, Json, ServeReport, ServeStats, ServeStatus};
+use netart::obs::{CacheOutcome, Json, ServeReport, ServeStats, ServeStatus, Telemetry};
 use netart::place::PlaceConfig;
 use netart::route::{Budget, NetOrder, RouteConfig};
 use netart::diagram::svg;
@@ -47,7 +57,7 @@ use netart_engine::{ByteCache, JobContext, Service, ServiceConfig, SingleFlight,
 
 use crate::commands::{
     arm_faults, budget_from_args, checked_escher, cli_degradation, doctor_degradations,
-    input_policy, install_subscriber, ns, CliError, RunOutput,
+    input_policy, install_subscriber, ns, write_trace, CliError, RunOutput,
 };
 use crate::http::{read_request, respond, RequestError};
 use crate::{ArgError, ParsedArgs};
@@ -64,6 +74,25 @@ const ACCEPT_TICK: Duration = Duration::from_millis(5);
 /// artifact bytes (key, map entry, report structure).
 const CACHE_ENTRY_OVERHEAD: usize = 512;
 
+/// Requests by final outcome (`outcome` ∈ clean, degraded, failed,
+/// shed, drain_reject, panic).
+const M_REQUESTS: &str = "netart_serve_requests_total";
+/// Cache consultations by result (`result` ∈ hit, miss, coalesced).
+const M_CACHE: &str = "netart_serve_cache_requests_total";
+/// Requests whose deadline cancelled the pipeline mid-run.
+const M_DEADLINE: &str = "netart_serve_deadline_cancelled_total";
+/// Telemetry recording attempts lost to an injected `serve.telemetry`
+/// fault (the observed request itself is unaffected).
+const M_TELEMETRY_FAULTS: &str = "netart_serve_telemetry_faults_total";
+/// End-to-end request latency (parse to framed reply), nanoseconds.
+const M_LATENCY: &str = "netart_serve_request_latency_ns";
+/// Routing-phase wall time per computed request, nanoseconds.
+const M_ROUTE_WALL: &str = "netart_serve_route_wall_ns";
+/// Search nodes expanded per computed request.
+const M_NODES: &str = "netart_serve_nodes_expanded";
+/// Time a job waited in the admission queue, nanoseconds.
+const M_QUEUE_WAIT: &str = "netart_serve_queue_wait_ns";
+
 /// The rendering options a request may set, resolved against the
 /// server's defaults. The deadline is deliberately *not* part of the
 /// cache identity — the artifact a timeout produces is the same
@@ -76,6 +105,10 @@ struct RenderOptions {
 
 /// One admitted diagram job, as the worker pool sees it.
 struct DiagramJob {
+    /// The request id, stamped on the worker's span and on any
+    /// deadline-cancellation degradation so traces, access-log lines
+    /// and response bodies correlate.
+    rid: String,
     net: String,
     cal: String,
     io: Option<String>,
@@ -111,6 +144,7 @@ struct HandlerState {
     library: Library,
     policy: InputPolicy,
     base_budget: Budget,
+    telemetry: Arc<Telemetry>,
 }
 
 #[derive(Default)]
@@ -134,6 +168,11 @@ struct ServerState {
     flight: SingleFlight<String, Arc<FlightResult>>,
     cache: ByteCache<String, Arc<ServeReport>>,
     counters: Counters,
+    telemetry: Arc<Telemetry>,
+    /// Monotonic request-id source (`r000000`, `r000001`, …).
+    seq: AtomicU64,
+    /// The `--access-log` sink; one JSON line per diagram request.
+    access_log: Option<Mutex<File>>,
     ready: AtomicBool,
     default_timeout: Duration,
     timeout_ceiling: Duration,
@@ -195,6 +234,11 @@ fn artifact_key(net: &str, cal: &str, io: Option<&str>, options: &RenderOptions)
 /// service worker under `catch_unwind`; a panic here is the worker's
 /// problem, not the listener's.
 fn handle_job(state: &HandlerState, job: DiagramJob, ctx: &JobContext) -> Computed {
+    // The worker span carries the request id, so a Perfetto trace
+    // correlates with the access-log line for the same request.
+    let span = tracing::span!(tracing::Level::INFO, "serve.job", rid = job.rid.as_str());
+    let _guard = span.enter();
+
     // The canonical "my handler exploded" site: inside the worker's
     // catch_unwind, so an injected panic must answer `500` and leave
     // the listener serving.
@@ -268,14 +312,24 @@ fn handle_job(state: &HandlerState, job: DiagramJob, ctx: &JobContext) -> Comput
             "deadline_cancelled",
             Some("route".to_owned()),
             format!(
-                "request deadline of {:?} cancelled the pipeline mid-run; the diagram is truncated",
-                job.timeout
+                "request {} deadline of {:?} cancelled the pipeline mid-run; the diagram is truncated",
+                job.rid, job.timeout
             ),
         ));
     }
     for d in &degs {
         run_report.push_degradation(d.clone());
     }
+
+    // Worker-side effort histograms. Fault-guarded: losing a sample
+    // must never lose the request.
+    record_telemetry(&state.telemetry, |t| {
+        if let Some(route_ns) = run_report.phase_ns("route") {
+            t.observe(M_ROUTE_WALL, route_ns);
+        }
+        t.observe(M_NODES, run_report.nets.iter().map(|n| n.nodes_expanded).sum::<u64>());
+        t.observe(M_QUEUE_WAIT, ns(ctx.queue_wait));
+    });
 
     let degraded = !outcome.is_clean() || !degs.is_empty();
     Computed {
@@ -324,6 +378,100 @@ fn cache_put(state: &ServerState, key: String, report: &ServeReport) {
     }));
 }
 
+/// Runs a telemetry-recording block under the `serve.telemetry` fault
+/// site. Any fired kind (panic included) degrades to "sample lost":
+/// the fault counter is bumped and the request being observed is
+/// never affected.
+fn record_telemetry(telemetry: &Telemetry, record: impl FnOnce(&Telemetry)) {
+    let faulted = catch_unwind(AssertUnwindSafe(|| {
+        if netart_fault::fire(netart_fault::sites::SERVE_TELEMETRY).is_some() {
+            return true;
+        }
+        record(telemetry);
+        false
+    }))
+    .unwrap_or(true);
+    if faulted {
+        telemetry.inc(M_TELEMETRY_FAULTS, &[], 1);
+    }
+}
+
+/// One access-log line in the making: filled in by [`handle_diagram`]
+/// as the request resolves, framed as JSON by [`access_json`].
+struct AccessRecord {
+    rid: String,
+    outcome: &'static str,
+    http_status: u16,
+    cache: &'static str,
+    artifact: String,
+    deadline_cancelled: bool,
+    latency_ns: u64,
+    phases: Vec<(String, u64)>,
+}
+
+impl AccessRecord {
+    fn new(rid: String) -> Self {
+        AccessRecord {
+            rid,
+            outcome: "failed",
+            http_status: 0,
+            cache: "none",
+            artifact: String::new(),
+            deadline_cancelled: false,
+            latency_ns: 0,
+            phases: Vec::new(),
+        }
+    }
+}
+
+fn outcome_str(status: ServeStatus) -> &'static str {
+    match status {
+        ServeStatus::Clean => "clean",
+        ServeStatus::Degraded => "degraded",
+        ServeStatus::Failed => "failed",
+    }
+}
+
+/// The access-log schema, one object per line: identity (`rid`,
+/// `artifact`), verdict (`outcome`, `http_status`, `cache`,
+/// `deadline_cancelled`), cost (`latency_ns`, per-phase wall times).
+/// Strip the `*_ns` members and single-worker replays of the same
+/// request sequence compare byte-identical.
+fn access_json(acc: &AccessRecord) -> String {
+    let phases = Json::Arr(
+        acc.phases
+            .iter()
+            .map(|(name, wall_ns)| {
+                Json::obj()
+                    .with("name", name.as_str())
+                    .with("wall_ns", *wall_ns)
+            })
+            .collect(),
+    );
+    Json::obj()
+        .with("rid", acc.rid.as_str())
+        .with("outcome", acc.outcome)
+        .with("http_status", u64::from(acc.http_status))
+        .with("cache", acc.cache)
+        .with("artifact", acc.artifact.as_str())
+        .with("deadline_cancelled", acc.deadline_cancelled)
+        .with("latency_ns", acc.latency_ns)
+        .with("phases", phases)
+        .render()
+}
+
+/// Appends one line to the `--access-log` sink, if configured. Lock
+/// poisoning and write errors are swallowed: the log is diagnostics,
+/// the response is the product.
+fn write_access_log(state: &ServerState, acc: &AccessRecord) {
+    if let Some(log) = &state.access_log {
+        let line = access_json(acc);
+        if let Ok(mut file) = log.lock() {
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
 fn count(counter: &AtomicU64) {
     counter.fetch_add(1, Ordering::Relaxed);
 }
@@ -336,9 +484,11 @@ fn count_status(counters: &Counters, status: ServeStatus) {
     }
 }
 
-/// One framed response: status code, extra headers, body.
+/// One framed response: status code, content type, extra headers,
+/// body.
 struct HttpReply {
     status: u16,
+    content_type: &'static str,
     headers: Vec<(&'static str, String)>,
     body: String,
 }
@@ -347,6 +497,16 @@ impl HttpReply {
     fn json(status: u16, body: String) -> Self {
         HttpReply {
             status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    fn text(status: u16, content_type: &'static str, body: String) -> Self {
+        HttpReply {
+            status,
+            content_type,
             headers: Vec::new(),
             body,
         }
@@ -359,8 +519,9 @@ impl HttpReply {
 
 /// `POST /v1/diagram`: parse the request document, consult the cache,
 /// coalesce with identical concurrent requests, admit through the
-/// bounded queue, frame the outcome.
-fn handle_diagram(state: &Arc<ServerState>, body: &[u8]) -> HttpReply {
+/// bounded queue, frame the outcome. Fills `acc` for the access log
+/// as the request resolves.
+fn handle_diagram(state: &Arc<ServerState>, body: &[u8], acc: &mut AccessRecord) -> HttpReply {
     count(&state.counters.requests);
 
     let parsed = std::str::from_utf8(body)
@@ -427,10 +588,16 @@ fn handle_diagram(state: &Arc<ServerState>, body: &[u8]) -> HttpReply {
 
     let options = RenderOptions { margin, order };
     let key = artifact_key(&net, &cal, io.as_deref(), &options);
+    acc.artifact = key.clone();
 
     if let Some(cached) = cache_get(state, &key) {
         count(&state.counters.cache_hits);
         count_status(&state.counters, cached.status);
+        acc.outcome = outcome_str(cached.status);
+        acc.cache = "hit";
+        if let Some(run) = &cached.report {
+            acc.phases = run.phases.iter().map(|p| (p.name.clone(), p.wall_ns)).collect();
+        }
         let mut report = (*cached).clone();
         report.cache = CacheOutcome::Hit;
         return HttpReply::report(200, &report);
@@ -438,10 +605,12 @@ fn handle_diagram(state: &Arc<ServerState>, body: &[u8]) -> HttpReply {
 
     if !state.ready.load(Ordering::Acquire) {
         count(&state.counters.drain_rejects);
+        acc.outcome = "drain_reject";
         return HttpReply::report(503, &ServeReport::failure("draining: not accepting work"));
     }
 
     let job = DiagramJob {
+        rid: acc.rid.clone(),
         net,
         cal,
         io,
@@ -472,14 +641,21 @@ fn handle_diagram(state: &Arc<ServerState>, body: &[u8]) -> HttpReply {
         FlightResult::Done(computed) => {
             let outcome = if leads {
                 count(&state.counters.cache_misses);
+                acc.cache = "miss";
                 CacheOutcome::Miss
             } else {
                 count(&state.counters.coalesced);
+                acc.cache = "coalesced";
                 CacheOutcome::Coalesced
             };
             count_status(&state.counters, computed.report.status);
             if computed.deadline_cancelled {
                 count(&state.counters.deadline_cancelled);
+            }
+            acc.outcome = outcome_str(computed.report.status);
+            acc.deadline_cancelled = computed.deadline_cancelled;
+            if let Some(run) = &computed.report.report {
+                acc.phases = run.phases.iter().map(|p| (p.name.clone(), p.wall_ns)).collect();
             }
             let mut report = computed.report.clone();
             report.cache = outcome;
@@ -492,6 +668,7 @@ fn handle_diagram(state: &Arc<ServerState>, body: &[u8]) -> HttpReply {
         }
         FlightResult::Shed => {
             count(&state.counters.shed);
+            acc.outcome = "shed";
             let mut reply = HttpReply::report(
                 429,
                 &ServeReport::failure("saturated: the admission queue is full; retry shortly"),
@@ -501,11 +678,13 @@ fn handle_diagram(state: &Arc<ServerState>, body: &[u8]) -> HttpReply {
         }
         FlightResult::Draining => {
             count(&state.counters.drain_rejects);
+            acc.outcome = "drain_reject";
             HttpReply::report(503, &ServeReport::failure("draining: not accepting work"))
         }
         FlightResult::Panicked(message) => {
             count(&state.counters.panics);
             count(&state.counters.failed);
+            acc.outcome = "panic";
             HttpReply::report(
                 500,
                 &ServeReport::failure(format!("request handler panicked: {message}")),
@@ -517,6 +696,7 @@ fn handle_diagram(state: &Arc<ServerState>, body: &[u8]) -> HttpReply {
 fn stats_snapshot(state: &ServerState) -> ServeStats {
     let cache = state.cache.stats();
     let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    let win = state.telemetry.window_summary(M_LATENCY);
     ServeStats {
         requests: load(&state.counters.requests),
         clean: load(&state.counters.clean),
@@ -534,6 +714,37 @@ fn stats_snapshot(state: &ServerState) -> ServeStats {
         cache_entries: cache.entries as u64,
         in_flight: state.service.in_flight() as u64,
         queued: state.service.queued() as u64,
+        win_latency_count: win.count,
+        win_latency_p50_ns: win.p50,
+        win_latency_p90_ns: win.p90,
+        win_latency_p99_ns: win.p99,
+    }
+}
+
+/// `GET /metrics`: refresh the gauges from live structures, render
+/// the Prometheus text exposition. The whole read path sits under the
+/// `serve.telemetry` fault site — a fired fault (panic included)
+/// answers `503 metrics unavailable` and leaves the server serving.
+fn metrics_reply(state: &ServerState) -> HttpReply {
+    let rendered = catch_unwind(AssertUnwindSafe(|| {
+        if netart_fault::fire(netart_fault::sites::SERVE_TELEMETRY).is_some() {
+            return None;
+        }
+        let cache = state.cache.stats();
+        let t = &state.telemetry;
+        t.set_gauge("netart_serve_queue_depth", state.service.queued() as u64);
+        t.set_gauge("netart_serve_in_flight", state.service.in_flight() as u64);
+        t.set_gauge("netart_serve_cache_bytes", cache.bytes as u64);
+        t.set_gauge("netart_serve_cache_entries", cache.entries as u64);
+        Some(t.render_prometheus())
+    }))
+    .unwrap_or(None);
+    match rendered {
+        Some(body) => HttpReply::text(200, "text/plain; version=0.0.4", body),
+        None => {
+            state.telemetry.inc(M_TELEMETRY_FAULTS, &[], 1);
+            HttpReply::text(503, "text/plain", "metrics unavailable\n".to_owned())
+        }
     }
 }
 
@@ -548,8 +759,29 @@ fn route_request(state: &Arc<ServerState>, method: &str, path: &str, body: &[u8]
             }
         }
         ("GET", "/stats") => HttpReply::json(200, stats_snapshot(state).to_json_string()),
-        ("POST", "/v1/diagram") => handle_diagram(state, body),
-        (_, "/healthz" | "/readyz" | "/stats" | "/v1/diagram") => HttpReply::report(
+        ("GET", "/metrics") => metrics_reply(state),
+        ("POST", "/v1/diagram") => {
+            let rid = format!("r{:06}", state.seq.fetch_add(1, Ordering::Relaxed));
+            let span = tracing::span!(tracing::Level::INFO, "serve.request", rid = rid.as_str());
+            let started = Instant::now();
+            let mut acc = AccessRecord::new(rid);
+            let reply = span.in_scope(|| handle_diagram(state, body, &mut acc));
+            acc.http_status = reply.status;
+            acc.latency_ns = ns(started.elapsed());
+            record_telemetry(&state.telemetry, |t| {
+                t.inc(M_REQUESTS, &[("outcome", acc.outcome)], 1);
+                if acc.cache != "none" {
+                    t.inc(M_CACHE, &[("result", acc.cache)], 1);
+                }
+                if acc.deadline_cancelled {
+                    t.inc(M_DEADLINE, &[], 1);
+                }
+                t.observe(M_LATENCY, acc.latency_ns);
+            });
+            write_access_log(state, &acc);
+            reply
+        }
+        (_, "/healthz" | "/readyz" | "/stats" | "/metrics" | "/v1/diagram") => HttpReply::report(
             405,
             &ServeReport::failure(format!("{method} is not supported on {path}")),
         ),
@@ -596,7 +828,13 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
             return;
         }
     };
-    let _ = respond(&mut stream, reply.status, &reply.headers, &reply.body);
+    let _ = respond(
+        &mut stream,
+        reply.status,
+        reply.content_type,
+        &reply.headers,
+        &reply.body,
+    );
 }
 
 fn parse_millis(args: &ParsedArgs, flag: &str, default_ms: u64) -> Result<Duration, CliError> {
@@ -607,15 +845,19 @@ fn parse_millis(args: &ParsedArgs, flag: &str, default_ms: u64) -> Result<Durati
 /// [--queue-depth n] [--default-timeout ms] [--timeout-ceiling ms]
 /// [--max-body bytes] [--cache-bytes n] [--drain-grace ms]
 /// [--route-timeout ms] [--max-nodes n] [-m margin] [--order o]
-/// [--input-policy p] [--inject spec] [--trace-level lvl] [--log-json]`
+/// [--input-policy p] [--inject spec] [--access-log path]
+/// [--trace-level lvl] [--trace-out path] [--log-json]`
 ///
 /// Boots the resident diagram service and blocks until SIGINT/SIGTERM
 /// drains it. The first stdout line is `serving on http://ADDR` (the
 /// resolved address, so `--addr 127.0.0.1:0` works for tests and
 /// supervisors). Endpoints: `GET /healthz`, `GET /readyz`,
-/// `GET /stats`, `POST /v1/diagram` with a JSON document
+/// `GET /stats`, `GET /metrics` (Prometheus text exposition),
+/// `POST /v1/diagram` with a JSON document
 /// `{"net": …, "cal": …, "io"?: …, "options"?: {"timeout_ms",
-/// "margin", "order"}}`.
+/// "margin", "order"}}`. `--access-log` appends one JSON line per
+/// diagram request; `--trace-out` writes the Chrome/Perfetto trace at
+/// drain.
 ///
 /// # Errors
 ///
@@ -628,12 +870,12 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
         &[
             "addr", "L", "workers", "queue-depth", "default-timeout", "timeout-ceiling",
             "max-body", "cache-bytes", "drain-grace", "route-timeout", "max-nodes", "m", "order",
-            "input-policy", "inject", "trace-level",
+            "input-policy", "inject", "access-log", "trace-level", "trace-out",
         ],
         &["log-json"],
         (0, 0),
     )?;
-    let _trace = install_subscriber(&args)?;
+    let trace = install_subscriber(&args)?;
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
     let base_budget = budget_from_args(&args)?;
@@ -663,10 +905,20 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
         drain_grace,
     };
 
+    let telemetry = Arc::new(Telemetry::new());
+    let access_log = match args.value("access-log") {
+        Some(path) => Some(Mutex::new(File::create(path).map_err(|source| CliError::Io {
+            path: path.into(),
+            source,
+        })?)),
+        None => None,
+    };
+
     let handler_state = HandlerState {
         library,
         policy,
         base_budget,
+        telemetry: Arc::clone(&telemetry),
     };
     let service = Service::new(&config, move |job, ctx| handle_job(&handler_state, job, ctx));
     let state = Arc::new(ServerState {
@@ -674,6 +926,9 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
         flight: SingleFlight::new(),
         cache: ByteCache::new(args.parsed("cache-bytes", 16 * 1024 * 1024usize)?),
         counters: Counters::default(),
+        telemetry,
+        seq: AtomicU64::new(0),
+        access_log,
         ready: AtomicBool::new(true),
         default_timeout,
         timeout_ceiling,
@@ -741,6 +996,7 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
         std::thread::sleep(ACCEPT_TICK);
     }
 
+    write_trace(&args, trace.as_ref())?;
     let stats = stats_snapshot(&state);
     Ok(RunOutput {
         message: format!(

@@ -413,6 +413,64 @@ fn chaos_serve_cache_lookup_panic_degrades_to_a_miss() {
 }
 
 #[test]
+fn chaos_serve_telemetry_faults_answer_metrics_unavailable() {
+    // A fault on the `/metrics` read path answers a plain-text 503
+    // and leaves the server (and the registry) intact: the burned-out
+    // one-shot site lets the next scrape succeed.
+    for kind in KINDS {
+        let spec = format!("serve.telemetry:1:{kind}");
+        let dir = common::scratch(&format!("chaos-metrics-{kind}"));
+        let lib = common::write_lib(&dir);
+        let server = common::ServeProc::start(&lib, &["--inject", &spec]);
+
+        let faulted = server.exchange("GET", "/metrics", None);
+        assert_eq!(faulted.status, 503, "{spec}: {}", faulted.body);
+        assert!(
+            faulted.body.contains("metrics unavailable"),
+            "{spec}: {}",
+            faulted.body
+        );
+
+        let retry = server.exchange("GET", "/metrics", None);
+        assert_eq!(retry.status, 200, "{spec}");
+        assert!(
+            retry.body.contains("netart_serve_telemetry_faults_total 1"),
+            "{spec}: the lost scrape is itself counted: {}",
+            retry.body
+        );
+        assert_eq!(server.exchange("GET", "/healthz", None).status, 200, "{spec}");
+        let _ = fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn chaos_serve_telemetry_record_faults_never_drop_the_request() {
+    // The same site guards the per-request recording path: a fault
+    // there loses the sample, never the request being observed.
+    for kind in KINDS {
+        let spec = format!("serve.telemetry:1:{kind}");
+        let dir = common::scratch(&format!("chaos-record-{kind}"));
+        let lib = common::write_lib(&dir);
+        let server = common::ServeProc::start(&lib, &["--inject", &spec]);
+        let (net, cal, io) = common::chain_inputs(3);
+        let body = common::diagram_request(&net, &cal, Some(&io)).render_pretty();
+
+        let response = server.exchange("POST", "/v1/diagram", Some(&body));
+        assert_eq!(response.status, 200, "{spec}: {}", response.body);
+        assert_ne!(serve_report(&response.body).status.as_str(), "failed", "{spec}");
+
+        let scrape = server.exchange("GET", "/metrics", None);
+        assert_eq!(scrape.status, 200, "{spec}");
+        assert!(
+            scrape.body.contains("netart_serve_telemetry_faults_total 1"),
+            "{spec}: the lost sample is counted: {}",
+            scrape.body
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
 fn env_var_arms_the_registry() {
     let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
     netart_fault::disarm_all();

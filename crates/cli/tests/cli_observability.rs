@@ -335,3 +335,44 @@ fn report_diff_exits_three_on_injected_regression() {
     assert!(!doc.get("entries").and_then(Json::as_arr).unwrap().is_empty());
     let _ = fs::remove_dir_all(dir);
 }
+
+/// The profile acceptance criterion: `netart profile --heat-json`
+/// emits a schema-versioned document built purely from deterministic
+/// counters, so two runs over the same design must be bit-identical
+/// and a `report diff` of the pair must be a clean self-diff.
+#[test]
+fn profile_heat_json_is_bit_identical_across_runs() {
+    let dir = scratch("profile");
+    let (lib, nets, calls, io) = write_inputs(&dir);
+    let heat_a = dir.join("heat-a.json").to_string_lossy().into_owned();
+    let heat_b = dir.join("heat-b.json").to_string_lossy().into_owned();
+    for heat in [&heat_a, &heat_b] {
+        let run = netart(&[
+            "profile", "-L", &lib, "--grid", "8", "--heat-json", heat, &nets, &calls, &io,
+        ]);
+        assert!(run.status.success(), "{:?}", run);
+        let map = String::from_utf8_lossy(&run.stdout);
+        assert!(map.starts_with("+--------+\n"), "ASCII border missing: {map}");
+        assert!(map.contains("expansions (hottest cell"), "legend missing: {map}");
+    }
+
+    let bytes_a = fs::read(&heat_a).unwrap();
+    let bytes_b = fs::read(&heat_b).unwrap();
+    assert_eq!(bytes_a, bytes_b, "heat-map JSON differs between identical runs");
+
+    let doc = Json::parse(std::str::from_utf8(&bytes_a).unwrap()).expect("heat JSON parses");
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("kind").and_then(Json::as_str), Some("profile"));
+    for member in ["tool", "cols", "rows", "bounds", "totals", "cells"] {
+        assert!(doc.get(member).is_some(), "member {member} missing");
+    }
+
+    let diff = netart(&["report", "diff", &heat_a, &heat_b]);
+    assert!(diff.status.success(), "profile self-diff regressed: {diff:?}");
+    assert!(
+        String::from_utf8_lossy(&diff.stdout).contains("ok: no regressions"),
+        "{:?}",
+        diff
+    );
+    let _ = fs::remove_dir_all(dir);
+}

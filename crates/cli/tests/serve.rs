@@ -3,11 +3,13 @@
 //! hardened-service contract end to end — lifecycle endpoints,
 //! content-addressed cache replays (byte-identical), single-flight
 //! coalescing, admission-control shedding under overload, deadline
-//! propagation into structured degraded responses, and the
+//! propagation into structured degraded responses, the `/metrics`
+//! Prometheus exposition, the `--access-log` JSONL stream, and the
 //! SIGTERM-drain exit path.
 
 mod common;
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use common::{chain_inputs, diagram_request, scratch, write_lib, HttpResponse, ServeProc};
@@ -250,6 +252,249 @@ fn deadline_breach_degrades_structurally_and_is_not_cached() {
     assert!(after.deadline_cancelled >= 2, "{after:?}");
     assert_eq!(after.cache_hits, 0);
     assert_eq!(after.degraded, 2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// One parsed Prometheus exposition: series (name plus rendered label
+/// set) to value. Asserts the line-oriented format invariants while
+/// parsing: every series is declared by a preceding `# TYPE` line, and
+/// every sample value is a non-negative integer.
+fn parse_exposition(text: &str) -> (BTreeMap<String, u64>, BTreeMap<String, String>) {
+    let mut types = BTreeMap::new();
+    let mut series = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut parts = decl.split(' ');
+            let name = parts.next().expect("type line names a metric").to_owned();
+            let kind = parts.next().expect("type line names a kind").to_owned();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown exposition type: {line}"
+            );
+            types.insert(name, kind);
+            continue;
+        }
+        assert!(!line.starts_with('#'), "only TYPE comments are emitted: {line}");
+        let (name_and_labels, value) = line.rsplit_once(' ').expect("sample line: series value");
+        let value: u64 = value.parse().unwrap_or_else(|e| panic!("bad value in {line:?}: {e}"));
+        let base = name_and_labels
+            .split('{')
+            .next()
+            .expect("series has a name")
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count");
+        assert!(
+            types.contains_key(base),
+            "series {name_and_labels} precedes its # TYPE declaration"
+        );
+        assert!(
+            base.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "metric name out of alphabet: {base}"
+        );
+        series.insert(name_and_labels.to_owned(), value);
+    }
+    (series, types)
+}
+
+#[test]
+fn metrics_exposition_is_valid_and_counters_are_monotone() {
+    let dir = scratch("metrics");
+    let server = ServeProc::start(&write_lib(&dir), &[]);
+
+    let baseline = server.exchange("GET", "/metrics", None);
+    assert_eq!(baseline.status, 200);
+    assert!(
+        baseline.head.to_ascii_lowercase().contains("text/plain; version=0.0.4"),
+        "exposition content type: {}",
+        baseline.head
+    );
+    let (before, _) = parse_exposition(&baseline.body);
+    assert!(
+        before.contains_key("netart_serve_queue_depth"),
+        "queue-depth gauge is always exposed: {:?}",
+        before.keys().collect::<Vec<_>>()
+    );
+
+    let (net, cal, io) = chain_inputs(6);
+    let body = diagram_request(&net, &cal, Some(&io)).render_pretty();
+    assert_eq!(server.exchange("POST", "/v1/diagram", Some(&body)).status, 200);
+    assert_eq!(server.exchange("POST", "/v1/diagram", Some(&body)).status, 200);
+
+    let scrape = server.exchange("GET", "/metrics", None);
+    assert_eq!(scrape.status, 200);
+    let (after, types) = parse_exposition(&scrape.body);
+
+    // The acceptance trio: request counter by outcome, queue gauge,
+    // latency histogram.
+    assert_eq!(after["netart_serve_requests_total{outcome=\"clean\"}"], 2);
+    assert_eq!(after["netart_serve_cache_requests_total{result=\"hit\"}"], 1);
+    assert_eq!(after["netart_serve_cache_requests_total{result=\"miss\"}"], 1);
+    assert!(after.contains_key("netart_serve_queue_depth"));
+    assert_eq!(types["netart_serve_request_latency_ns"], "histogram");
+    assert_eq!(after["netart_serve_request_latency_ns_count"], 2);
+
+    // Counters never go backwards between scrapes.
+    for (name, value) in &before {
+        if types.get(name.split('{').next().expect("name")).map(String::as_str)
+            == Some("counter")
+        {
+            assert!(
+                after.get(name).copied().unwrap_or(0) >= *value,
+                "counter {name} went backwards"
+            );
+        }
+    }
+
+    // Histogram integrity: cumulative buckets are monotone in their
+    // numeric `le` order and the +Inf bucket equals the _count.
+    for (metric, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let mut buckets: Vec<(f64, u64)> = after
+            .iter()
+            .filter_map(|(name, value)| {
+                let bound = name
+                    .strip_prefix(&format!("{metric}_bucket{{le=\""))?
+                    .strip_suffix("\"}")?;
+                let bound = if bound == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    bound.parse().unwrap_or_else(|e| panic!("bad le bound {bound}: {e}"))
+                };
+                Some((bound, *value))
+            })
+            .collect();
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN bounds"));
+        assert!(!buckets.is_empty(), "{metric} exposes no buckets");
+        let mut last = 0u64;
+        for (bound, value) in &buckets {
+            assert!(*value >= last, "{metric} le={bound} breaks cumulative monotonicity");
+            last = *value;
+        }
+        let (top, inf) = buckets.last().expect("nonempty");
+        assert!(top.is_infinite(), "{metric}: the last bucket must be +Inf");
+        assert_eq!(
+            *inf,
+            after[&format!("{metric}_count")],
+            "{metric}: +Inf bucket must equal the sample count"
+        );
+        assert!(after.contains_key(&format!("{metric}_sum")), "{metric}_sum missing");
+    }
+
+    // The windowed latency quantiles surface in /stats too.
+    let after_stats = stats(&server);
+    assert_eq!(after_stats.win_latency_count, 2);
+    assert!(after_stats.win_latency_p50_ns > 0);
+    assert!(after_stats.win_latency_p99_ns >= after_stats.win_latency_p50_ns);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Strips the wall-clock members (`latency_ns`, per-phase `wall_ns`)
+/// from one access-log line, leaving only its deterministic identity.
+fn strip_timings(line: &str) -> String {
+    let doc = Json::parse(line).unwrap_or_else(|e| panic!("access line is not JSON: {e}: {line}"));
+    let phases = doc
+        .get("phases")
+        .and_then(Json::as_arr)
+        .map(|cells| {
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|p| {
+                        Json::obj().with(
+                            "name",
+                            p.get("name").and_then(Json::as_str).unwrap_or_default(),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .unwrap_or_else(|| Json::Arr(Vec::new()));
+    let s = |name: &str| doc.get(name).and_then(Json::as_str).unwrap_or_default().to_owned();
+    Json::obj()
+        .with("rid", s("rid").as_str())
+        .with("outcome", s("outcome").as_str())
+        .with(
+            "http_status",
+            doc.get("http_status").and_then(Json::as_u64).unwrap_or(0),
+        )
+        .with("cache", s("cache").as_str())
+        .with("artifact", s("artifact").as_str())
+        .with(
+            "deadline_cancelled",
+            doc.get("deadline_cancelled").and_then(Json::as_bool).unwrap_or(false),
+        )
+        .with("phases", phases)
+        .render()
+}
+
+#[test]
+fn access_log_replays_deterministically_with_one_worker() {
+    // The same request sequence against two fresh single-worker
+    // servers must produce identical access logs once wall-clock
+    // members are stripped: same rids, same outcomes, same artifacts,
+    // same cache verdicts, same phase structure.
+    let dir = scratch("accesslog");
+    let lib = write_lib(&dir);
+    let (net_a, cal_a, io_a) = chain_inputs(6);
+    let (net_b, cal_b, io_b) = chain_inputs(9);
+    let body_a = diagram_request(&net_a, &cal_a, Some(&io_a)).render_pretty();
+    let body_b = diagram_request(&net_b, &cal_b, Some(&io_b)).render_pretty();
+
+    let run = |log_name: &str| {
+        let log = dir.join(log_name);
+        let mut server = ServeProc::start(
+            &lib,
+            &["--workers", "1", "--access-log", &log.to_string_lossy()],
+        );
+        assert_eq!(server.exchange("POST", "/v1/diagram", Some(&body_a)).status, 200);
+        assert_eq!(server.exchange("POST", "/v1/diagram", Some(&body_b)).status, 200);
+        assert_eq!(server.exchange("POST", "/v1/diagram", Some(&body_a)).status, 200);
+        server.sigterm();
+        let (code, _) = server.wait_exit();
+        assert_eq!(code, Some(0));
+        std::fs::read_to_string(&log).expect("access log written")
+    };
+    let first = run("first.jsonl");
+    let second = run("second.jsonl");
+
+    let normalize = |text: &str| -> Vec<String> { text.lines().map(strip_timings).collect() };
+    let first = normalize(&first);
+    assert_eq!(first, normalize(&second), "replay must be deterministic");
+
+    assert_eq!(first.len(), 3, "one line per diagram request");
+    for (k, line) in first.iter().enumerate() {
+        assert!(
+            line.contains(&format!("\"rid\":\"r{k:06}\"")),
+            "rids are sequential: {line}"
+        );
+    }
+    assert!(first[0].contains("\"cache\":\"miss\""), "{}", first[0]);
+    assert!(first[2].contains("\"cache\":\"hit\""), "{}", first[2]);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn deadline_cancellation_names_the_breaching_request() {
+    let dir = scratch("deadline-rid");
+    let server = ServeProc::start(&write_lib(&dir), &[]);
+
+    let (net, cal, io) = chain_inputs(60);
+    let body = diagram_request(&net, &cal, Some(&io))
+        .with("options", Json::obj().with("timeout_ms", 1u64))
+        .render_pretty();
+    let response = server.exchange("POST", "/v1/diagram", Some(&body));
+    assert_eq!(response.status, 200);
+    assert!(
+        response.body.contains("request r000000 deadline"),
+        "the degradation names the breaching request id: {}",
+        response.body
+    );
     let _ = std::fs::remove_dir_all(dir);
 }
 

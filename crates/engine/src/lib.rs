@@ -97,6 +97,10 @@ pub struct JobContext {
     /// Whether this is the final attempt — the job function may
     /// accept a degraded result here that it would retry otherwise.
     pub last_attempt: bool,
+    /// How long the request sat in the admission queue before a
+    /// worker picked it up. Zero for engines without a queue (the
+    /// batch pool starts attempts immediately).
+    pub queue_wait: Duration,
 }
 
 /// A successful attempt.
@@ -339,6 +343,7 @@ where
             cancel: cancel.clone(),
             attempt,
             last_attempt: attempt == max_attempts,
+            queue_wait: Duration::ZERO,
         };
         // If drain was requested with no grace left, don't start.
         if drain.is_cancelled() && config.drain_grace.is_zero() {

@@ -117,6 +117,7 @@ struct Task<Req, R> {
     req: Req,
     cancel: CancelToken,
     deadline: Option<Instant>,
+    enqueued: Instant,
     slot: Arc<TicketSlot<R>>,
 }
 
@@ -176,6 +177,7 @@ impl<Req: Send + 'static, R: Send + 'static> Service<Req, R> {
                         cancel: task.cancel.clone(),
                         attempt: 1,
                         last_attempt: true,
+                        queue_wait: task.enqueued.elapsed(),
                     };
                     let outcome =
                         match catch_unwind(AssertUnwindSafe(|| handler(task.req, &ctx))) {
@@ -252,6 +254,7 @@ impl<Req: Send + 'static, R: Send + 'static> Service<Req, R> {
             req,
             cancel: cancel.clone(),
             deadline: deadline.map(|d| Instant::now() + d),
+            enqueued: Instant::now(),
             slot: Arc::clone(&slot),
         };
         match self.shared.queue.try_push(task) {

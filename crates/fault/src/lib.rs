@@ -76,6 +76,10 @@ pub mod sites {
     /// Serve: the artifact-cache lookup/insert path (a cache fault
     /// must degrade to a recompute, never break the response).
     pub const SERVE_CACHE: &str = "serve.cache";
+    /// Serve: the telemetry record/render path (a telemetry fault must
+    /// degrade to "metrics unavailable", never drop the request being
+    /// observed).
+    pub const SERVE_TELEMETRY: &str = "serve.telemetry";
 
     /// Every site, for sweeps and spec validation.
     pub const ALL: &[&str] = &[
@@ -94,6 +98,7 @@ pub mod sites {
         ENGINE_MANIFEST,
         SERVE_REQUEST,
         SERVE_CACHE,
+        SERVE_TELEMETRY,
     ];
 }
 

@@ -72,6 +72,16 @@ impl Json {
         }
     }
 
+    /// The value as a signed integer (unsigned values that fit
+    /// convert), `None` elsewhere.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            Json::Uint(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
     /// The value as a float (integers convert), `None` elsewhere.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

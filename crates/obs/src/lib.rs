@@ -17,7 +17,11 @@
 //!   by the CLI, never by library code;
 //! * the cross-run layer: [`Json::parse`] reads written reports back,
 //!   and [`baseline`]'s [`ReportDiff`] compares two [`RunReport`]s so
-//!   `netart report diff` and the CI perf-gate can fail on regressions.
+//!   `netart report diff` and the CI perf-gate can fail on regressions;
+//! * the live layer: a process-lifetime [`Telemetry`] registry
+//!   (counters, gauges, rolling-window histograms) with Prometheus
+//!   text exposition behind `netart serve`'s `/metrics`, and the
+//!   [`ProfileReport`] heat-map schema behind `netart profile`.
 //!
 //! The span/event vocabulary itself lives in the vendored `tracing`
 //! stand-in; this crate is about *collecting* and *exporting*.
@@ -29,9 +33,11 @@ pub mod baseline;
 mod batch;
 pub mod json;
 mod metrics;
+mod profile;
 mod report;
 mod serve;
 mod subscribe;
+mod telemetry;
 mod trace;
 
 pub use baseline::{DiffConfig, DiffEntry, DiffSeverity, ReportDiff};
@@ -40,10 +46,14 @@ pub use batch::{
 };
 pub use json::{Json, JsonParseError};
 pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot};
+pub use profile::{
+    ProfileCell, ProfileReport, ProfileTotals, PROFILE_KIND, PROFILE_SCHEMA_VERSION,
+};
 pub use report::{
     DegradationReport, NetReport, NetworkReport, PhaseReport, QualityReport, RunReport,
     SCHEMA_VERSION,
 };
 pub use serve::{CacheOutcome, ServeReport, ServeStats, ServeStatus, SERVE_SCHEMA_VERSION};
 pub use subscribe::{FanoutSubscriber, JsonLinesSubscriber, TextSubscriber};
+pub use telemetry::{RollingHistogram, Telemetry, WindowSummary};
 pub use trace::{TraceBuffer, TraceEvent, TraceEventSubscriber};

@@ -49,7 +49,20 @@ impl Histogram {
         63 - u64::leading_zeros(value.max(1)) as usize
     }
 
-    fn record(&mut self, value: u64) {
+    /// Upper bound (inclusive) of log-2 bucket `i`: the largest value
+    /// that [`Histogram::bucket_of`] maps to `i`. Saturates at
+    /// `u64::MAX` for the last bucket.
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (2u64 << i) - 1
+        }
+    }
+
+    /// Records one observation. Public so telemetry registries can
+    /// reuse the same core the per-run [`Metrics`] uses.
+    pub fn record(&mut self, value: u64) {
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
@@ -57,8 +70,45 @@ impl Histogram {
         self.buckets[Self::bucket_of(value)] += 1;
     }
 
-    /// Upper bound of the bucket holding the `q`-quantile observation.
-    fn quantile(&self, q: f64) -> u64 {
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The raw log-2 bucket counts.
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Folds another histogram into this one (used to aggregate the
+    /// slots of a rolling window).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation,
+    /// clamped to nothing — callers clamp to [`Histogram::max`] when
+    /// they want an attainable value.
+    pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }

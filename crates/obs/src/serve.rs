@@ -225,6 +225,14 @@ pub struct ServeStats {
     pub in_flight: u64,
     /// Requests admitted but not yet started (gauge).
     pub queued: u64,
+    /// Requests observed inside the rolling latency window.
+    pub win_latency_count: u64,
+    /// Windowed median request latency (bucket upper bound, ns).
+    pub win_latency_p50_ns: u64,
+    /// Windowed 90th-percentile request latency (ns).
+    pub win_latency_p90_ns: u64,
+    /// Windowed 99th-percentile request latency (ns).
+    pub win_latency_p99_ns: u64,
 }
 
 impl ServeStats {
@@ -248,6 +256,10 @@ impl ServeStats {
             .with("cache_entries", self.cache_entries)
             .with("in_flight", self.in_flight)
             .with("queued", self.queued)
+            .with("win_latency_count", self.win_latency_count)
+            .with("win_latency_p50_ns", self.win_latency_p50_ns)
+            .with("win_latency_p90_ns", self.win_latency_p90_ns)
+            .with("win_latency_p99_ns", self.win_latency_p99_ns)
     }
 
     /// The rendered JSON document (the `/stats` body).
@@ -255,11 +267,22 @@ impl ServeStats {
         self.to_json().render_pretty()
     }
 
-    /// Reads stats back from their [`ServeStats::to_json`] shape
-    /// (missing counters read as zero, so additions stay compatible).
+    /// Reads stats back from their [`ServeStats::to_json`] shape.
+    /// The schema version must be present and supported; within a
+    /// version, missing counters read as zero so additions stay
+    /// compatible.
     pub fn from_json(json: &Json) -> Result<ServeStats, String> {
         if json.as_obj().is_none() {
             return Err("serve stats is not a JSON object".to_owned());
+        }
+        let version = json
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing schema_version".to_owned())?;
+        if version != u64::from(SERVE_SCHEMA_VERSION) {
+            return Err(format!(
+                "unsupported schema_version {version} (this build reads {SERVE_SCHEMA_VERSION})"
+            ));
         }
         let field = |name: &str| json.get(name).and_then(Json::as_u64).unwrap_or(0);
         Ok(ServeStats {
@@ -279,6 +302,10 @@ impl ServeStats {
             cache_entries: field("cache_entries"),
             in_flight: field("in_flight"),
             queued: field("queued"),
+            win_latency_count: field("win_latency_count"),
+            win_latency_p50_ns: field("win_latency_p50_ns"),
+            win_latency_p90_ns: field("win_latency_p90_ns"),
+            win_latency_p99_ns: field("win_latency_p99_ns"),
         })
     }
 }
@@ -366,5 +393,17 @@ mod tests {
         let read_back = ServeStats::from_json(&sparse).unwrap();
         assert_eq!(read_back.requests, 3);
         assert_eq!(read_back.shed, 0, "missing counters read as zero");
+    }
+
+    #[test]
+    fn stats_require_a_supported_schema_version() {
+        let missing = Json::parse(r#"{"requests":3}"#).unwrap();
+        assert!(ServeStats::from_json(&missing)
+            .unwrap_err()
+            .contains("missing schema_version"));
+        let wrong = Json::parse(r#"{"schema_version":99,"requests":3}"#).unwrap();
+        assert!(ServeStats::from_json(&wrong)
+            .unwrap_err()
+            .contains("unsupported schema_version 99"));
     }
 }

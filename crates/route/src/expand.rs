@@ -172,6 +172,11 @@ pub(crate) struct Search<'a> {
     covered: [[BTreeMap<i32, Vec<Interval>>; 4]; 2],
     pending: [Vec<usize>; 2],
     candidates: Vec<Candidate>,
+    /// Bounding box of every activated piece, as
+    /// `(min_x, min_y, max_x, max_y)` — the spatial extent the search
+    /// touched, fed to the `netart profile` heat map. Deterministic
+    /// for a given obstacle configuration.
+    explored: Option<(i32, i32, i32, i32)>,
 }
 
 /// Removes the union of `covered` from `span`, returning the leftover
@@ -218,7 +223,14 @@ impl<'a> Search<'a> {
             covered: Default::default(),
             pending: [Vec::new(), Vec::new()],
             candidates: Vec::new(),
+            explored: None,
         }
+    }
+
+    /// The bounding box of everything this search activated, as
+    /// `(min_x, min_y, max_x, max_y)`; `None` when nothing was.
+    pub(crate) fn explored_rect(&self) -> Option<(i32, i32, i32, i32)> {
+        self.explored
     }
 
     /// Seeds a front with the degenerate active of a terminal point
@@ -254,6 +266,16 @@ impl<'a> Search<'a> {
             let id = self.arena.len();
             let mut piece = a.clone();
             piece.span = span;
+            let (x0, y0, x1, y1) = match piece.axis() {
+                Axis::Horizontal => (span.lo(), piece.track, span.hi(), piece.track),
+                Axis::Vertical => (piece.track, span.lo(), piece.track, span.hi()),
+            };
+            self.explored = Some(match self.explored {
+                None => (x0, y0, x1, y1),
+                Some((ex0, ey0, ex1, ey1)) => {
+                    (ex0.min(x0), ey0.min(y0), ex1.max(x1), ey1.max(y1))
+                }
+            });
             self.index[piece.front.idx()][axis_idx(piece.axis())]
                 .entry(piece.track)
                 .or_default()

@@ -81,6 +81,13 @@ pub struct NetRouteStats {
     pub salvage: Option<SalvageStep>,
     /// Routed nets ripped up on this net's behalf.
     pub ripup_victims: u32,
+    /// Bounding box `(min_x, min_y, max_x, max_y)` of everything the
+    /// net's searches activated across the first and retry passes —
+    /// the spatial footprint of the effort, for the `netart profile`
+    /// heat map. `None` for prerouted nets and nets the cascade alone
+    /// touched. Deterministic for a given input; not serialized into
+    /// run reports.
+    pub search_bbox: Option<(i32, i32, i32, i32)>,
 }
 
 impl NetRouteStats {
@@ -94,7 +101,27 @@ impl NetRouteStats {
             retried: false,
             salvage: None,
             ripup_victims: 0,
+            search_bbox: None,
         }
+    }
+}
+
+/// One budgeted attempt's outcome: `(routed, nodes expanded, over
+/// budget, explored bbox)`.
+type AttemptResult = (bool, u64, bool, Option<(i32, i32, i32, i32)>);
+
+/// Union of two optional bounding boxes (`(min_x, min_y, max_x,
+/// max_y)` each).
+fn union_bbox(
+    a: Option<(i32, i32, i32, i32)>,
+    b: Option<(i32, i32, i32, i32)>,
+) -> Option<(i32, i32, i32, i32)> {
+    match (a, b) {
+        (Some((ax0, ay0, ax1, ay1)), Some((bx0, by0, bx1, by1))) => {
+            Some((ax0.min(bx0), ay0.min(by0), ax1.max(bx1), ay1.max(by1)))
+        }
+        (a, None) => a,
+        (None, b) => b,
     }
 }
 
@@ -243,11 +270,12 @@ impl Eureka {
             let net_span = span!(Level::DEBUG, "eureka.net", net = network.net(n).name());
             let _guard = net_span.enter();
             let sabotage = injected.and_then(|(victim, kind)| (victim == n).then_some(kind));
-            let (routed, nodes, over_budget) =
+            let (routed, nodes, over_budget, explored) =
                 self.attempt_net(diagram, &network, &mut map, n, sabotage);
             entry.nodes_expanded += nodes;
             entry.over_budget |= over_budget;
             entry.routed = routed;
+            entry.search_bbox = union_bbox(entry.search_bbox, explored);
             debug!(
                 "first pass",
                 net = network.net(n).name(),
@@ -271,16 +299,17 @@ impl Eureka {
             let net_span = span!(Level::DEBUG, "eureka.retry", net = network.net(n).name());
             let _guard = net_span.enter();
             let sabotage = injected.and_then(|(victim, kind)| (victim == n).then_some(kind));
-            let (routed, nodes, over) = if self.config.retry_failed && !self.cancelled() {
+            let (routed, nodes, over, explored) = if self.config.retry_failed && !self.cancelled() {
                 self.attempt_net(diagram, &network, &mut map, n, sabotage)
             } else {
-                (false, 0, false)
+                (false, 0, false, None)
             };
             let entry = stats.entry(n).or_insert_with(|| NetRouteStats::attempt(n));
             entry.nodes_expanded += nodes;
             entry.over_budget |= over;
             entry.retried = self.config.retry_failed;
             entry.routed = routed;
+            entry.search_bbox = union_bbox(entry.search_bbox, explored);
             if routed {
                 report.routed.push(n);
             } else {
@@ -413,6 +442,7 @@ impl Eureka {
         map: &mut ObstacleMap,
         net: NetId,
         meter: &mut BudgetMeter,
+        explored: &mut Option<(i32, i32, i32, i32)>,
     ) -> bool {
         let placement = diagram.placement();
         let pins: Vec<(Point, Vec<Dir>)> = network
@@ -496,7 +526,9 @@ impl Eureka {
                 for &d in &pins[j].1 {
                     search.seed(Front::B, pins[j].0, d);
                 }
-                if let SearchResult::Connected(conn) = search.run(meter) {
+                let result = search.run(meter);
+                *explored = union_bbox(*explored, search.explored_rect());
+                if let SearchResult::Connected(conn) = result {
                     for seg in conn.segments {
                         wired.push(seg);
                         added.push(seg);
@@ -521,7 +553,9 @@ impl Eureka {
             for &d in &pins[i].1 {
                 search.seed(Front::A, pins[i].0, d);
             }
-            match search.run(meter) {
+            let result = search.run(meter);
+            *explored = union_bbox(*explored, search.explored_rect());
+            match result {
                 SearchResult::Connected(conn) => {
                     for seg in conn.segments {
                         wired.push(seg);
@@ -579,7 +613,7 @@ impl Eureka {
     /// the salvage cascade (and the emitted diagram) against any
     /// router defect that produces disconnected wires.
     ///
-    /// Returns `(routed, nodes expanded, over budget)`.
+    /// Returns `(routed, nodes expanded, over budget, explored bbox)`.
     fn attempt_net(
         &self,
         diagram: &mut Diagram,
@@ -587,15 +621,16 @@ impl Eureka {
         map: &mut ObstacleMap,
         net: NetId,
         sabotage: Option<FaultKind>,
-    ) -> (bool, u64, bool) {
+    ) -> AttemptResult {
         let budget = if sabotage == Some(FaultKind::BudgetExhaust) {
             crate::Budget::new().with_node_limit(0)
         } else {
             self.config.budget
         };
         let mut meter = self.meter(budget);
+        let mut explored = None;
         let mut routed = sabotage != Some(FaultKind::Error)
-            && self.route_net(diagram, network, map, net, &mut meter);
+            && self.route_net(diagram, network, map, net, &mut meter, &mut explored);
         if routed {
             if sabotage == Some(FaultKind::GarbageOutput) {
                 if let Some(path) = diagram.clear_route(net) {
@@ -612,7 +647,7 @@ impl Eureka {
                 routed = false;
             }
         }
-        (routed, meter.spent(), meter.breach().is_some())
+        (routed, meter.spent(), meter.breach().is_some(), explored)
     }
 
     /// The placed positions of a net's pins.
@@ -710,7 +745,8 @@ impl Eureka {
             }
             let mut ok = {
                 let mut meter = self.meter(ripup_budget);
-                let routed = self.route_net(diagram, network, map, net, &mut meter);
+                let routed =
+                    self.route_net(diagram, network, map, net, &mut meter, &mut None);
                 nodes_spent += meter.spent();
                 routed
             };
@@ -723,7 +759,8 @@ impl Eureka {
                         break;
                     }
                     let mut meter = self.meter(ripup_budget);
-                    let routed = self.route_net(diagram, network, map, *v, &mut meter);
+                    let routed =
+                        self.route_net(diagram, network, map, *v, &mut meter, &mut None);
                     nodes_spent += meter.spent();
                     if !routed {
                         ok = false;
