@@ -10,14 +10,20 @@
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use netart::diagram::{Diagram, DiagramMetrics};
 use netart::geom::{Point, Rotation};
+use netart::netlist::doctor::{self, InputPolicy};
+use netart::netlist::ingest::records_from_str;
+use netart::netlist::{Library, Network};
 use netart::obs::{Json, RunReport};
 use netart::place::PlaceConfig;
 use netart::route::RouteConfig;
 use netart::Generator;
+use netart_govern::MemBudget;
+use netart_workloads::text::{self, TextWorkload};
 use netart_workloads::{controller_cluster, life, string_chain};
 
 /// One row of the reproduced table 6.1, with quality metrics attached.
@@ -165,13 +171,60 @@ pub fn fig6_7() -> (Row, Diagram) {
     (Row::from_outcome("fig 6.7", &outcome, true), outcome.diagram)
 }
 
+/// Parses a generated text workload through the governed record path —
+/// the same streaming doctor and memory budget the CLI threads — and
+/// returns the built network.
+///
+/// # Panics
+///
+/// On any doctor rejection or budget exhaustion: generated workloads
+/// are clean by construction, so a rejection here is a generator bug,
+/// not input noise, and the benches should fail loudly.
+pub fn governed_text_network(w: &TextWorkload, budget: &Arc<MemBudget>) -> Network {
+    let mut lib = Library::new();
+    for (_, qto) in &w.modules {
+        let (template, _) =
+            doctor::doctor_module_records(records_from_str(qto), InputPolicy::Strict)
+                .expect("generated module description is clean");
+        lib.add_template(template)
+            .expect("generated module names are unique");
+    }
+    let (network, _) = doctor::doctor_network_records(
+        lib,
+        records_from_str(&w.net),
+        records_from_str(&w.cal),
+        (!w.io.is_empty()).then(|| records_from_str(&w.io)),
+        InputPolicy::Strict,
+        budget,
+    )
+    .expect("generated workload is clean and under budget");
+    network
+}
+
+/// The big-N scaling baseline: a 25×40 systolic cell array — 1000
+/// modules, an order of magnitude past table 6.1 — ingested under the
+/// memory governor and pushed through the default pipeline. Pinning
+/// its normalized run report guards the large-N behaviour (routed
+/// counts, per-net effort, degradations) the small paper figures
+/// cannot see.
+pub fn cells_1k() -> (Row, Diagram) {
+    let budget = Arc::new(MemBudget::unlimited());
+    let network = governed_text_network(&text::cell_array(25, 40), &budget);
+    let outcome = Generator::new().generate(network);
+    (
+        Row::from_outcome("cells 1k", &outcome, true),
+        outcome.diagram,
+    )
+}
+
 /// One gated workload: the `baselines/` file stem and the runner
 /// producing its row.
 pub type BaselineWorkload = (&'static str, fn() -> (Row, Diagram));
 
 /// The workloads whose normalized run reports are committed under
 /// `baselines/` and guarded by the CI perf gate: one per table 6.1
-/// row, keyed by the file stem the baseline is written to.
+/// row plus the [`cells_1k`] big-N scaling workload, keyed by the
+/// file stem the baseline is written to.
 pub fn baseline_workloads() -> Vec<BaselineWorkload> {
     vec![
         ("fig6_1", fig6_1 as fn() -> (Row, Diagram)),
@@ -181,6 +234,7 @@ pub fn baseline_workloads() -> Vec<BaselineWorkload> {
         ("fig6_5", fig6_5),
         ("fig6_6", fig6_6),
         ("fig6_7", fig6_7),
+        ("cells_1k", cells_1k),
     ]
 }
 

@@ -26,7 +26,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use netart::diagram::svg;
-use netart::netlist::doctor::InputPolicy;
+use netart::netlist::doctor::{DoctorCode, InputPolicy};
+use netart::netlist::ingest::{self, IngestBudgets, IngestError};
 use netart::netlist::Library;
 use netart::obs::BatchManifest;
 use netart::route::{CancelToken, RouteConfig};
@@ -34,8 +35,9 @@ use netart::place::PlaceConfig;
 use netart_engine::{EngineConfig, JobContext, JobFailure, JobSuccess};
 
 use crate::commands::{
-    arm_faults, budget_from_args, checked_escher, input_policy, install_subscriber, load_library,
-    load_network_files, ns, stdout_claimed, write_or_stdout, CliError, RunOutput,
+    arm_faults, budget_from_args, budgets_from_args, checked_escher, exhausted_output,
+    input_policy, install_subscriber, load_library, load_network_files, ns, stdout_claimed,
+    write_or_stdout, CliError, RunOutput,
 };
 use crate::ParsedArgs;
 
@@ -143,7 +145,10 @@ fn job_from_manifest_line(
 /// Expands every positional operand into jobs, keyed and sorted by
 /// the net-list path so the batch order (and the manifest) is
 /// deterministic regardless of how the inputs were spelled.
-fn collect_jobs(positionals: &[String]) -> Result<BTreeMap<String, BatchJob>, CliError> {
+fn collect_jobs(
+    positionals: &[String],
+    budgets: &IngestBudgets,
+) -> Result<BTreeMap<String, BatchJob>, CliError> {
     let mut jobs: BTreeMap<String, BatchJob> = BTreeMap::new();
     let mut add = |job: BatchJob| {
         jobs.insert(job.net.to_string_lossy().into_owned(), job);
@@ -173,20 +178,60 @@ fn collect_jobs(positionals: &[String]) -> Result<BTreeMap<String, BatchJob>, Cl
         } else if path.extension().is_some_and(|e| e == "net") {
             add(job_from_net(path)?);
         } else {
-            let text = std::fs::read_to_string(&path).map_err(|source| CliError::Io {
+            // A manifest streams line-at-a-time under the input budget
+            // like every other ingested file — a hostile multi-gigabyte
+            // "manifest" is refused, not slurped.
+            let file = std::fs::File::open(&path).map_err(|source| CliError::Io {
                 path: path.clone(),
                 source,
             })?;
             let base = path.parent().unwrap_or(Path::new(".")).to_owned();
             let mut any = false;
-            for (idx, line) in text.lines().enumerate() {
-                let line = line.trim();
-                if line.is_empty() || line.starts_with('#') {
-                    continue;
-                }
-                add(job_from_manifest_line(&base, line, &path, idx + 1)?);
-                any = true;
+            let mut bad: Option<CliError> = None;
+            let streamed = ingest::for_each_line(
+                std::io::BufReader::new(file),
+                &budgets.input,
+                "batch manifest",
+                |lineno, line| {
+                    let line = line.trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        return Ok(());
+                    }
+                    match job_from_manifest_line(&base, line, &path, lineno) {
+                        Ok(job) => {
+                            add(job);
+                            any = true;
+                            Ok(())
+                        }
+                        Err(e) => {
+                            // Stash the structured error; the sentinel
+                            // below only stops the streaming loop.
+                            bad = Some(e);
+                            Err(IngestError::Parse(netart::netlist::ParseError::new(
+                                lineno,
+                                "unusable manifest line",
+                            )))
+                        }
+                    }
+                },
+            );
+            if let Some(e) = bad {
+                return Err(e);
             }
+            streamed.map_err(|e| match e {
+                IngestError::Io(source) => CliError::Io {
+                    path: path.clone(),
+                    source,
+                },
+                IngestError::Exhausted(x) => CliError::ResourceExhausted {
+                    path: path.clone(),
+                    message: format!("{} {x}", DoctorCode::ResourceExhausted.as_str()),
+                },
+                IngestError::Parse(p) => CliError::Parse {
+                    path: path.clone(),
+                    message: p.to_string(),
+                },
+            })?;
             if !any {
                 return Err(CliError::Other(format!(
                     "{}: manifest lists no jobs",
@@ -235,6 +280,7 @@ fn attempt_job(
     lib: &Library,
     policy: InputPolicy,
     base_budget: netart::route::Budget,
+    ingest_budgets: &IngestBudgets,
     out_dir: &Path,
     strict_inputs: bool,
 ) -> Result<JobSuccess, JobFailure> {
@@ -251,12 +297,16 @@ fn attempt_job(
         }
     };
     let t_parse = Instant::now();
+    // Fresh per-job budgets with the configured limits: a finished
+    // job's network charges must not starve the jobs after it.
+    let budgets = ingest_budgets.fresh();
     let (network, mut cli_degs) = load_network_files(
         lib.clone(),
         &job.net,
         &job.cal,
         job.io.as_deref(),
         policy,
+        &budgets,
     )
     .map_err(classify)?;
     let parse_ns = ns(t_parse.elapsed());
@@ -339,6 +389,7 @@ pub fn run_batch(argv: &[String]) -> Result<RunOutput, CliError> {
         &[
             "jobs", "max-attempts", "job-timeout", "drain-grace", "route-timeout", "max-nodes",
             "L", "out-dir", "report-json", "input-policy", "inject", "trace-level",
+            "max-input-bytes", "max-network-bytes",
         ],
         &["log-json", "strict"],
         (1, usize::MAX),
@@ -348,11 +399,24 @@ pub fn run_batch(argv: &[String]) -> Result<RunOutput, CliError> {
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
     let base_budget = budget_from_args(&args)?;
+    let ingest_budgets = budgets_from_args(&args)?;
     let strict = args.has("strict");
 
     let mut lib_degs = Vec::new();
-    let lib = load_library(&args, policy, &mut lib_degs)?;
-    let jobs = collect_jobs(args.positionals())?;
+    let lib = match load_library(&args, policy, &ingest_budgets, &mut lib_degs) {
+        Ok(lib) => lib,
+        Err(e @ CliError::ResourceExhausted { .. }) => {
+            return Ok(exhausted_output(&e, strict, message_to_stderr))
+        }
+        Err(e) => return Err(e),
+    };
+    let jobs = match collect_jobs(args.positionals(), &ingest_budgets) {
+        Ok(jobs) => jobs,
+        Err(e @ CliError::ResourceExhausted { .. }) => {
+            return Ok(exhausted_output(&e, strict, message_to_stderr))
+        }
+        Err(e) => return Err(e),
+    };
     let inputs: Vec<String> = jobs.keys().cloned().collect();
     let out_dir = PathBuf::from(args.value("out-dir").unwrap_or("."));
     std::fs::create_dir_all(&out_dir).map_err(|source| CliError::Io {
@@ -399,7 +463,16 @@ pub fn run_batch(argv: &[String]) -> Result<RunOutput, CliError> {
         &config,
         &drain,
         |input, ctx| match jobs.get(input) {
-            Some(job) => attempt_job(job, ctx, &lib, policy, base_budget, &out_dir, strict),
+            Some(job) => attempt_job(
+                job,
+                ctx,
+                &lib,
+                policy,
+                base_budget,
+                &ingest_budgets,
+                &out_dir,
+                strict,
+            ),
             None => Err(JobFailure::permanent(format!("unknown job key `{input}`"))),
         },
     );

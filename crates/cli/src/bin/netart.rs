@@ -6,7 +6,9 @@
 //! The `serve` subcommand keeps the pipeline resident behind an HTTP
 //! endpoint; see [`netart_cli::run_serve`]. The `profile` subcommand
 //! renders the routing heat map of one design; see
-//! [`netart_cli::run_profile`].
+//! [`netart_cli::run_profile`]. The `stress` subcommand generates
+//! big-N and adversarial workloads and pushes them through the
+//! memory-governed ingestion path; see [`netart_cli::run_stress`].
 //!
 //! Exit codes: 0 clean, 2 degraded (salvaged or ghost-wired nets, or a
 //! recovered phase crash; 1 under `--strict`), 1 failed outright.
@@ -50,6 +52,22 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("netart serve: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("stress") {
+        return match netart_cli::run_stress(&argv[1..]) {
+            Ok(out) => {
+                if out.message_to_stderr {
+                    eprintln!("{}", out.message);
+                } else {
+                    println!("{}", out.message);
+                }
+                out.exit_code()
+            }
+            Err(e) => {
+                eprintln!("netart stress: {e}");
                 ExitCode::FAILURE
             }
         };

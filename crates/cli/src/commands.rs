@@ -10,7 +10,9 @@ use std::time::{Duration, Instant};
 use netart::diagram::{escher, svg, Diagram};
 use netart::netlist::doctor::{self, DoctorCode, DoctorFile, InputPolicy, Severity};
 use netart::netlist::format::quinto;
+use netart::netlist::ingest::{self, IngestBudgets, IngestError, Record};
 use netart::netlist::{Library, Network};
+use netart_govern::MemBudget;
 use netart::obs::{
     DegradationReport, DiffConfig, FanoutSubscriber, Json, JsonLinesSubscriber, ProfileReport,
     ReportDiff, RunReport, TextSubscriber, TraceBuffer, TraceEventSubscriber,
@@ -283,6 +285,16 @@ pub enum CliError {
         /// Parser message.
         message: String,
     },
+    /// The memory governor refused the input (`ND015`). Commands catch
+    /// this variant and *degrade* (exit 2) instead of failing: refusing
+    /// an oversized input is the configured contract, not a
+    /// malfunction.
+    ResourceExhausted {
+        /// Path of the input being ingested when the budget ran out.
+        path: PathBuf,
+        /// The full `ND015` diagnostic (stage and byte counts).
+        message: String,
+    },
     /// Anything else, explained.
     Other(String),
 }
@@ -292,7 +304,10 @@ impl fmt::Display for CliError {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Io { path, source } => write!(f, "{}: {source}", path.display()),
-            CliError::Parse { path, message } => write!(f, "{}: {message}", path.display()),
+            CliError::Parse { path, message }
+            | CliError::ResourceExhausted { path, message } => {
+                write!(f, "{}: {message}", path.display())
+            }
             CliError::Other(m) => f.write_str(m),
         }
     }
@@ -313,6 +328,124 @@ pub(crate) fn read(path: &Path) -> Result<String, CliError> {
     })
 }
 
+/// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of
+/// 1024, case-insensitive): `65536`, `64k`, `8m`, `1g`.
+pub(crate) fn parse_bytes(flag: &str, s: &str) -> Result<u64, CliError> {
+    let bad = || {
+        CliError::Args(ArgError::BadValue {
+            flag: flag.into(),
+            value: s.into(),
+        })
+    };
+    let (digits, shift) = match s.trim().to_ascii_lowercase() {
+        t if t.ends_with('k') => (t[..t.len() - 1].to_owned(), 10),
+        t if t.ends_with('m') => (t[..t.len() - 1].to_owned(), 20),
+        t if t.ends_with('g') => (t[..t.len() - 1].to_owned(), 30),
+        t => (t, 0),
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    n.checked_shl(shift).filter(|v| v >> shift == n).ok_or_else(bad)
+}
+
+/// Builds the two ingestion budgets from `--max-input-bytes` /
+/// `--max-network-bytes` (absent flags mean unlimited). Sizes accept
+/// `k`/`m`/`g` suffixes.
+pub(crate) fn budgets_from_args(args: &ParsedArgs) -> Result<IngestBudgets, CliError> {
+    let budget = |flag: &str| -> Result<std::sync::Arc<MemBudget>, CliError> {
+        Ok(std::sync::Arc::new(match args.value(flag) {
+            Some(s) => MemBudget::bytes(parse_bytes(flag, s)?),
+            None => MemBudget::unlimited(),
+        }))
+    };
+    Ok(IngestBudgets {
+        input: budget("max-input-bytes")?,
+        network: budget("max-network-bytes")?,
+    })
+}
+
+/// The `ND015` diagnostic text for an ingestion-time exhaustion,
+/// attributed to `file`.
+fn nd015_message(file: DoctorFile, e: &netart_govern::Exhausted) -> String {
+    doctor::resource_exhausted(file, e).to_string()
+}
+
+/// Streams one record file under `budget`. The kept records' bytes
+/// stay charged until the caller releases them; an exhaustion maps to
+/// [`CliError::ResourceExhausted`] carrying the `ND015` text.
+pub(crate) fn read_records_gov(
+    path: &Path,
+    budget: &MemBudget,
+    stage: &'static str,
+    file: DoctorFile,
+) -> Result<Vec<Record>, CliError> {
+    let f = fs::File::open(path).map_err(|source| CliError::Io {
+        path: path.to_owned(),
+        source,
+    })?;
+    ingest::read_records(std::io::BufReader::new(f), budget, stage).map_err(|e| match e {
+        IngestError::Io(source) => CliError::Io {
+            path: path.to_owned(),
+            source,
+        },
+        IngestError::Exhausted(x) => CliError::ResourceExhausted {
+            path: path.to_owned(),
+            message: nd015_message(file, &x),
+        },
+        IngestError::Parse(p) => CliError::Parse {
+            path: path.to_owned(),
+            message: p.to_string(),
+        },
+    })
+}
+
+/// Reads a whole non-record file (an ESCHER diagram) under `budget`:
+/// its on-disk size is charged before the bytes are loaded, so an
+/// oversized file is refused up front with exact counts. Returns the
+/// text and the charged byte count, which the caller releases once
+/// parsing is done.
+pub(crate) fn read_text_gov(
+    path: &Path,
+    budget: &MemBudget,
+    stage: &'static str,
+) -> Result<(String, u64), CliError> {
+    let len = fs::metadata(path)
+        .map_err(|source| CliError::Io {
+            path: path.to_owned(),
+            source,
+        })?
+        .len();
+    budget
+        .try_charge(stage, len)
+        .map_err(|x| CliError::ResourceExhausted {
+            path: path.to_owned(),
+            message: format!("{} {x}", DoctorCode::ResourceExhausted.as_str()),
+        })?;
+    match read(path) {
+        Ok(text) => Ok((text, len)),
+        Err(e) => {
+            budget.release(len);
+            Err(e)
+        }
+    }
+}
+
+/// Turns a caught [`CliError::ResourceExhausted`] into the degraded
+/// (exit 2) outcome the governor contract promises: the refusal is
+/// reported with its `ND015` diagnostic, nothing is written, and under
+/// `--strict` the exit hardens to 1.
+pub(crate) fn exhausted_output(
+    error: &CliError,
+    strict: bool,
+    message_to_stderr: bool,
+) -> RunOutput {
+    RunOutput {
+        message: format!("input refused: {error}"),
+        degraded: true,
+        strict,
+        message_to_stderr,
+    }
+}
+
 fn write(path: &Path, contents: &str) -> Result<(), CliError> {
     fs::write(path, contents).map_err(|source| CliError::Io {
         path: path.to_owned(),
@@ -326,6 +459,7 @@ fn write(path: &Path, contents: &str) -> Result<(), CliError> {
 pub(crate) fn load_library(
     args: &ParsedArgs,
     policy: InputPolicy,
+    budgets: &IngestBudgets,
     degs: &mut Vec<DegradationReport>,
 ) -> Result<Library, CliError> {
     let dir = match args.value("L") {
@@ -336,9 +470,20 @@ pub(crate) fn load_library(
                 CliError::Other("no module library: pass -L <dir> or set USER_LIB".into())
             })?,
     };
+    load_library_dir(&dir, policy, budgets, degs)
+}
+
+/// The directory-parameterised core of [`load_library`], reused by
+/// `netart stress` on its generated library.
+pub(crate) fn load_library_dir(
+    dir: &Path,
+    policy: InputPolicy,
+    budgets: &IngestBudgets,
+    degs: &mut Vec<DegradationReport>,
+) -> Result<Library, CliError> {
     let mut lib = Library::new();
-    let entries = fs::read_dir(&dir).map_err(|source| CliError::Io {
-        path: dir.clone(),
+    let entries = fs::read_dir(dir).map_err(|source| CliError::Io {
+        path: dir.to_owned(),
         source,
     })?;
     let mut paths: Vec<PathBuf> = entries
@@ -354,11 +499,14 @@ pub(crate) fn load_library(
         )));
     }
     for p in paths {
-        let (template, report) =
-            doctor::doctor_module(&read(&p)?, policy).map_err(|e| CliError::Parse {
-                path: p.clone(),
-                message: e.to_string(),
-            })?;
+        let recs = read_records_gov(&p, &budgets.input, "module file", DoctorFile::Module)?;
+        let kept: u64 = recs.iter().map(Record::cost).sum();
+        let doctored = doctor::doctor_module_records(recs, policy);
+        budgets.input.release(kept);
+        let (template, report) = doctored.map_err(|e| CliError::Parse {
+            path: p.clone(),
+            message: e.to_string(),
+        })?;
         doctor_degradations(&p, &report, degs);
         let name = template.name().to_owned();
         if lib.add_template(template).is_err() {
@@ -388,9 +536,10 @@ pub(crate) fn load_library(
 pub(crate) fn load_network(
     args: &ParsedArgs,
     policy: InputPolicy,
+    budgets: &IngestBudgets,
 ) -> Result<(Network, Vec<DegradationReport>), CliError> {
     let mut degs = Vec::new();
-    let lib = load_library(args, policy, &mut degs)?;
+    let lib = load_library(args, policy, budgets, &mut degs)?;
     let files = args.positionals();
     let (network, mut net_degs) = load_network_files(
         lib,
@@ -398,6 +547,7 @@ pub(crate) fn load_network(
         Path::new(&files[1]),
         files.get(2).map(Path::new),
         policy,
+        budgets,
     )?;
     degs.append(&mut net_degs);
     Ok((network, degs))
@@ -412,32 +562,72 @@ pub(crate) fn load_network_files(
     calls_path: &Path,
     io_path: Option<&Path>,
     policy: InputPolicy,
+    budgets: &IngestBudgets,
 ) -> Result<(Network, Vec<DegradationReport>), CliError> {
     let mut degs = Vec::new();
-    let net_list = read(net_list_path)?;
-    let calls = read(calls_path)?;
-    let io = match io_path {
-        Some(f) => Some(read(f)?),
-        None => None,
+    let kept = std::cell::Cell::new(0u64);
+    let load = |path: &Path, stage: &'static str, file: DoctorFile| {
+        let recs = read_records_gov(path, &budgets.input, stage, file)?;
+        kept.set(kept.get() + recs.iter().map(Record::cost).sum::<u64>());
+        Ok::<_, CliError>(recs)
     };
-    let (network, report) = doctor::doctor_network(lib, &net_list, &calls, io.as_deref(), policy)
-        .map_err(|e| {
-            // Attribute the rejection to the first defective file.
-            let which = e
-                .diagnostics
-                .iter()
-                .find(|d| d.severity == Severity::Error)
-                .map_or(DoctorFile::NetList, |d| d.file);
-            let path = match which {
-                DoctorFile::Calls => calls_path,
-                DoctorFile::Io => io_path.unwrap_or(net_list_path),
-                _ => net_list_path,
-            };
+    let loaded = (|| {
+        Ok((
+            load(net_list_path, "net-list file", DoctorFile::NetList)?,
+            load(calls_path, "call file", DoctorFile::Calls)?,
+            match io_path {
+                Some(f) => Some(load(f, "io file", DoctorFile::Io)?),
+                None => None,
+            },
+        ))
+    })();
+    let (net_records, call_records, io_records) = match loaded {
+        Ok(v) => v,
+        Err(e) => {
+            // A failed sibling read drops the already-kept records.
+            budgets.input.release(kept.get());
+            return Err(e);
+        }
+    };
+    let kept = kept.get();
+    let doctored = doctor::doctor_network_records(
+        lib,
+        net_records,
+        call_records,
+        io_records,
+        policy,
+        &budgets.network,
+    );
+    // The records were consumed by the doctor; what survives is the
+    // network, accounted on the network budget.
+    budgets.input.release(kept);
+    let (network, report) = doctored.map_err(|e| {
+        // Attribute the rejection to the first defective file.
+        let which = e
+            .diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .map_or(DoctorFile::NetList, |d| d.file);
+        let path = match which {
+            DoctorFile::Calls => calls_path,
+            DoctorFile::Io => io_path.unwrap_or(net_list_path),
+            _ => net_list_path,
+        };
+        if e.diagnostics
+            .iter()
+            .any(|d| d.code == DoctorCode::ResourceExhausted)
+        {
+            CliError::ResourceExhausted {
+                path: path.to_owned(),
+                message: e.to_string(),
+            }
+        } else {
             CliError::Parse {
                 path: path.to_owned(),
                 message: e.to_string(),
             }
-        })?;
+        }
+    })?;
     doctor_degradations(net_list_path, &report, &mut degs);
     Ok((network, degs))
 }
@@ -516,7 +706,7 @@ pub fn run_pablo(argv: &[String]) -> Result<RunOutput, CliError> {
         argv,
         &[
             "p", "b", "c", "e", "i", "s", "g", "L", "o", "input-policy", "inject", "trace-out",
-            "trace-level",
+            "trace-level", "max-input-bytes", "max-network-bytes",
         ],
         &["log-json"],
         (2, 3),
@@ -525,7 +715,15 @@ pub fn run_pablo(argv: &[String]) -> Result<RunOutput, CliError> {
     let trace_buffer = install_subscriber(&args)?;
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
-    let (network, mut degs) = parse_with_recovery(|| load_network(&args, policy))?;
+    let budgets = budgets_from_args(&args)?;
+    let (network, mut degs) =
+        match parse_with_recovery(|| load_network(&args, policy, &budgets)) {
+            Ok(v) => v,
+            Err(e @ CliError::ResourceExhausted { .. }) => {
+                return Ok(exhausted_output(&e, false, message_to_stderr))
+            }
+            Err(e) => return Err(e),
+        };
 
     let mut config = PlaceConfig::new()
         .with_max_part_size(args.parsed("p", 1usize)?)
@@ -543,13 +741,20 @@ pub fn run_pablo(argv: &[String]) -> Result<RunOutput, CliError> {
     let preplaced = match args.value("g") {
         Some(file) => {
             let path = Path::new(file);
-            let diagram =
-                escher::parse_diagram(network.clone(), &read(path)?).map_err(|e| {
-                    CliError::Parse {
-                        path: path.to_owned(),
-                        message: e.to_string(),
-                    }
-                })?;
+            let (text, len) = match read_text_gov(path, &budgets.input, "seed diagram file") {
+                Ok(v) => v,
+                Err(e @ CliError::ResourceExhausted { .. }) => {
+                    return Ok(exhausted_output(&e, false, message_to_stderr))
+                }
+                Err(e) => return Err(e),
+            };
+            let parsed = escher::parse_diagram(network.clone(), &text);
+            drop(text);
+            budgets.input.release(len);
+            let diagram = parsed.map_err(|e| CliError::Parse {
+                path: path.to_owned(),
+                message: e.to_string(),
+            })?;
             let (_, placement, _) = diagram.into_parts();
             doctor_seeds(&network, placement, path, policy, &mut degs)?
         }
@@ -691,7 +896,8 @@ pub fn run_eureka(argv: &[String]) -> Result<RunOutput, CliError> {
         argv,
         &[
             "m", "order", "L", "o", "diagram", "route-timeout", "max-nodes", "report-json",
-            "trace-out", "trace-level", "input-policy", "inject",
+            "trace-out", "trace-level", "input-policy", "inject", "max-input-bytes",
+            "max-network-bytes",
         ],
         &["u", "d", "r", "l", "s", "no-claims", "no-salvage", "strict", "log-json"],
         (2, 3),
@@ -700,18 +906,36 @@ pub fn run_eureka(argv: &[String]) -> Result<RunOutput, CliError> {
     let trace_buffer = install_subscriber(&args)?;
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
+    let budgets = budgets_from_args(&args)?;
+    let strict = args.has("strict");
     let t_parse = Instant::now();
-    let (network, mut cli_degs) = parse_with_recovery(|| load_network(&args, policy))?;
+    let (network, mut cli_degs) =
+        match parse_with_recovery(|| load_network(&args, policy, &budgets)) {
+            Ok(v) => v,
+            Err(e @ CliError::ResourceExhausted { .. }) => {
+                return Ok(exhausted_output(&e, strict, message_to_stderr))
+            }
+            Err(e) => return Err(e),
+        };
 
     let diagram_file = args
         .value("diagram")
         .ok_or_else(|| CliError::Other("eureka needs --diagram <placed.esc>".into()))?;
     let path = Path::new(diagram_file);
+    let (esc_text, esc_len) = match read_text_gov(path, &budgets.input, "diagram file") {
+        Ok(v) => v,
+        Err(e @ CliError::ResourceExhausted { .. }) => {
+            return Ok(exhausted_output(&e, strict, message_to_stderr))
+        }
+        Err(e) => return Err(e),
+    };
     let diagram =
-        escher::parse_diagram(network, &read(path)?).map_err(|e| CliError::Parse {
+        escher::parse_diagram(network, &esc_text).map_err(|e| CliError::Parse {
             path: path.to_owned(),
             message: e.to_string(),
         })?;
+    drop(esc_text);
+    budgets.input.release(esc_len);
     let parse_ns = ns(t_parse.elapsed());
 
     let mut config = RouteConfig::new()
@@ -834,6 +1058,7 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
         &[
             "p", "b", "c", "e", "i", "s", "m", "order", "L", "o", "route-timeout", "max-nodes",
             "report-json", "trace-out", "trace-level", "input-policy", "inject",
+            "max-input-bytes", "max-network-bytes",
         ],
         &["no-claims", "no-salvage", "art", "strict", "log-json"],
         (2, 3),
@@ -842,8 +1067,16 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
     let trace_buffer = install_subscriber(&args)?;
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
+    let budgets = budgets_from_args(&args)?;
     let t_parse = Instant::now();
-    let (network, mut cli_degs) = parse_with_recovery(|| load_network(&args, policy))?;
+    let (network, mut cli_degs) =
+        match parse_with_recovery(|| load_network(&args, policy, &budgets)) {
+            Ok(v) => v,
+            Err(e @ CliError::ResourceExhausted { .. }) => {
+                return Ok(exhausted_output(&e, args.has("strict"), message_to_stderr))
+            }
+            Err(e) => return Err(e),
+        };
     let parse_ns = ns(t_parse.elapsed());
 
     let mut place = PlaceConfig::new()
@@ -964,7 +1197,10 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
 pub fn run_quinto(argv: &[String]) -> Result<RunOutput, CliError> {
     let args = ParsedArgs::parse(
         argv,
-        &["L", "input-policy", "inject", "trace-out", "trace-level"],
+        &[
+            "L", "input-policy", "inject", "trace-out", "trace-level", "max-input-bytes",
+            "max-network-bytes",
+        ],
         &["log-json"],
         (1, usize::MAX),
     )?;
@@ -972,6 +1208,7 @@ pub fn run_quinto(argv: &[String]) -> Result<RunOutput, CliError> {
     let trace_buffer = install_subscriber(&args)?;
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
+    let budgets = budgets_from_args(&args)?;
     let dir = match args.value("L") {
         Some(d) => PathBuf::from(d),
         None => std::env::var_os("USER_LIB")
@@ -986,11 +1223,21 @@ pub fn run_quinto(argv: &[String]) -> Result<RunOutput, CliError> {
     let mut warnings = String::new();
     for file in args.positionals() {
         let path = Path::new(file);
-        let (template, report) =
-            doctor::doctor_module(&read(path)?, policy).map_err(|e| CliError::Parse {
-                path: path.to_owned(),
-                message: e.to_string(),
-            })?;
+        let recs = match read_records_gov(path, &budgets.input, "module file", DoctorFile::Module)
+        {
+            Ok(recs) => recs,
+            Err(e @ CliError::ResourceExhausted { .. }) => {
+                return Ok(exhausted_output(&e, false, message_to_stderr))
+            }
+            Err(e) => return Err(e),
+        };
+        let kept: u64 = recs.iter().map(Record::cost).sum();
+        let doctored = doctor::doctor_module_records(recs, policy);
+        budgets.input.release(kept);
+        let (template, report) = doctored.map_err(|e| CliError::Parse {
+            path: path.to_owned(),
+            message: e.to_string(),
+        })?;
         for d in &report.diagnostics {
             warnings.push_str(&format!("\nwarning: {}: {d}", path.display()));
         }

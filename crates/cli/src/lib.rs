@@ -31,6 +31,7 @@ mod commands;
 mod http;
 mod profile;
 mod serve;
+mod stress;
 
 pub use args::{ArgError, ParsedArgs};
 pub use batch::{install_drain_handlers, run_batch};
@@ -40,3 +41,4 @@ pub use commands::{
 };
 pub use profile::run_profile;
 pub use serve::run_serve;
+pub use stress::run_stress;

@@ -187,7 +187,7 @@ pub fn run_profile(argv: &[String]) -> Result<RunOutput, CliError> {
         argv,
         &[
             "grid", "heat-json", "L", "m", "order", "route-timeout", "max-nodes", "input-policy",
-            "inject", "trace-level", "trace-out",
+            "inject", "trace-level", "trace-out", "max-input-bytes", "max-network-bytes",
         ],
         &["log-json"],
         (2, 3),
@@ -203,7 +203,14 @@ pub fn run_profile(argv: &[String]) -> Result<RunOutput, CliError> {
         .into());
     }
     let policy = input_policy(&args)?;
-    let (network, _degs) = load_network(&args, policy)?;
+    let budgets = crate::commands::budgets_from_args(&args)?;
+    let (network, _degs) = match load_network(&args, policy, &budgets) {
+        Ok(v) => v,
+        Err(e @ CliError::ResourceExhausted { .. }) => {
+            return Ok(crate::commands::exhausted_output(&e, false, false))
+        }
+        Err(e) => return Err(e),
+    };
 
     let order = match args.value("order").unwrap_or("def") {
         "def" => NetOrder::Definition,

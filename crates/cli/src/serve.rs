@@ -47,8 +47,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use netart::netlist::doctor::{self, InputPolicy};
+use netart::netlist::doctor::{self, DoctorCode, InputPolicy};
+use netart::netlist::ingest::records_from_str;
 use netart::netlist::Library;
+use netart_govern::MemBudget;
 use netart::obs::{CacheOutcome, Json, ServeReport, ServeStats, ServeStatus, Telemetry};
 use netart::place::PlaceConfig;
 use netart::route::{Budget, NetOrder, RouteConfig};
@@ -56,8 +58,9 @@ use netart::diagram::svg;
 use netart_engine::{ByteCache, JobContext, Service, ServiceConfig, SingleFlight, SubmitError, TicketOutcome};
 
 use crate::commands::{
-    arm_faults, budget_from_args, checked_escher, cli_degradation, doctor_degradations,
-    input_policy, install_subscriber, ns, write_trace, CliError, RunOutput,
+    arm_faults, budget_from_args, budgets_from_args, checked_escher, cli_degradation,
+    doctor_degradations, exhausted_output, input_policy, install_subscriber, ns, parse_bytes,
+    write_trace, CliError, RunOutput,
 };
 use crate::http::{read_request, respond, RequestError};
 use crate::{ArgError, ParsedArgs};
@@ -92,6 +95,10 @@ const M_ROUTE_WALL: &str = "netart_serve_route_wall_ns";
 const M_NODES: &str = "netart_serve_nodes_expanded";
 /// Time a job waited in the admission queue, nanoseconds.
 const M_QUEUE_WAIT: &str = "netart_serve_queue_wait_ns";
+/// Requests refused because the `--memory-budget` governor had no room
+/// (at admission or mid-parse). Each refusal answered `503
+/// Retry-After`; the budget frees as in-flight work completes.
+const M_MEM_REJECTIONS: &str = "netart_serve_mem_rejections_total";
 
 /// The rendering options a request may set, resolved against the
 /// server's defaults. The deadline is deliberately *not* part of the
@@ -127,6 +134,10 @@ struct Computed {
     /// is timing-dependent and must be recomputed next time.
     cacheable: bool,
     deadline_cancelled: bool,
+    /// The memory governor refused the parse (`ND015`): answer `503
+    /// Retry-After`, not `422` — the input may fit once in-flight work
+    /// releases its charges.
+    exhausted: bool,
 }
 
 /// How a flight (one admission attempt shared by coalesced callers)
@@ -145,6 +156,9 @@ struct HandlerState {
     policy: InputPolicy,
     base_budget: Budget,
     telemetry: Arc<Telemetry>,
+    /// The process-wide `--memory-budget` governor; each job parses
+    /// under a snapshot of its remaining room.
+    mem_budget: Arc<MemBudget>,
 }
 
 #[derive(Default)]
@@ -177,6 +191,10 @@ struct ServerState {
     default_timeout: Duration,
     timeout_ceiling: Duration,
     max_body: usize,
+    /// The `--memory-budget` governor: request bodies lease their
+    /// bytes here for the life of the connection, and each job's parse
+    /// runs under a snapshot of the remaining room.
+    mem_budget: Arc<MemBudget>,
     default_options: RenderOptions,
 }
 
@@ -248,29 +266,42 @@ fn handle_job(state: &HandlerState, job: DiagramJob, ctx: &JobContext) -> Comput
             rejected: false,
             cacheable: false,
             deadline_cancelled: false,
+            exhausted: false,
         };
     }
 
     let mut degs = Vec::new();
     let t_doctor = Instant::now();
-    let network = match doctor::doctor_network(
+    // The parse is governed by a snapshot of the global budget's
+    // remaining room: the network this job materialises may not exceed
+    // what the process has left. The snapshot is private to the job,
+    // so its charges die with the network — nothing to release.
+    let parse_budget = Arc::new(MemBudget::bytes(state.mem_budget.remaining()));
+    let network = match doctor::doctor_network_records(
         state.library.clone(),
-        &job.net,
-        &job.cal,
-        job.io.as_deref(),
+        records_from_str(&job.net),
+        records_from_str(&job.cal),
+        job.io.as_deref().map(records_from_str),
         state.policy,
+        &parse_budget,
     ) {
         Ok((network, report)) => {
             doctor_degradations(Path::new("request"), &report, &mut degs);
             network
         }
         Err(e) => {
+            let exhausted = e
+                .diagnostics
+                .iter()
+                .any(|d| d.code == DoctorCode::ResourceExhausted);
+            let verb = if exhausted { "refused" } else { "rejected" };
             return Computed {
-                report: ServeReport::failure(format!("input rejected: {e}")),
-                rejected: true,
+                report: ServeReport::failure(format!("input {verb}: {e}")),
+                rejected: !exhausted,
                 cacheable: false,
                 deadline_cancelled: false,
-            }
+                exhausted,
+            };
         }
     };
     let doctor_ns = ns(t_doctor.elapsed());
@@ -299,6 +330,7 @@ fn handle_job(state: &HandlerState, job: DiagramJob, ctx: &JobContext) -> Comput
                 rejected: false,
                 cacheable: false,
                 deadline_cancelled,
+                exhausted: false,
             }
         }
     };
@@ -349,6 +381,7 @@ fn handle_job(state: &HandlerState, job: DiagramJob, ctx: &JobContext) -> Comput
         rejected: false,
         cacheable: !deadline_cancelled,
         deadline_cancelled,
+        exhausted: false,
     }
 }
 
@@ -659,6 +692,16 @@ fn handle_diagram(state: &Arc<ServerState>, body: &[u8], acc: &mut AccessRecord)
             }
             let mut report = computed.report.clone();
             report.cache = outcome;
+            if computed.exhausted {
+                // The governor, not the input, said no: the same
+                // request may fit once in-flight work releases its
+                // charges, so answer retryable 503, not final 422.
+                acc.outcome = "mem_reject";
+                record_telemetry(&state.telemetry, |t| t.inc(M_MEM_REJECTIONS, &[], 1));
+                let mut reply = HttpReply::report(503, &report);
+                reply.headers.push(("Retry-After", "1".to_owned()));
+                return reply;
+            }
             let status = match report.status {
                 ServeStatus::Clean | ServeStatus::Degraded => 200,
                 ServeStatus::Failed if computed.rejected => 422,
@@ -789,35 +832,73 @@ fn route_request(state: &Arc<ServerState>, method: &str, path: &str, body: &[u8]
     }
 }
 
+/// A `503 Retry-After` refusal from the memory governor, with the
+/// `netart_serve_mem_rejections_total` counter bumped. Unlike the
+/// `413` cap (a permanent verdict on the input), this one is
+/// retryable: the budget frees as in-flight work completes.
+fn mem_reject(state: &ServerState, message: String) -> HttpReply {
+    record_telemetry(&state.telemetry, |t| t.inc(M_MEM_REJECTIONS, &[], 1));
+    let mut reply = HttpReply::report(503, &ServeReport::failure(message));
+    reply.headers.push(("Retry-After", "1".to_owned()));
+    reply
+}
+
 /// One connection, one request, one response. Runs on its own thread;
 /// the final defence in depth — even a panic past the service's
 /// `catch_unwind` (routing, framing) kills only this connection.
+///
+/// Admission control runs here, on the declared `Content-Length`,
+/// before a single body byte is buffered: over the `--max-body` cap is
+/// `413` (a verdict on the input), over the memory governor's
+/// remaining room is `503 Retry-After` (a verdict on the moment). A
+/// body that fits leases its bytes on the governor until the response
+/// is framed.
 fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let reply = match read_request(&mut stream, state.max_body) {
+    let budget_room = usize::try_from(state.mem_budget.remaining()).unwrap_or(usize::MAX);
+    let reply = match read_request(&mut stream, state.max_body.min(budget_room)) {
         Ok(request) => {
-            match catch_unwind(AssertUnwindSafe(|| {
-                route_request(state, &request.method, &request.path, &request.body)
-            })) {
-                Ok(reply) => reply,
-                Err(_) => {
-                    count(&state.counters.panics);
-                    HttpReply::report(
-                        500,
-                        &ServeReport::failure("internal error while framing the response"),
-                    )
+            let body_lease = request.body.len() as u64;
+            match state.mem_budget.try_charge("serve admission", body_lease) {
+                // Lost the admission race to a concurrent request.
+                Err(x) => mem_reject(state, format!("over memory budget: {x}")),
+                Ok(()) => {
+                    let reply = match catch_unwind(AssertUnwindSafe(|| {
+                        route_request(state, &request.method, &request.path, &request.body)
+                    })) {
+                        Ok(reply) => reply,
+                        Err(_) => {
+                            count(&state.counters.panics);
+                            HttpReply::report(
+                                500,
+                                &ServeReport::failure(
+                                    "internal error while framing the response",
+                                ),
+                            )
+                        }
+                    };
+                    state.mem_budget.release(body_lease);
+                    reply
                 }
             }
         }
-        Err(RequestError::BodyTooLarge { declared, limit }) => {
+        Err(RequestError::BodyTooLarge { declared, .. }) if declared > state.max_body => {
             count(&state.counters.too_large);
             HttpReply::report(
                 413,
                 &ServeReport::failure(format!(
-                    "request body of {declared} bytes exceeds the {limit}-byte cap"
+                    "request body of {declared} bytes exceeds the {}-byte cap",
+                    state.max_body
                 )),
             )
         }
+        Err(RequestError::BodyTooLarge { declared, limit }) => mem_reject(
+            state,
+            format!(
+                "declared body of {declared} bytes exceeds the memory budget's remaining \
+                 {limit} byte(s); retry shortly"
+            ),
+        ),
         Err(RequestError::Malformed(message)) => {
             HttpReply::report(400, &ServeReport::failure(message))
         }
@@ -846,7 +927,17 @@ fn parse_millis(args: &ParsedArgs, flag: &str, default_ms: u64) -> Result<Durati
 /// [--max-body bytes] [--cache-bytes n] [--drain-grace ms]
 /// [--route-timeout ms] [--max-nodes n] [-m margin] [--order o]
 /// [--input-policy p] [--inject spec] [--access-log path]
-/// [--trace-level lvl] [--trace-out path] [--log-json]`
+/// [--trace-level lvl] [--trace-out path] [--log-json]
+/// [--memory-budget bytes] [--max-input-bytes n] [--max-network-bytes n]`
+///
+/// `--memory-budget` (k/m/g suffixes accepted) arms the global memory
+/// governor: declared request bodies over the remaining room answer
+/// `503 Retry-After` (and bump `netart_serve_mem_rejections_total` in
+/// `/metrics`) instead of being buffered, admitted bodies lease their
+/// bytes for the life of the request, and each job's parse is governed
+/// by a snapshot of the remaining room — an exhausted parse answers
+/// `503` with the `ND015` diagnostic inline. `--max-input-bytes` /
+/// `--max-network-bytes` govern the boot-time library load.
 ///
 /// Boots the resident diagram service and blocks until SIGINT/SIGTERM
 /// drains it. The first stdout line is `serving on http://ADDR` (the
@@ -870,7 +961,8 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
         &[
             "addr", "L", "workers", "queue-depth", "default-timeout", "timeout-ceiling",
             "max-body", "cache-bytes", "drain-grace", "route-timeout", "max-nodes", "m", "order",
-            "input-policy", "inject", "access-log", "trace-level", "trace-out",
+            "input-policy", "inject", "access-log", "trace-level", "trace-out", "memory-budget",
+            "max-input-bytes", "max-network-bytes",
         ],
         &["log-json"],
         (0, 0),
@@ -879,9 +971,21 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
     let base_budget = budget_from_args(&args)?;
+    let boot_budgets = budgets_from_args(&args)?;
+    let mem_budget = Arc::new(match args.value("memory-budget") {
+        Some(s) => MemBudget::bytes(parse_bytes("memory-budget", s)?),
+        None => MemBudget::unlimited(),
+    });
 
     let mut boot_degs = Vec::new();
-    let library = crate::commands::load_library(&args, policy, &mut boot_degs)?;
+    let library =
+        match crate::commands::load_library(&args, policy, &boot_budgets, &mut boot_degs) {
+            Ok(lib) => lib,
+            Err(e @ CliError::ResourceExhausted { .. }) => {
+                return Ok(exhausted_output(&e, false, false))
+            }
+            Err(e) => return Err(e),
+        };
 
     let margin = args.parsed("m", 4i32)?;
     let order = match args.value("order").unwrap_or("def") {
@@ -919,6 +1023,7 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
         policy,
         base_budget,
         telemetry: Arc::clone(&telemetry),
+        mem_budget: Arc::clone(&mem_budget),
     };
     let service = Service::new(&config, move |job, ctx| handle_job(&handler_state, job, ctx));
     let state = Arc::new(ServerState {
@@ -933,6 +1038,7 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
         default_timeout,
         timeout_ceiling,
         max_body: args.parsed("max-body", 1024 * 1024usize)?,
+        mem_budget,
         default_options: RenderOptions { margin, order },
     });
 

@@ -141,6 +141,10 @@ fn chaos_parse_sites() {
     for kind in KINDS {
         case(&format!("parse.network:1:{kind}"), "parse.network");
         case(&format!("parse.module:1:{kind}"), "parse.module");
+        // The memory governor's charge point: a fired fault simulates
+        // an allocation refusal (ND015) even under an unlimited
+        // budget, and recovery retries against the burned-out site.
+        case(&format!("parse.alloc:1:{kind}"), "parse.alloc");
     }
 }
 

@@ -549,3 +549,65 @@ fn sigterm_flips_readiness_drains_and_exits_zero() {
     );
     let _ = std::fs::remove_dir_all(dir);
 }
+
+#[test]
+fn memory_budget_rejects_over_budget_submissions_and_recovers() {
+    let dir = scratch("membudget");
+    let server = ServeProc::start(
+        &write_lib(&dir),
+        &["--workers", "1", "--max-body", "1048576", "--memory-budget", "128k"],
+    );
+
+    // An in-budget request computes normally.
+    let (net, cal, io) = chain_inputs(4);
+    let small = diagram_request(&net, &cal, Some(&io)).render_pretty();
+    assert_eq!(server.exchange("POST", "/v1/diagram", Some(&small)).status, 200);
+
+    // A body that fits the admission window but whose parse outgrows
+    // the governor's remaining room: refused with 503 + Retry-After,
+    // not 422 — the verdict is on the moment, not the input.
+    let (net, cal, io) = chain_inputs(2000);
+    let big = diagram_request(&net, &cal, Some(&io)).render_pretty();
+    assert!(big.len() < 128 * 1024, "must pass admission: {}", big.len());
+    let refused = server.exchange("POST", "/v1/diagram", Some(&big));
+    assert_eq!(refused.status, 503);
+    assert!(refused.has_header("Retry-After"), "{}", refused.head);
+    assert_eq!(parse_report(&refused).status.as_str(), "failed");
+
+    // A request whose *declared* length alone exceeds the budget (but
+    // not --max-body) is bounced at admission, before buffering — the
+    // verdict arrives off the headers, so only headers are sent here.
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(&server.addr).expect("connect");
+        stream
+            .write_all(
+                b"POST /v1/diagram HTTP/1.1\r\nHost: netart\r\nContent-Length: 307200\r\n\r\n",
+            )
+            .expect("write headers");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read admission verdict");
+        assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+        assert!(raw.to_ascii_lowercase().contains("retry-after:"), "{raw}");
+    }
+
+    // Both refusals surface on the mem-rejection counter.
+    let scrape = server.exchange("GET", "/metrics", None);
+    assert_eq!(scrape.status, 200);
+    let (series, types) = parse_exposition(&scrape.body);
+    assert_eq!(
+        types.get("netart_serve_mem_rejections_total").map(String::as_str),
+        Some("counter")
+    );
+    assert!(
+        series.get("netart_serve_mem_rejections_total").copied().unwrap_or(0) >= 2,
+        "rejections counted: {series:?}"
+    );
+
+    // The lease died with the refused requests: fresh in-budget work
+    // still computes.
+    let (net, cal, io) = chain_inputs(6);
+    let fresh = diagram_request(&net, &cal, Some(&io)).render_pretty();
+    assert_eq!(server.exchange("POST", "/v1/diagram", Some(&fresh)).status, 200);
+    let _ = std::fs::remove_dir_all(dir);
+}

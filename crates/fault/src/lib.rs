@@ -45,6 +45,10 @@ pub mod sites {
     pub const PARSE_NETWORK: &str = "parse.network";
     /// Quinto module description parsing (one hit per module file).
     pub const PARSE_MODULE: &str = "parse.module";
+    /// A governed allocation during ingestion: fires at the memory
+    /// budget's charge point, simulating `ND015 resource-exhausted`
+    /// even when the budget itself is unlimited.
+    pub const PARSE_ALLOC: &str = "parse.alloc";
     /// PABLO seeded partitioning pass.
     pub const PLACE_PARTITION: &str = "place.partition";
     /// PABLO per-partition box/module layout pass.
@@ -85,6 +89,7 @@ pub mod sites {
     pub const ALL: &[&str] = &[
         PARSE_NETWORK,
         PARSE_MODULE,
+        PARSE_ALLOC,
         PLACE_PARTITION,
         PLACE_MODULE,
         PLACE_CLUSTER,

@@ -1,0 +1,331 @@
+//! The resource governor: a cheap, thread-safe byte budget shared by
+//! parsers, builders and the serve front.
+//!
+//! Machine-generated netlists are thousands of times larger than the
+//! hand-typed 1989 appendix files, and the first thing a huge (or
+//! hostile) input does to a resident process is exhaust its memory.
+//! [`MemBudget`] makes every growth site *ask first*: callers charge
+//! the bytes they are about to allocate with [`MemBudget::try_charge`]
+//! and release them when the data is dropped. A refusal carries the
+//! exact byte counts ([`Exhausted`]) so it can surface as a diagnostic
+//! instead of an abort — the same discipline the smt-log-parser uses
+//! (`try_reserve` before every push) to survive multi-gigabyte inputs.
+//!
+//! The budget is deliberately simple: one atomic counter against one
+//! limit. It does not track allocator overhead or fragmentation; call
+//! sites charge a documented estimate of the bytes they keep, which is
+//! enough to bound the process within a constant factor.
+//!
+//! # Examples
+//!
+//! ```
+//! use netart_govern::{MemBudget, TryPush};
+//!
+//! let budget = MemBudget::bytes(1024);
+//! let mut v: Vec<u64> = Vec::new();
+//! v.try_push(&budget, "example", 0, 7).unwrap();
+//! assert_eq!(budget.used(), 8);
+//!
+//! let tiny = MemBudget::bytes(4);
+//! let err = v.try_push(&tiny, "example", 0, 8).unwrap_err();
+//! assert_eq!(err.requested, 8);
+//! assert_eq!(err.limit, 4);
+//! assert_eq!(v.len(), 1); // nothing was pushed
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, thread-safe byte budget.
+///
+/// Cloneable only through [`Arc`]; every component that should be
+/// governed together (parser, builder, serve admission) holds the same
+/// instance, so one request cannot starve the process by splitting its
+/// allocations across stages.
+#[derive(Debug)]
+pub struct MemBudget {
+    limit: u64,
+    used: AtomicU64,
+}
+
+impl Default for MemBudget {
+    fn default() -> Self {
+        MemBudget::unlimited()
+    }
+}
+
+impl MemBudget {
+    /// A budget that never refuses (limit `u64::MAX`). Charging is
+    /// still accounted, so [`MemBudget::used`] stays meaningful.
+    pub fn unlimited() -> Self {
+        MemBudget::bytes(u64::MAX)
+    }
+
+    /// A budget of `limit` bytes. A limit of zero refuses every
+    /// non-empty charge.
+    pub fn bytes(limit: u64) -> Self {
+        MemBudget {
+            limit,
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this budget can ever refuse a charge.
+    pub fn is_unlimited(&self) -> bool {
+        self.limit == u64::MAX
+    }
+
+    /// The configured limit in bytes.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available before the limit.
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.used())
+    }
+
+    /// Accounts `bytes` against the budget, or refuses without
+    /// charging anything. Never overshoots: a refused charge leaves
+    /// the counter untouched, even under contention.
+    ///
+    /// # Errors
+    ///
+    /// [`Exhausted`] with the exact byte counts when the charge would
+    /// exceed the limit.
+    pub fn try_charge(&self, stage: &'static str, bytes: u64) -> Result<(), Exhausted> {
+        self.used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                used.checked_add(bytes).filter(|&n| n <= self.limit)
+            })
+            .map(|_| ())
+            .map_err(|used| Exhausted {
+                stage,
+                requested: bytes,
+                used,
+                limit: self.limit,
+            })
+    }
+
+    /// Returns `bytes` to the budget. Saturates at zero so a
+    /// double-release cannot poison the counter (it would only make
+    /// the budget *more* permissive, never wedge it shut).
+    pub fn release(&self, bytes: u64) {
+        let _ = self
+            .used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                Some(used.saturating_sub(bytes))
+            });
+    }
+
+    /// Charges `bytes` and returns a guard that releases them on
+    /// drop — the idiom for request-scoped charges (serve admission).
+    ///
+    /// # Errors
+    ///
+    /// [`Exhausted`] when the charge would exceed the limit.
+    pub fn lease(self: &Arc<Self>, stage: &'static str, bytes: u64) -> Result<Lease, Exhausted> {
+        self.try_charge(stage, bytes)?;
+        Ok(Lease {
+            budget: Arc::clone(self),
+            bytes,
+        })
+    }
+}
+
+/// A request-scoped charge; returns its bytes to the budget on drop.
+#[derive(Debug)]
+pub struct Lease {
+    budget: Arc<MemBudget>,
+    bytes: u64,
+}
+
+impl Lease {
+    /// The bytes held by this lease.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        self.budget.release(self.bytes);
+    }
+}
+
+/// A refused charge, carrying the exact byte counts for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exhausted {
+    /// Which ingestion stage asked for the allocation.
+    pub stage: &'static str,
+    /// Bytes the stage asked for.
+    pub requested: u64,
+    /// Bytes already charged when the request arrived.
+    pub used: u64,
+    /// The configured limit.
+    pub limit: u64,
+}
+
+impl fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory budget exhausted in {}: needed {} byte(s) with {} of {} already charged",
+            self.stage, self.requested, self.used, self.limit
+        )
+    }
+}
+
+impl Error for Exhausted {}
+
+/// Allocation-checked growth: charge first, push only on success.
+pub trait TryPush<T> {
+    /// Charges the element's inline size plus `deep` (its owned heap
+    /// bytes — string contents, nested buffers) against `budget`, then
+    /// pushes. On refusal the container is untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`Exhausted`] when the charge would exceed the limit.
+    fn try_push(
+        &mut self,
+        budget: &MemBudget,
+        stage: &'static str,
+        deep: u64,
+        value: T,
+    ) -> Result<(), Exhausted>;
+}
+
+impl<T> TryPush<T> for Vec<T> {
+    fn try_push(
+        &mut self,
+        budget: &MemBudget,
+        stage: &'static str,
+        deep: u64,
+        value: T,
+    ) -> Result<(), Exhausted> {
+        budget.try_charge(stage, std::mem::size_of::<T>() as u64 + deep)?;
+        self.push(value);
+        Ok(())
+    }
+}
+
+/// The heap bytes owned by a string — what a charge for keeping it
+/// should cover beyond the inline `String` struct.
+pub fn str_cost(s: &str) -> u64 {
+    s.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_release_round_trip() {
+        let b = MemBudget::bytes(100);
+        b.try_charge("t", 60).unwrap();
+        assert_eq!(b.used(), 60);
+        assert_eq!(b.remaining(), 40);
+        b.try_charge("t", 40).unwrap();
+        assert_eq!(b.remaining(), 0);
+        b.release(100);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn refusal_reports_exact_counts_and_charges_nothing() {
+        let b = MemBudget::bytes(100);
+        b.try_charge("setup", 90).unwrap();
+        let e = b.try_charge("grow", 20).unwrap_err();
+        assert_eq!(e.stage, "grow");
+        assert_eq!(e.requested, 20);
+        assert_eq!(e.used, 90);
+        assert_eq!(e.limit, 100);
+        assert_eq!(b.used(), 90, "failed charge must not stick");
+        assert!(e.to_string().contains("needed 20 byte(s)"), "{e}");
+    }
+
+    #[test]
+    fn unlimited_never_refuses_but_still_accounts() {
+        let b = MemBudget::unlimited();
+        assert!(b.is_unlimited());
+        b.try_charge("t", u64::MAX / 2).unwrap();
+        assert_eq!(b.used(), u64::MAX / 2);
+    }
+
+    #[test]
+    fn overflow_is_a_refusal_not_a_wrap() {
+        let b = MemBudget::unlimited();
+        b.try_charge("t", u64::MAX - 1).unwrap();
+        assert!(b.try_charge("t", 2).is_err());
+    }
+
+    #[test]
+    fn release_saturates_at_zero() {
+        let b = MemBudget::bytes(10);
+        b.try_charge("t", 5).unwrap();
+        b.release(50);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn lease_releases_on_drop() {
+        let b = Arc::new(MemBudget::bytes(100));
+        let lease = b.lease("req", 64).unwrap();
+        assert_eq!(lease.bytes(), 64);
+        assert_eq!(b.used(), 64);
+        assert!(b.lease("req", 64).is_err());
+        drop(lease);
+        assert_eq!(b.used(), 0);
+        b.lease("req", 64).unwrap();
+    }
+
+    #[test]
+    fn try_push_charges_inline_plus_deep() {
+        let b = MemBudget::bytes(1024);
+        let mut v: Vec<String> = Vec::new();
+        let s = "hello".to_owned();
+        let deep = str_cost(&s);
+        v.try_push(&b, "t", deep, s).unwrap();
+        assert_eq!(b.used(), std::mem::size_of::<String>() as u64 + 5);
+    }
+
+    #[test]
+    fn try_push_refusal_leaves_vec_untouched() {
+        let b = MemBudget::bytes(1);
+        let mut v: Vec<u64> = vec![1];
+        assert!(v.try_push(&b, "t", 0, 2).is_err());
+        assert_eq!(v, [1]);
+    }
+
+    #[test]
+    fn concurrent_charges_never_exceed_limit() {
+        let b = Arc::new(MemBudget::bytes(1000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let mut granted = 0u64;
+                for _ in 0..1000 {
+                    if b.try_charge("t", 1).is_ok() {
+                        granted += 1;
+                    }
+                }
+                granted
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().expect("join")).sum();
+        assert_eq!(total, 1000, "exactly the limit must be granted");
+        assert_eq!(b.used(), 1000);
+    }
+}

@@ -49,9 +49,13 @@ use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
-use crate::format::{records, NetworkFile};
-use crate::{Library, Network, NetworkBuilder, Template, TermType};
+use netart_govern::{Exhausted, MemBudget};
+
+use crate::format::NetworkFile;
+use crate::ingest::{records_from_str, Record};
+use crate::{BuildError, Library, Network, NetworkBuilder, Template, TermType};
 
 /// How the pipeline treats defective input, end to end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -144,6 +148,12 @@ pub enum DoctorCode {
     MalformedRecord,
     /// `ND014` — two library modules share a name.
     DuplicateTemplate,
+    /// `ND015` — the memory governor refused a growth during
+    /// ingestion; the message names the exhausted stage and byte
+    /// counts. Never downgraded: an exhausted budget cannot be
+    /// repaired or skipped, so the input is rejected under **every**
+    /// policy (the CLI surfaces it as a degraded run, not a crash).
+    ResourceExhausted,
 }
 
 impl DoctorCode {
@@ -165,6 +175,7 @@ impl DoctorCode {
             DoctorCode::OverlappingSeeds => "ND012",
             DoctorCode::MalformedRecord => "ND013",
             DoctorCode::DuplicateTemplate => "ND014",
+            DoctorCode::ResourceExhausted => "ND015",
         }
     }
 }
@@ -357,6 +368,21 @@ fn resolve_policy(
     }
 }
 
+/// Wraps a governor refusal as the `ND015` rejection: one
+/// error-severity diagnostic carrying the exhausted stage and exact
+/// byte counts. Public so the CLI can report read-stage exhaustion
+/// (which happens before the doctor runs) in the same shape.
+pub fn resource_exhausted(file: DoctorFile, e: &Exhausted) -> DoctorError {
+    DoctorError {
+        diagnostics: vec![Diagnostic::error(
+            DoctorCode::ResourceExhausted,
+            file,
+            0,
+            e.to_string(),
+        )],
+    }
+}
+
 fn injected_fault(file: DoctorFile, kind: &str) -> DoctorError {
     DoctorError {
         diagnostics: vec![Diagnostic::error(
@@ -403,6 +429,35 @@ pub fn doctor_network(
     io_file: Option<&str>,
     policy: InputPolicy,
 ) -> Result<(Network, DoctorReport), DoctorError> {
+    doctor_network_records(
+        library,
+        records_from_str(net_list_file),
+        records_from_str(call_file),
+        io_file.map(records_from_str),
+        policy,
+        &Arc::new(MemBudget::unlimited()),
+    )
+}
+
+/// The record-level core of [`doctor_network`], fed by the streaming
+/// reader ([`crate::ingest::read_records`]) so no whole-file string
+/// ever exists. Network construction is governed by `network_budget`:
+/// a refused growth rejects the input with an `ND015` diagnostic
+/// carrying the exhausted stage and byte counts, under **every**
+/// policy.
+///
+/// # Errors
+///
+/// As [`doctor_network`], plus the `ND015` rejection on budget
+/// exhaustion.
+pub fn doctor_network_records(
+    library: Library,
+    net_records: Vec<Record>,
+    call_records: Vec<Record>,
+    io_records: Option<Vec<Record>>,
+    policy: InputPolicy,
+    network_budget: &Arc<MemBudget>,
+) -> Result<(Network, DoctorReport), DoctorError> {
     let doctor_span = tracing::span!(tracing::Level::DEBUG, "doctor.network");
     let _doctor_guard = doctor_span.enter();
     if let Some(kind) = netart_fault::fire(netart_fault::sites::PARSE_NETWORK) {
@@ -417,18 +472,18 @@ pub fn doctor_network(
     let mut instances: Vec<(String, String)> = Vec::new(); // (instance, template)
     let mut instance_tpl: HashMap<&str, String> = HashMap::new();
     let mut unknown_templates: Vec<(String, usize)> = Vec::new(); // (template, first line)
-    let call_records: Vec<(usize, &str, Vec<&str>)> = records(call_file).collect();
-    for (line, _, fields) in &call_records {
-        let [instance, template] = fields[..] else {
+    for r in &call_records {
+        let line = &r.line;
+        let [instance, template] = &r.fields[..] else {
             diags.push(Diagnostic::error(
                 DoctorCode::MalformedRecord,
                 DoctorFile::Calls,
                 *line,
-                format!("call-file record needs 2 fields, got {}", fields.len()),
+                format!("call-file record needs 2 fields, got {}", r.fields.len()),
             ));
             continue;
         };
-        if let Some(existing) = instance_tpl.get(instance) {
+        if let Some(existing) = instance_tpl.get(instance.as_str()) {
             diags.push(
                 Diagnostic::error(
                     DoctorCode::DuplicateInstance,
@@ -448,21 +503,22 @@ pub fn doctor_network(
         {
             unknown_templates.push((template.to_owned(), *line));
         }
-        instance_tpl.insert(instance, template.to_owned());
+        instance_tpl.insert(instance.as_str(), template.to_owned());
         instances.push((instance.to_owned(), template.to_owned()));
     }
 
     // Pass 2: io file. Keep the first of duplicate system terminals.
     let mut system_terms: Vec<(String, TermType)> = Vec::new();
     let mut system_names: HashSet<String> = HashSet::new();
-    if let Some(io) = io_file {
-        for (line, _, fields) in records(io) {
-            let [terminal, ty] = fields[..] else {
+    if let Some(io) = &io_records {
+        for r in io {
+            let line = r.line;
+            let [terminal, ty] = &r.fields[..] else {
                 diags.push(Diagnostic::error(
                     DoctorCode::MalformedRecord,
                     DoctorFile::Io,
                     line,
-                    format!("io-file record needs 2 fields, got {}", fields.len()),
+                    format!("io-file record needs 2 fields, got {}", r.fields.len()),
                 ));
                 continue;
             };
@@ -492,19 +548,19 @@ pub fn doctor_network(
     }
 
     // Pass 3: net-list records, field-count check only for now.
-    let mut net_records: Vec<NetRecord> = Vec::new();
-    for (line, _, fields) in records(net_list_file) {
-        let [net, instance, terminal] = fields[..] else {
+    let mut net_rows: Vec<NetRecord> = Vec::new();
+    for r in &net_records {
+        let [net, instance, terminal] = &r.fields[..] else {
             diags.push(Diagnostic::error(
                 DoctorCode::MalformedRecord,
                 DoctorFile::NetList,
-                line,
-                format!("net-list record needs 3 fields, got {}", fields.len()),
+                r.line,
+                format!("net-list record needs 3 fields, got {}", r.fields.len()),
             ));
             continue;
         };
-        net_records.push(NetRecord {
-            line,
+        net_rows.push(NetRecord {
+            line: r.line,
             net,
             instance,
             terminal,
@@ -515,7 +571,7 @@ pub fn doctor_network(
     // the terminals the net-list references (all inout, stacked on the
     // left edge) so every connection to it can resolve.
     for (template, first_line) in &unknown_templates {
-        let mut referenced: Vec<&str> = net_records
+        let mut referenced: Vec<&str> = net_rows
             .iter()
             .filter(|r| {
                 r.instance != "root"
@@ -578,7 +634,7 @@ pub fn doctor_network(
     let mut pin_owner: HashMap<NamedPin, String> = HashMap::new();
     let mut net_pins: Vec<(String, Vec<(NamedPin, usize)>)> = Vec::new(); // (net, [(pin, line)])
     let mut net_index: HashMap<String, usize> = HashMap::new();
-    for r in &net_records {
+    for r in &net_rows {
         let pin = if r.instance == "root" {
             if !system_names.contains(r.terminal) {
                 diags.push(
@@ -679,9 +735,11 @@ pub fn doctor_network(
 
     let diags = resolve_policy(policy, diags)?;
 
-    // Build the validated network. Every failure mode was diagnosed
-    // and resolved above, so the builder cannot reject this input.
-    let mut b = NetworkBuilder::new(library);
+    // Build the validated network. Every defect was diagnosed and
+    // resolved above, so the only legitimate builder rejection left is
+    // the memory governor refusing a growth — that one surfaces as
+    // `ND015` under every policy.
+    let mut b = NetworkBuilder::new(library).with_budget(Arc::clone(network_budget));
     let fatal = |e: String| DoctorError {
         diagnostics: vec![Diagnostic::error(
             DoctorCode::MalformedRecord,
@@ -690,16 +748,19 @@ pub fn doctor_network(
             format!("internal doctor error: {e}"),
         )],
     };
+    let build_err = |e: BuildError| match e {
+        BuildError::ResourceExhausted(x) => resource_exhausted(DoctorFile::NetList, &x),
+        other => fatal(other.to_string()),
+    };
     for (name, template) in &instances {
         let id = b
             .library()
             .template_by_name(template)
             .ok_or_else(|| fatal(format!("template `{template}` vanished")))?;
-        b.add_instance(name, id).map_err(|e| fatal(e.to_string()))?;
+        b.add_instance(name, id).map_err(build_err)?;
     }
     for (name, ty) in &system_terms {
-        b.add_system_terminal(name, *ty)
-            .map_err(|e| fatal(e.to_string()))?;
+        b.add_system_terminal(name, *ty).map_err(build_err)?;
     }
     for (net, pins) in &net_pins {
         for (pin, _) in pins {
@@ -708,19 +769,18 @@ pub fn doctor_network(
                     let m = b
                         .instance_by_name(instance)
                         .ok_or_else(|| fatal(format!("instance `{instance}` vanished")))?;
-                    b.connect_pin(net, m, terminal)
-                        .map_err(|e| fatal(e.to_string()))?;
+                    b.connect_pin(net, m, terminal).map_err(build_err)?;
                 }
                 NamedPin::System(name) => {
                     let st = b
                         .system_term_by_name(name)
                         .ok_or_else(|| fatal(format!("system terminal `{name}` vanished")))?;
-                    b.connect(net, st).map_err(|e| fatal(e.to_string()))?;
+                    b.connect(net, st).map_err(build_err)?;
                 }
             }
         }
     }
-    let network = b.finish().map_err(|e| fatal(e.to_string()))?;
+    let network = b.finish().map_err(build_err)?;
 
     let mut diags = diags;
     if let Some(cycle) = find_driver_cycle(&network) {
@@ -823,6 +883,20 @@ pub fn doctor_module(
     src: &str,
     policy: InputPolicy,
 ) -> Result<(Template, DoctorReport), DoctorError> {
+    doctor_module_records(records_from_str(src), policy)
+}
+
+/// The record-level core of [`doctor_module`], fed by the streaming
+/// reader ([`crate::ingest::read_records`]) so no whole-file string
+/// ever exists.
+///
+/// # Errors
+///
+/// As [`doctor_module`].
+pub fn doctor_module_records(
+    module_records: Vec<Record>,
+    policy: InputPolicy,
+) -> Result<(Template, DoctorReport), DoctorError> {
     let doctor_span = tracing::span!(tracing::Level::DEBUG, "doctor.module");
     let _doctor_guard = doctor_span.enter();
     if let Some(kind) = netart_fault::fire(netart_fault::sites::PARSE_MODULE) {
@@ -830,13 +904,13 @@ pub fn doctor_module(
     }
 
     let mut diags: Vec<Diagnostic> = Vec::new();
-    let mut lines = records(src);
+    let mut lines = module_records.into_iter();
 
     // The heading is load-bearing: without a usable name and size,
     // nothing else can be interpreted, so defects here are
     // unrepairable.
     let unusable = |diags: Vec<Diagnostic>| DoctorError { diagnostics: diags };
-    let Some((hline, _, fields)) = lines.next() else {
+    let Some(heading) = lines.next() else {
         diags.push(Diagnostic::error(
             DoctorCode::MalformedRecord,
             DoctorFile::Module,
@@ -845,6 +919,8 @@ pub fn doctor_module(
         ));
         return Err(unusable(diags));
     };
+    let hline = heading.line;
+    let fields: Vec<&str> = heading.fields.iter().map(String::as_str).collect();
     let ["module", name, w, h] = fields[..] else {
         diags.push(Diagnostic::error(
             DoctorCode::MalformedRecord,
@@ -907,7 +983,9 @@ pub fn doctor_module(
         }
     };
 
-    for (line, _, fields) in lines {
+    for rec in lines {
+        let line = rec.line;
+        let fields: Vec<&str> = rec.fields.iter().map(String::as_str).collect();
         let [ty, term, x, y] = fields[..] else {
             diags.push(Diagnostic::error(
                 DoctorCode::MalformedRecord,
@@ -1287,6 +1365,43 @@ mod tests {
         );
         assert!("lenient".parse::<InputPolicy>().is_err());
         assert_eq!(InputPolicy::BestEffort.to_string(), "best-effort");
+    }
+
+    #[test]
+    fn tiny_network_budget_rejects_with_nd015_under_every_policy() {
+        for policy in [InputPolicy::Strict, InputPolicy::Repair, InputPolicy::BestEffort] {
+            let budget = Arc::new(MemBudget::bytes(16));
+            let err = doctor_network_records(
+                lib(),
+                records_from_str("n0 u0 y\nn0 u1 a\n"),
+                records_from_str("u0 inv\nu1 inv\n"),
+                None,
+                policy,
+                &budget,
+            )
+            .unwrap_err();
+            assert_eq!(err.diagnostics.len(), 1, "{policy:?}");
+            assert_eq!(err.diagnostics[0].code, DoctorCode::ResourceExhausted);
+            let msg = err.to_string();
+            assert!(msg.contains("ND015"), "{msg}");
+            assert!(msg.contains("16"), "must carry byte counts: {msg}");
+        }
+    }
+
+    #[test]
+    fn adequate_network_budget_charges_and_passes() {
+        let budget = Arc::new(MemBudget::bytes(1 << 20));
+        let (net, _) = doctor_network_records(
+            lib(),
+            records_from_str("n0 u0 y\nn0 u1 a\n"),
+            records_from_str("u0 inv\nu1 inv\n"),
+            None,
+            InputPolicy::Strict,
+            &budget,
+        )
+        .unwrap();
+        assert_eq!(net.module_count(), 2);
+        assert!(budget.used() > 0, "network construction must be accounted");
     }
 
     #[test]

@@ -100,6 +100,15 @@ pub enum BuildError {
         /// Number of points it connects.
         pins: usize,
     },
+    /// The memory governor refused a growth; carries the exact byte
+    /// counts. Surfaces as the doctor's `ND015` diagnostic.
+    ResourceExhausted(netart_govern::Exhausted),
+}
+
+impl From<netart_govern::Exhausted> for BuildError {
+    fn from(e: netart_govern::Exhausted) -> Self {
+        BuildError::ResourceExhausted(e)
+    }
 }
 
 impl fmt::Display for BuildError {
@@ -123,6 +132,7 @@ impl fmt::Display for BuildError {
             BuildError::UnderfilledNet { net, pins } => {
                 write!(f, "net `{net}` connects only {pins} point(s); at least 2 required")
             }
+            BuildError::ResourceExhausted(e) => e.fmt(f),
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod doctor;
 mod error;
 pub mod format;
 mod ids;
+pub mod ingest;
 mod library;
 mod network;
 mod template;

@@ -1,8 +1,15 @@
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use netart_govern::MemBudget;
 
 use crate::{
     BuildError, Library, ModuleId, NetId, SystemTermId, Template, TemplateId, TermIdx, TermType,
 };
+
+/// Estimated bookkeeping bytes per hash-map entry, on top of the
+/// key/value payload (bucket slot, hash, growth slack).
+const MAP_ENTRY_OVERHEAD: u64 = 48;
 
 /// A module instance: a named occurrence of a library template (the
 /// *call-file* records of Appendix A).
@@ -305,9 +312,16 @@ impl Network {
 /// *name*; nets come into existence on first mention, mirroring the
 /// net-list file of Appendix A where a net is just a name shared between
 /// records.
+///
+/// Growth is allocation-checked: attach a [`MemBudget`] with
+/// [`NetworkBuilder::with_budget`] and every instance, terminal, net
+/// and pin charges its bytes before being stored. A refused charge
+/// surfaces as [`BuildError::ResourceExhausted`] with exact byte
+/// counts; without a budget the builder never refuses.
 #[derive(Debug, Clone)]
 pub struct NetworkBuilder {
     library: Library,
+    budget: Arc<MemBudget>,
     instances: Vec<Instance>,
     instance_names: HashMap<String, ModuleId>,
     system_terms: Vec<SystemTerminal>,
@@ -322,6 +336,7 @@ impl NetworkBuilder {
     pub fn new(library: Library) -> Self {
         NetworkBuilder {
             library,
+            budget: Arc::new(MemBudget::unlimited()),
             instances: Vec::new(),
             instance_names: HashMap::new(),
             system_terms: Vec::new(),
@@ -330,6 +345,18 @@ impl NetworkBuilder {
             net_names: HashMap::new(),
             pin_net: HashMap::new(),
         }
+    }
+
+    /// Governs all further growth by `budget`.
+    pub fn with_budget(mut self, budget: Arc<MemBudget>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Charges `bytes` for `stage`, converting a refusal into the
+    /// builder's error type.
+    fn charge(&self, stage: &'static str, bytes: u64) -> Result<(), BuildError> {
+        crate::ingest::charge(&self.budget, stage, bytes).map_err(BuildError::from)
     }
 
     /// The library this builder instantiates from.
@@ -356,6 +383,14 @@ impl NetworkBuilder {
                 id: template.to_string(),
             });
         }
+        // The name is stored twice (instance record + lookup key).
+        self.charge(
+            "network instances",
+            2 * name.len() as u64
+                + (std::mem::size_of::<Instance>() + std::mem::size_of::<(String, ModuleId)>())
+                    as u64
+                + MAP_ENTRY_OVERHEAD,
+        )?;
         let id = ModuleId::from_index(self.instances.len());
         self.instance_names.insert(name.clone(), id);
         self.instances.push(Instance { name, template });
@@ -376,23 +411,36 @@ impl NetworkBuilder {
         if self.system_names.contains_key(&name) {
             return Err(BuildError::DuplicateSystemTerminal { name });
         }
+        self.charge(
+            "network system terminals",
+            2 * name.len() as u64
+                + (std::mem::size_of::<SystemTerminal>()
+                    + std::mem::size_of::<(String, SystemTermId)>()) as u64
+                + MAP_ENTRY_OVERHEAD,
+        )?;
         let id = SystemTermId::from_index(self.system_terms.len());
         self.system_names.insert(name.clone(), id);
         self.system_terms.push(SystemTerminal { name, ty });
         Ok(id)
     }
 
-    fn net_id(&mut self, net: &str) -> NetId {
+    fn net_id(&mut self, net: &str) -> Result<NetId, BuildError> {
         if let Some(&id) = self.net_names.get(net) {
-            return id;
+            return Ok(id);
         }
+        self.charge(
+            "network nets",
+            2 * net.len() as u64
+                + (std::mem::size_of::<Net>() + std::mem::size_of::<(String, NetId)>()) as u64
+                + MAP_ENTRY_OVERHEAD,
+        )?;
         let id = NetId::from_index(self.nets.len());
         self.net_names.insert(net.to_owned(), id);
         self.nets.push(Net {
             name: net.to_owned(),
             pins: Vec::new(),
         });
-        id
+        Ok(id)
     }
 
     fn attach(&mut self, net: &str, pin: Pin) -> Result<(), BuildError> {
@@ -408,7 +456,12 @@ impl NetworkBuilder {
                 new_net: net.to_owned(),
             });
         }
-        let id = self.net_id(net);
+        self.charge(
+            "network pins",
+            (std::mem::size_of::<Pin>() + std::mem::size_of::<(Pin, NetId)>()) as u64
+                + MAP_ENTRY_OVERHEAD,
+        )?;
+        let id = self.net_id(net)?;
         self.pin_net.insert(pin, id);
         self.nets[id.index()].pins.push(pin);
         Ok(())
@@ -506,6 +559,18 @@ impl NetworkBuilder {
                 });
             }
         }
+        // The connectivity indexes hold at most one NetId per pin on
+        // the module side and one ModuleId per pin on the net side,
+        // plus the per-module/net/terminal vector headers.
+        let total_pins: u64 = self.nets.iter().map(|n| n.pins.len() as u64).sum();
+        self.charge(
+            "network indexes",
+            total_pins
+                * (std::mem::size_of::<NetId>() + std::mem::size_of::<ModuleId>()) as u64
+                + (self.instances.len() + self.nets.len()) as u64
+                    * std::mem::size_of::<Vec<NetId>>() as u64
+                + self.system_terms.len() as u64 * std::mem::size_of::<Option<NetId>>() as u64,
+        )?;
         let mut module_nets: Vec<Vec<NetId>> = vec![Vec::new(); self.instances.len()];
         let mut net_modules: Vec<Vec<ModuleId>> = vec![Vec::new(); self.nets.len()];
         let mut system_term_net = vec![None; self.system_terms.len()];

@@ -1,0 +1,144 @@
+//! Governed-ingestion contract tests: a starved memory budget makes
+//! every parser stage fail closed with `ND015` (under *every* input
+//! policy — exhaustion is never downgraded), the streaming reader
+//! refuses rather than slurps and leaves nothing charged behind, and
+//! under an adequate budget governance is invisible — governed and
+//! ungoverned parses build byte-identical networks.
+
+use std::io::Cursor;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use netart_govern::MemBudget;
+use netart_netlist::doctor::{self, DoctorCode, InputPolicy};
+use netart_netlist::format;
+use netart_netlist::ingest::{read_records, records_from_str, IngestError};
+use netart_netlist::{Library, Network};
+
+const MODULE: &str = "module inv 40 20\nin a 0 10\nout y 40 10\n";
+
+/// A chain of `n` inverters plus the system input, as `(net, cal, io)`
+/// file contents — the same shape the serve suite drives.
+fn chain(n: usize) -> (String, String, String) {
+    assert!(n >= 2);
+    let mut net = String::from("nin root in\nnin u0 a\n");
+    let mut cal = String::new();
+    for k in 0..n - 1 {
+        net.push_str(&format!("n{k} u{k} y\nn{k} u{} a\n", k + 1));
+    }
+    for k in 0..n {
+        cal.push_str(&format!("u{k} inv\n"));
+    }
+    (net, cal, "in in\n".to_owned())
+}
+
+fn library() -> Library {
+    let (template, _) =
+        doctor::doctor_module_records(records_from_str(MODULE), InputPolicy::Strict)
+            .expect("module fixture is clean");
+    let mut lib = Library::new();
+    lib.add_template(template).expect("fresh library");
+    lib
+}
+
+fn parse(
+    inputs: &(String, String, String),
+    policy: InputPolicy,
+    budget: &Arc<MemBudget>,
+) -> Result<Network, doctor::DoctorError> {
+    doctor::doctor_network_records(
+        library(),
+        records_from_str(&inputs.0),
+        records_from_str(&inputs.1),
+        Some(records_from_str(&inputs.2)),
+        policy,
+        budget,
+    )
+    .map(|(network, _)| network)
+}
+
+#[test]
+fn tiny_budget_fails_closed_with_nd015_under_every_policy() {
+    let inputs = chain(16);
+    for policy in [
+        InputPolicy::Strict,
+        InputPolicy::Repair,
+        InputPolicy::BestEffort,
+    ] {
+        let budget = Arc::new(MemBudget::bytes(64));
+        let err = parse(&inputs, policy, &budget)
+            .map(|n| (n.module_count(), n.net_count()))
+            .expect_err("64 bytes cannot hold a 16-module chain");
+        assert!(
+            err.diagnostics
+                .iter()
+                .any(|d| d.code == DoctorCode::ResourceExhausted),
+            "{policy:?}: {err}"
+        );
+        let text = err.to_string();
+        assert!(text.contains("ND015"), "{policy:?}: {text}");
+        assert!(text.contains("byte"), "exhaustion names its counts: {text}");
+    }
+}
+
+#[test]
+fn streaming_reader_refuses_oversized_lines_and_releases_its_charge() {
+    let budget = MemBudget::bytes(32);
+    let line = "one_single_line_well_over_the_thirty_two_byte_budget_xxxxxxxxxx";
+    let err = read_records(Cursor::new(line), &budget, "net-list file")
+        .expect_err("the line alone exceeds the budget");
+    assert!(matches!(err, IngestError::Exhausted(_)), "{err}");
+    // A refused read must leave nothing charged behind.
+    assert_eq!(budget.used(), 0);
+}
+
+#[test]
+fn successful_read_keeps_only_the_records_charge() {
+    let budget = MemBudget::bytes(4096);
+    let src = "# comment\n\nn0 u0 y\nn0 u1 a\n";
+    let records = read_records(Cursor::new(src), &budget, "net-list file")
+        .expect("fits comfortably");
+    assert_eq!(records.len(), 2);
+    let expected: u64 = records.iter().map(|r| r.cost()).sum();
+    // The transient line buffers were released; what stays charged is
+    // exactly the records the caller now owns.
+    assert_eq!(budget.used(), expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under an adequate budget the governor is invisible: governed
+    /// and ungoverned parses write byte-identical network files, and
+    /// the governed charge never exceeds its limit.
+    #[test]
+    fn governed_parse_matches_ungoverned_under_budget(
+        n in 2usize..40,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            InputPolicy::Strict,
+            InputPolicy::Repair,
+            InputPolicy::BestEffort,
+        ][policy_idx];
+        let inputs = chain(n);
+        let free = parse(&inputs, policy, &Arc::new(MemBudget::unlimited()))
+            .expect("chain fixture is clean");
+        let budget = Arc::new(MemBudget::bytes(1 << 20));
+        let governed = parse(&inputs, policy, &budget).expect("well under budget");
+        prop_assert!(budget.used() <= budget.limit());
+        prop_assert_eq!(
+            format::write_net_list_file(&governed),
+            format::write_net_list_file(&free)
+        );
+        prop_assert_eq!(
+            format::write_call_file(&governed),
+            format::write_call_file(&free)
+        );
+        prop_assert_eq!(
+            format::write_io_file(&governed),
+            format::write_io_file(&free)
+        );
+    }
+}

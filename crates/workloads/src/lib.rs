@@ -21,6 +21,7 @@
 
 pub mod life;
 mod random;
+pub mod text;
 
 pub use random::{random_network, RandomSpec};
 

@@ -1,0 +1,440 @@
+//! Text-format workload generators: Appendix A/B input *files*, not
+//! in-memory networks.
+//!
+//! The in-memory builders ([`crate::string_chain`],
+//! [`crate::random_network`], …) bypass the parsers, which makes them
+//! useless for exercising the memory-governed ingestion path. The
+//! generators here emit the actual on-disk formats — `.qto` module
+//! descriptions, a net-list, a call file, an io file — so a workload
+//! can be streamed through the same `read_records` / doctor pipeline a
+//! user's files take, under the same `--max-input-bytes` /
+//! `--max-network-bytes` budgets.
+//!
+//! Two families:
+//!
+//! * **scaled** — regular structures parameterised far past the
+//!   paper's 27-module ceiling: [`cell_array`] (systolic grids),
+//!   [`random_hierarchy`] (seeded random trees of hubs),
+//!   [`datapath_stack`] (bit-sliced stages with wide control nets).
+//!   Useful from 10³ to 10⁵ modules.
+//! * **adversarial** — inputs built to hurt: [`pathological_fanout`]
+//!   (one net with thousands of pins), [`amplified_calls`] (huge call
+//!   text over a one-template library), and the
+//!   [`TextWorkload::with_truncated_tail`] /
+//!   [`TextWorkload::with_garbage_tail`] mutators (mid-record EOF,
+//!   seeded binary noise).
+//!
+//! Every generator is deterministic to the byte: the same parameters
+//! (and seed) always produce identical file contents, so workloads can
+//! be content-addressed, diffed, and pinned as baselines.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One workload as file contents: a module library plus the netlist
+/// trio. Nothing touches the filesystem until [`TextWorkload::write_to`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextWorkload {
+    /// A short slug naming the workload (used for directory names and
+    /// report labels).
+    pub name: String,
+    /// The module library: `(file stem, .qto text)` pairs.
+    pub modules: Vec<(String, String)>,
+    /// The net-list file (`net instance terminal` records).
+    pub net: String,
+    /// The call file (`instance template` records).
+    pub cal: String,
+    /// The io file (`name direction` records); empty when the workload
+    /// declares no system terminals.
+    pub io: String,
+}
+
+/// Where [`TextWorkload::write_to`] put the files.
+#[derive(Debug, Clone)]
+pub struct WorkloadPaths {
+    /// The module library directory (contains the `.qto` files).
+    pub lib: PathBuf,
+    /// The net-list file.
+    pub net: PathBuf,
+    /// The call file.
+    pub cal: PathBuf,
+    /// The io file, if the workload has system terminals.
+    pub io: Option<PathBuf>,
+}
+
+impl TextWorkload {
+    /// Total bytes across every generated file — what an ungoverned
+    /// reader would slurp, and the scale a `--max-input-bytes` budget
+    /// is judged against.
+    pub fn total_bytes(&self) -> u64 {
+        let modules: usize = self.modules.iter().map(|(_, text)| text.len()).sum();
+        (modules + self.net.len() + self.cal.len() + self.io.len()) as u64
+    }
+
+    /// Instances declared in the call file — the workload's module
+    /// count.
+    pub fn module_count(&self) -> usize {
+        self.cal.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+
+    /// Writes the workload under `dir`: `lib/<stem>.qto` for each
+    /// module, plus `<name>.net`, `<name>.cal` and (when non-empty)
+    /// `<name>.io`.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error from creating the directories or writing
+    /// the files.
+    pub fn write_to(&self, dir: &Path) -> io::Result<WorkloadPaths> {
+        let lib = dir.join("lib");
+        std::fs::create_dir_all(&lib)?;
+        for (stem, text) in &self.modules {
+            std::fs::write(lib.join(format!("{stem}.qto")), text)?;
+        }
+        let net = dir.join(format!("{}.net", self.name));
+        let cal = dir.join(format!("{}.cal", self.name));
+        std::fs::write(&net, &self.net)?;
+        std::fs::write(&cal, &self.cal)?;
+        let io = if self.io.is_empty() {
+            None
+        } else {
+            let p = dir.join(format!("{}.io", self.name));
+            std::fs::write(&p, &self.io)?;
+            Some(p)
+        };
+        Ok(WorkloadPaths { lib, net, cal, io })
+    }
+
+    /// Adversarial mutator: truncates the net-list to `keep` bytes,
+    /// leaving the last record cut mid-field — the "connection died
+    /// mid-transfer" shape. The cut point is byte-exact, so mutated
+    /// workloads are as deterministic as their parents.
+    #[must_use]
+    pub fn with_truncated_tail(mut self, keep: usize) -> TextWorkload {
+        self.net.truncate(keep.min(self.net.len()));
+        self.name.push_str("_trunc");
+        self
+    }
+
+    /// Adversarial mutator: appends `lines` lines of seeded garbage to
+    /// the net-list — plausible-length tokens of printable noise that
+    /// parse as records but name nothing real, the "corrupted tail"
+    /// shape.
+    #[must_use]
+    pub fn with_garbage_tail(mut self, lines: usize, seed: u64) -> TextWorkload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..lines {
+            let fields = rng.gen_range(1..6usize);
+            for k in 0..fields {
+                if k > 0 {
+                    self.net.push(' ');
+                }
+                let len = rng.gen_range(1..24usize);
+                for _ in 0..len {
+                    // Printable, never '#' (comments would be skipped).
+                    let c = b'!' + rng.gen_range(2..90u8);
+                    self.net.push(c as char);
+                }
+            }
+            self.net.push('\n');
+        }
+        self.name.push_str("_garbage");
+        self
+    }
+}
+
+/// The shared cell template: two inputs on the west edge, two outputs
+/// on the east, all on the doctor's 10-unit grid.
+fn cell_qto(name: &str) -> String {
+    format!(
+        "module {name} 40 40\n\
+         in a 0 10\nin b 0 30\nout x 40 10\nout y 40 30\n"
+    )
+}
+
+/// A `rows`×`cols` systolic cell array: every cell drives its east
+/// neighbour (`x → a`) and its south neighbour (`y → b`), the west
+/// column is fed from system inputs, the south-east corner drives a
+/// system output. Module count is exactly `rows * cols`; net count is
+/// close to `2 * rows * cols`. Byte-deterministic.
+///
+/// # Examples
+///
+/// ```
+/// let w = netart_workloads::text::cell_array(4, 8);
+/// assert_eq!(w.module_count(), 32);
+/// assert_eq!(w, netart_workloads::text::cell_array(4, 8));
+/// ```
+pub fn cell_array(rows: usize, cols: usize) -> TextWorkload {
+    assert!(rows >= 1 && cols >= 1, "a cell array needs at least one cell");
+    let mut net = String::new();
+    let mut cal = String::new();
+    let mut io = String::new();
+    let cell = |r: usize, c: usize| format!("c{r}_{c}");
+    for r in 0..rows {
+        for c in 0..cols {
+            cal.push_str(&format!("{} cell\n", cell(r, c)));
+            if c + 1 < cols {
+                let n = format!("e{r}_{c}");
+                net.push_str(&format!("{n} {} x\n{n} {} a\n", cell(r, c), cell(r, c + 1)));
+            }
+            if r + 1 < rows {
+                let n = format!("s{r}_{c}");
+                net.push_str(&format!("{n} {} y\n{n} {} b\n", cell(r, c), cell(r + 1, c)));
+            }
+        }
+    }
+    for r in 0..rows {
+        io.push_str(&format!("w{r} in\n"));
+        net.push_str(&format!("win{r} root w{r}\nwin{r} {} a\n", cell(r, 0)));
+    }
+    io.push_str("se out\n");
+    net.push_str(&format!("seo root se\nseo {} x\n", cell(rows - 1, cols - 1)));
+    TextWorkload {
+        name: format!("cell_array_{rows}x{cols}"),
+        modules: vec![("cell".to_owned(), cell_qto("cell"))],
+        net,
+        cal,
+        io,
+    }
+}
+
+/// A seeded random hierarchy of roughly `modules` modules: a tree of
+/// hub modules with random branching (2–6 children per hub), each
+/// edge a two-pin net from the parent's output to the child's input,
+/// plus a sprinkle of random cross links between cousins for the
+/// congestion real hierarchies have. Identical `(modules, seed)`
+/// produce byte-identical files.
+pub fn random_hierarchy(modules: usize, seed: u64) -> TextWorkload {
+    assert!(modules >= 2, "a hierarchy needs at least 2 modules");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = String::new();
+    let mut cal = String::from("h0 cell\n");
+    // Frontier of modules that can still take children; each module's
+    // four pins (a, b in; x, y out) are tracked by simple counters.
+    let mut made = 1usize;
+    let mut frontier: Vec<usize> = vec![0];
+    let mut out_used = vec![0u8; 1];
+    let mut in_used = vec![0u8; 1];
+    while made < modules && !frontier.is_empty() {
+        let pick = rng.gen_range(0..frontier.len());
+        let parent = frontier.swap_remove(pick);
+        let kids = rng.gen_range(2..7usize).min(modules - made);
+        for _ in 0..kids {
+            if out_used[parent] >= 2 {
+                break;
+            }
+            let child = made;
+            made += 1;
+            cal.push_str(&format!("h{child} cell\n"));
+            out_used.push(0);
+            in_used.push(0);
+            let opin = if out_used[parent] == 0 { "x" } else { "y" };
+            out_used[parent] += 1;
+            in_used[child] += 1;
+            net.push_str(&format!(
+                "t{child} h{parent} {opin}\nt{child} h{child} a\n"
+            ));
+            frontier.push(child);
+        }
+    }
+    // Cross links: one per ~8 modules, between random distinct modules
+    // with pins to spare.
+    for k in 0..made / 8 {
+        let from = rng.gen_range(0..made);
+        let to = rng.gen_range(0..made);
+        if from == to || out_used[from] >= 2 || in_used[to] >= 2 {
+            continue;
+        }
+        let opin = if out_used[from] == 0 { "x" } else { "y" };
+        let ipin = if in_used[to] == 0 { "a" } else { "b" };
+        out_used[from] += 1;
+        in_used[to] += 1;
+        net.push_str(&format!("xl{k} h{from} {opin}\nxl{k} h{to} {ipin}\n"));
+    }
+    TextWorkload {
+        name: format!("hierarchy_{modules}_s{seed}"),
+        modules: vec![("cell".to_owned(), cell_qto("cell"))],
+        net,
+        cal,
+        io: String::new(),
+    }
+}
+
+/// A `bits`-wide, `stages`-deep datapath: every stage is a column of
+/// identical slices, data flows slice-to-slice along each bit row, and
+/// every stage has one wide control net fanning into all of its
+/// slices — the mix of short nets and wide nets real datapaths have.
+/// Module count is `bits * stages + stages` (slices plus one driver
+/// per control net). Byte-deterministic.
+pub fn datapath_stack(bits: usize, stages: usize) -> TextWorkload {
+    assert!(bits >= 1 && stages >= 1, "a datapath needs at least one slice");
+    let mut net = String::new();
+    let mut cal = String::new();
+    for s in 0..stages {
+        cal.push_str(&format!("ctl{s} cell\n"));
+        for b in 0..bits {
+            cal.push_str(&format!("sl{s}_{b} cell\n"));
+        }
+    }
+    for s in 0..stages {
+        // The stage's control net: ctl drives every slice's b input.
+        for b in 0..bits {
+            net.push_str(&format!("ctl_n{s} sl{s}_{b} b\n"));
+        }
+        net.push_str(&format!("ctl_n{s} ctl{s} x\n"));
+        // Bit rows: slice s drives slice s+1 on the same bit.
+        if s + 1 < stages {
+            for b in 0..bits {
+                net.push_str(&format!("d{s}_{b} sl{s}_{b} x\nd{s}_{b} sl{}_{b} a\n", s + 1));
+            }
+        }
+    }
+    TextWorkload {
+        name: format!("datapath_{bits}x{stages}"),
+        modules: vec![("cell".to_owned(), cell_qto("cell"))],
+        net,
+        cal,
+        io: String::new(),
+    }
+}
+
+/// Adversarial: one net with `sinks + 1` pins. A single driver fans
+/// out to every other module in the design — the worst case for any
+/// per-net data structure (pin lists, spanning-tree construction,
+/// rip-up bookkeeping). Byte-deterministic.
+pub fn pathological_fanout(sinks: usize) -> TextWorkload {
+    assert!(sinks >= 1, "fan-out needs at least one sink");
+    let mut net = String::from("wide u0 x\n");
+    let mut cal = String::from("u0 cell\n");
+    for k in 1..=sinks {
+        cal.push_str(&format!("u{k} cell\n"));
+        net.push_str(&format!("wide u{k} a\n"));
+    }
+    TextWorkload {
+        name: format!("fanout_{sinks}"),
+        modules: vec![("cell".to_owned(), cell_qto("cell"))],
+        net,
+        cal,
+        io: String::new(),
+    }
+}
+
+/// Adversarial: call-text amplification. A one-template library
+/// expands into `instances` instances whose names are padded to ~64
+/// bytes each, so a few hundred library bytes "amplify" into megabytes
+/// of call and net text — the shape of a generated netlist whose
+/// byte count dwarfs its structural content. Byte-deterministic.
+pub fn amplified_calls(instances: usize) -> TextWorkload {
+    assert!(instances >= 2, "amplification needs at least 2 instances");
+    let pad = "x".repeat(48);
+    let name = |k: usize| format!("amp{k}_{pad}");
+    let mut net = String::new();
+    let mut cal = String::new();
+    for k in 0..instances {
+        cal.push_str(&format!("{} cell\n", name(k)));
+        if k + 1 < instances {
+            net.push_str(&format!("n{k} {} x\nn{k} {} a\n", name(k), name(k + 1)));
+        }
+    }
+    TextWorkload {
+        name: format!("amplified_{instances}"),
+        modules: vec![("cell".to_owned(), cell_qto("cell"))],
+        net,
+        cal,
+        io: String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_byte_identical_per_parameters() {
+        assert_eq!(cell_array(10, 10), cell_array(10, 10));
+        assert_eq!(random_hierarchy(200, 7), random_hierarchy(200, 7));
+        assert_eq!(datapath_stack(16, 8), datapath_stack(16, 8));
+        assert_eq!(pathological_fanout(100), pathological_fanout(100));
+        assert_eq!(amplified_calls(50), amplified_calls(50));
+        assert_eq!(
+            cell_array(8, 8).with_garbage_tail(20, 3),
+            cell_array(8, 8).with_garbage_tail(20, 3)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_hierarchy(200, 1).net, random_hierarchy(200, 2).net);
+        assert_ne!(
+            cell_array(4, 4).with_garbage_tail(10, 1).net,
+            cell_array(4, 4).with_garbage_tail(10, 2).net
+        );
+    }
+
+    #[test]
+    fn cell_array_scales_to_requested_module_count() {
+        let w = cell_array(25, 40);
+        assert_eq!(w.module_count(), 1000);
+        let big = cell_array(100, 100);
+        assert_eq!(big.module_count(), 10_000);
+        assert!(big.total_bytes() > 100_000);
+    }
+
+    #[test]
+    fn hierarchy_reaches_the_requested_size() {
+        let w = random_hierarchy(1000, 11);
+        // The frontier can exhaust pins early, but in practice the
+        // tree reaches the requested size; assert within a slack.
+        assert!(w.module_count() >= 900, "{}", w.module_count());
+        assert!(w.module_count() <= 1000);
+    }
+
+    #[test]
+    fn fanout_is_one_wide_net() {
+        let w = pathological_fanout(500);
+        assert_eq!(w.module_count(), 501);
+        assert_eq!(w.net.lines().count(), 501, "all pins on one net");
+        assert!(w.net.lines().all(|l| l.starts_with("wide ")));
+    }
+
+    #[test]
+    fn amplified_calls_blow_up_byte_count() {
+        let w = amplified_calls(1000);
+        assert!(w.total_bytes() > 100_000, "{}", w.total_bytes());
+        let lib: usize = w.modules.iter().map(|(_, t)| t.len()).sum();
+        assert!(lib < 100, "the library stays tiny: {lib}");
+    }
+
+    #[test]
+    fn truncation_cuts_mid_record() {
+        let base = cell_array(4, 4);
+        let cut = base.clone().with_truncated_tail(base.net.len() - 3);
+        assert!(!cut.net.ends_with('\n'), "the tail is cut mid-record");
+        assert_eq!(cut.cal, base.cal, "only the net-list is mutated");
+    }
+
+    #[test]
+    fn garbage_tail_appends_parseable_noise() {
+        let base = cell_array(4, 4);
+        let noisy = base.clone().with_garbage_tail(30, 5);
+        assert!(noisy.net.len() > base.net.len());
+        assert_eq!(noisy.net.lines().count(), base.net.lines().count() + 30);
+        assert!(noisy.net.is_ascii(), "noise stays printable");
+    }
+
+    #[test]
+    fn workloads_write_and_read_back() {
+        let dir = std::env::temp_dir().join(format!("netart-wl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = cell_array(3, 3);
+        let paths = w.write_to(&dir).expect("writes");
+        assert!(paths.lib.join("cell.qto").exists());
+        assert_eq!(std::fs::read_to_string(&paths.net).expect("read"), w.net);
+        assert!(paths.io.is_some(), "cell arrays declare system pins");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
