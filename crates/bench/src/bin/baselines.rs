@@ -21,6 +21,12 @@
 //! baselines — the "current" side the CI perf gate feeds to
 //! `netart report diff` — and also drops `BENCH_table_6_1.json` at
 //! the repository root for artifact upload.
+//!
+//! Built `--features alloc-profile`, each report additionally carries
+//! per-phase `alloc_count`/`alloc_bytes`/`peak_bytes` (the
+//! `EXPERIMENTS.md` memory table). The *committed* baselines are
+//! regenerated without the feature, so their alloc members stay null;
+//! run `--check` from a default build.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -58,10 +64,18 @@ fn main() -> ExitCode {
         }
     }
 
+    // With the profiler compiled in, keep the thread-local phase tag
+    // in step with the pipeline's spans so allocations attribute to
+    // place/route (parse/emit happen outside this harness's runners).
+    #[cfg(feature = "alloc-profile")]
+    let _ = tracing::set_global_default(netart_obs::PhaseTagSubscriber);
+
     let mut drifted: Vec<&str> = Vec::new();
     let mut rows = Vec::new();
     for (stem, run) in baseline_workloads() {
-        let (row, _) = run();
+        let alloc_base = netart_obs::AllocSnapshot::capture();
+        let (mut row, _) = run();
+        netart_obs::attach_alloc_profile(&mut row.report, &alloc_base);
         let text = if raw {
             let mut t = row.report.to_json().render_pretty();
             t.push('\n');

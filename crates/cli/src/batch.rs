@@ -29,15 +29,15 @@ use netart::diagram::svg;
 use netart::netlist::doctor::{DoctorCode, InputPolicy};
 use netart::netlist::ingest::{self, IngestBudgets, IngestError};
 use netart::netlist::Library;
-use netart::obs::BatchManifest;
+use netart::obs::{BatchManifest, FlightRecorder};
 use netart::route::{CancelToken, RouteConfig};
 use netart::place::PlaceConfig;
 use netart_engine::{EngineConfig, JobContext, JobFailure, JobSuccess};
 
 use crate::commands::{
     arm_faults, budget_from_args, budgets_from_args, checked_escher, exhausted_output,
-    input_policy, install_subscriber, load_library, load_network_files, ns, stdout_claimed,
-    write_or_stdout, CliError, RunOutput,
+    input_policy, install_subscriber, install_subscriber_with, load_library, load_network_files,
+    ns, stdout_claimed, write_or_stdout, CliError, RunOutput,
 };
 use crate::ParsedArgs;
 
@@ -75,6 +75,39 @@ pub fn install_drain_handlers() {
 /// [`run_batch`]'s poller and by `netart serve`'s accept loop.
 pub(crate) fn signal_drain_requested() -> bool {
     SIGNAL_DRAIN.load(Ordering::SeqCst)
+}
+
+/// Set by the SIGUSR1 handler; consumed by `netart serve`'s accept
+/// loop, which answers with an on-demand blackbox dump.
+static SIGNAL_FLIGHT: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGUSR1 handler that requests an on-demand blackbox
+/// dump from the running `netart serve`. Same raw-`signal` pattern as
+/// [`install_drain_handlers`]; called by the binary before
+/// [`crate::run_serve`].
+pub fn install_flight_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_signal(_signum: i32) {
+            SIGNAL_FLIGHT.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGUSR1: i32 = 10;
+        // SAFETY: the handler only performs an atomic store, which is
+        // async-signal-safe; the raw `signal` binding avoids a libc
+        // dependency.
+        unsafe {
+            let _ = signal(SIGUSR1, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Takes (and clears) a pending SIGUSR1 dump request, so one signal
+/// produces exactly one dump.
+pub(crate) fn take_signal_flight() -> bool {
+    SIGNAL_FLIGHT.swap(false, Ordering::SeqCst)
 }
 
 /// Clears a pending drain request so each resident run starts fresh
@@ -389,13 +422,29 @@ pub fn run_batch(argv: &[String]) -> Result<RunOutput, CliError> {
         &[
             "jobs", "max-attempts", "job-timeout", "drain-grace", "route-timeout", "max-nodes",
             "L", "out-dir", "report-json", "input-policy", "inject", "trace-level",
-            "max-input-bytes", "max-network-bytes",
+            "max-input-bytes", "max-network-bytes", "blackbox",
         ],
         &["log-json", "strict"],
         (1, usize::MAX),
     )?;
     let message_to_stderr = stdout_claimed(&args)?;
-    let _trace = install_subscriber(&args)?;
+    // `--blackbox <path>` arms the flight recorder: span closes and
+    // events ride the fan-out into a bounded ring, and a quarantined
+    // job freezes the ring into a post-mortem dump at that path.
+    let _trace = if let Some(path) = args.value("blackbox") {
+        let (recorder, handle) =
+            FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY, tracing::Level::INFO);
+        let path = PathBuf::from(path);
+        netart_engine::set_quarantine_hook(Some(Box::new(move |record| {
+            let dump = handle.snapshot("quarantine", Some(&record.input));
+            if !crate::blackbox::write_dump(&path, &dump) {
+                handle.note_degradation("flight_dump_failed");
+            }
+        })));
+        install_subscriber_with(&args, vec![Box::new(recorder)])?
+    } else {
+        install_subscriber(&args)?
+    };
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
     let base_budget = budget_from_args(&args)?;
@@ -478,6 +527,11 @@ pub fn run_batch(argv: &[String]) -> Result<RunOutput, CliError> {
     );
     done.store(true, Ordering::Release);
     let _ = poller.join();
+    if args.value("blackbox").is_some() {
+        // Drop the hook's handle so in-process callers (tests) never
+        // see a stale recorder from a previous batch.
+        netart_engine::set_quarantine_hook(None);
+    }
 
     if let Some(path) = args.value("report-json") {
         write_or_stdout(path, &manifest.to_json_string())?;

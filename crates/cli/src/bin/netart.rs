@@ -9,6 +9,8 @@
 //! [`netart_cli::run_profile`]. The `stress` subcommand generates
 //! big-N and adversarial workloads and pushes them through the
 //! memory-governed ingestion path; see [`netart_cli::run_stress`].
+//! The `blackbox` subcommand renders a flight-recorder dump written by
+//! `serve` or `batch` as a timeline; see [`netart_cli::run_blackbox`].
 //!
 //! Exit codes: 0 clean, 2 degraded (salvaged or ghost-wired nets, or a
 //! recovered phase crash; 1 under `--strict`), 1 failed outright.
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("serve") {
         netart_cli::install_drain_handlers();
+        netart_cli::install_flight_handler();
         return match netart_cli::run_serve(&argv[1..]) {
             Ok(out) => {
                 if out.message_to_stderr {
@@ -84,6 +87,18 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("netart profile: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("blackbox") {
+        return match netart_cli::run_blackbox(&argv[1..]) {
+            Ok(out) => {
+                print!("{}", out.message);
+                out.exit_code()
+            }
+            Err(e) => {
+                eprintln!("netart blackbox: {e}");
                 ExitCode::FAILURE
             }
         };

@@ -38,6 +38,18 @@ pub(crate) fn ns(d: Duration) -> u64 {
 /// caller can write it after the run. Without any flag no subscriber
 /// is installed and the library instrumentation stays disabled.
 pub(crate) fn install_subscriber(args: &ParsedArgs) -> Result<Option<TraceBuffer>, CliError> {
+    install_subscriber_with(args, Vec::new())
+}
+
+/// [`install_subscriber`] with caller-supplied extra children ahead of
+/// the flag-driven ones — `netart serve` threads its flight recorder
+/// in here. Under the `alloc-profile` feature a phase-tag subscriber
+/// is always appended (even with no tracing flags at all), so heap
+/// attribution works on an otherwise silent run.
+pub(crate) fn install_subscriber_with(
+    args: &ParsedArgs,
+    extra: Vec<Box<dyn tracing::Subscriber>>,
+) -> Result<Option<TraceBuffer>, CliError> {
     let level = match args.value("trace-level") {
         Some(s) => Some(s.parse::<tracing::Level>().map_err(|_| ArgError::BadValue {
             flag: "trace-level".into(),
@@ -45,7 +57,7 @@ pub(crate) fn install_subscriber(args: &ParsedArgs) -> Result<Option<TraceBuffer
         })?),
         None => None,
     };
-    let mut children: Vec<Box<dyn tracing::Subscriber>> = Vec::new();
+    let mut children: Vec<Box<dyn tracing::Subscriber>> = extra;
     if args.has("log-json") {
         children.push(Box::new(JsonLinesSubscriber::new(
             level.unwrap_or(tracing::Level::INFO),
@@ -62,6 +74,8 @@ pub(crate) fn install_subscriber(args: &ParsedArgs) -> Result<Option<TraceBuffer
         children.push(Box::new(subscriber));
         buffer = Some(buf);
     }
+    #[cfg(feature = "alloc-profile")]
+    children.push(Box::new(netart::obs::PhaseTagSubscriber));
     if !children.is_empty() {
         // Lenient: in-process callers (tests) may install twice; the
         // first subscriber wins, which is fine for a diagnostics
@@ -908,7 +922,9 @@ pub fn run_eureka(argv: &[String]) -> Result<RunOutput, CliError> {
     let policy = input_policy(&args)?;
     let budgets = budgets_from_args(&args)?;
     let strict = args.has("strict");
+    let alloc_base = netart::obs::AllocSnapshot::capture();
     let t_parse = Instant::now();
+    let parse_tag = netart::obs::enter_phase("parse");
     let (network, mut cli_degs) =
         match parse_with_recovery(|| load_network(&args, policy, &budgets)) {
             Ok(v) => v,
@@ -936,6 +952,7 @@ pub fn run_eureka(argv: &[String]) -> Result<RunOutput, CliError> {
         })?;
     drop(esc_text);
     budgets.input.release(esc_len);
+    drop(parse_tag);
     let parse_ns = ns(t_parse.elapsed());
 
     let mut config = RouteConfig::new()
@@ -987,10 +1004,13 @@ pub fn run_eureka(argv: &[String]) -> Result<RunOutput, CliError> {
     );
     summary.push_str(&salvage_summary(&outcome.diagram, report));
     let t_emit = Instant::now();
+    let emit_tag = netart::obs::enter_phase("emit");
     let files = emit_diagram(&args, "eureka_out", &outcome.diagram, &mut cli_degs)?;
+    drop(emit_tag);
     let mut run_report = outcome.run_report("eureka");
     run_report.push_phase_front("parse", parse_ns);
     run_report.push_phase("emit", ns(t_emit.elapsed()));
+    netart::obs::attach_alloc_profile(&mut run_report, &alloc_base);
     for d in &cli_degs {
         summary.push_str(&format!(
             "\nwarning: {}",
@@ -1068,7 +1088,12 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
     let budgets = budgets_from_args(&args)?;
+    // Heap-attribution window for the whole run (a no-op stub unless
+    // built with `--features alloc-profile`). Parse and emit are
+    // phases without spans, so they tag themselves with guards.
+    let alloc_base = netart::obs::AllocSnapshot::capture();
     let t_parse = Instant::now();
+    let parse_tag = netart::obs::enter_phase("parse");
     let (network, mut cli_degs) =
         match parse_with_recovery(|| load_network(&args, policy, &budgets)) {
             Ok(v) => v,
@@ -1077,6 +1102,7 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
             }
             Err(e) => return Err(e),
         };
+    drop(parse_tag);
     let parse_ns = ns(t_parse.elapsed());
 
     let mut place = PlaceConfig::new()
@@ -1120,6 +1146,7 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
     let diagram = &outcome.diagram;
     let out = args.value("o").unwrap_or("netart_out");
     let t_emit = Instant::now();
+    let emit_tag = netart::obs::enter_phase("emit");
     write(
         Path::new(&format!("{out}.esc")),
         &checked_escher(out, diagram, &mut cli_degs)?,
@@ -1128,9 +1155,11 @@ pub fn run_netart(argv: &[String]) -> Result<RunOutput, CliError> {
         Path::new(&format!("{out}.svg")),
         &svg::render_with_structure(diagram),
     )?;
+    drop(emit_tag);
     let mut run_report = outcome.run_report("netart");
     run_report.push_phase_front("parse", parse_ns);
     run_report.push_phase("emit", ns(t_emit.elapsed()));
+    netart::obs::attach_alloc_profile(&mut run_report, &alloc_base);
     for d in &cli_degs {
         run_report.push_degradation(d.clone());
     }
@@ -1455,7 +1484,7 @@ mod tests {
         ]))
         .expect("netart runs");
         let doc = fs::read_to_string(dir.join("report.json")).expect("report written");
-        assert!(doc.contains("\"schema_version\": 2"), "{doc}");
+        assert!(doc.contains("\"schema_version\": 3"), "{doc}");
         assert!(doc.contains("\"tool\": \"netart\""), "{doc}");
         for phase in ["parse", "place", "route", "emit"] {
             assert!(doc.contains(&format!("\"name\": \"{phase}\"")), "{doc}");

@@ -27,6 +27,7 @@
 
 mod args;
 mod batch;
+mod blackbox;
 mod commands;
 mod http;
 mod profile;
@@ -34,7 +35,8 @@ mod serve;
 mod stress;
 
 pub use args::{ArgError, ParsedArgs};
-pub use batch::{install_drain_handlers, run_batch};
+pub use batch::{install_drain_handlers, install_flight_handler, run_batch};
+pub use blackbox::run_blackbox;
 pub use commands::{
     run_eureka, run_netart, run_pablo, run_quinto, run_report_diff, CliError, DiffOutput,
     RunOutput,

@@ -42,16 +42,19 @@ use std::fs::File;
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 use netart::netlist::doctor::{self, DoctorCode, InputPolicy};
 use netart::netlist::ingest::records_from_str;
 use netart::netlist::Library;
 use netart_govern::MemBudget;
-use netart::obs::{CacheOutcome, Json, ServeReport, ServeStats, ServeStatus, Telemetry};
+use netart::obs::{
+    AllocSnapshot, CacheOutcome, FlightHandle, FlightRecorder, Json, ServeReport, ServeStats,
+    ServeStatus, Telemetry,
+};
 use netart::place::PlaceConfig;
 use netart::route::{Budget, NetOrder, RouteConfig};
 use netart::diagram::svg;
@@ -59,7 +62,7 @@ use netart_engine::{ByteCache, JobContext, Service, ServiceConfig, SingleFlight,
 
 use crate::commands::{
     arm_faults, budget_from_args, budgets_from_args, checked_escher, cli_degradation,
-    doctor_degradations, exhausted_output, input_policy, install_subscriber, ns, parse_bytes,
+    doctor_degradations, exhausted_output, input_policy, install_subscriber_with, ns, parse_bytes,
     write_trace, CliError, RunOutput,
 };
 use crate::http::{read_request, respond, RequestError};
@@ -196,6 +199,31 @@ struct ServerState {
     /// runs under a snapshot of the remaining room.
     mem_budget: Arc<MemBudget>,
     default_options: RenderOptions,
+    /// Handle onto the always-on flight recorder ring; frozen into a
+    /// blackbox dump on panic, deadline breach, request fault, or
+    /// SIGUSR1.
+    recorder: FlightHandle,
+    /// Where blackbox dumps land (`--blackbox`, default
+    /// `blackbox.json`). The latest incident wins.
+    blackbox_path: PathBuf,
+    /// Whether `GET /debug/flight` is answered (`--debug-endpoints`);
+    /// off by default so production deployments don't expose ring
+    /// internals.
+    debug_endpoints: bool,
+}
+
+/// Freezes the flight ring into the blackbox file. A faulted or
+/// failed write must never disturb the request that triggered it: it
+/// degrades to `false`, and the `flight_dump_failed` note is carried
+/// by the ring into every later dump. Request-path callers surface
+/// the same note in the response they were building.
+fn dump_blackbox(state: &ServerState, reason: &str, rid: Option<&str>) -> bool {
+    let dump = state.recorder.snapshot(reason, rid);
+    let ok = crate::blackbox::write_dump(&state.blackbox_path, &dump);
+    if !ok {
+        state.recorder.note_degradation("flight_dump_failed");
+    }
+    ok
 }
 
 /// FNV-1a, the content-address hash: deterministic, dependency-free,
@@ -315,6 +343,13 @@ fn handle_job(state: &HandlerState, job: DiagramJob, ctx: &JobContext) -> Comput
         .with_order(job.options.order)
         .with_budget(state.base_budget.with_time_ceiling(job.timeout))
         .with_cancel(ctx.cancel.clone());
+    // Heap attribution window for this job (a no-op stub unless the
+    // binary was built with `--features alloc-profile`). The phase
+    // counters are process-global, so with several workers a
+    // concurrent job's traffic blurs into this window — serve-side
+    // numbers are a heat map, not an audit; `netart --report-json`
+    // single runs are the precise ones.
+    let alloc_base = AllocSnapshot::capture();
     let outcome = netart::Generator::new()
         .with_placing(PlaceConfig::new())
         .with_routing(route)
@@ -339,6 +374,7 @@ fn handle_job(state: &HandlerState, job: DiagramJob, ctx: &JobContext) -> Comput
     let mut run_report = outcome.run_report("netart serve");
     run_report.push_phase_front("doctor", doctor_ns);
     run_report.push_phase("emit", ns(t_emit.elapsed()));
+    netart::obs::attach_alloc_profile(&mut run_report, &alloc_base);
     if deadline_cancelled {
         degs.push(cli_degradation(
             "deadline_cancelled",
@@ -361,6 +397,13 @@ fn handle_job(state: &HandlerState, job: DiagramJob, ctx: &JobContext) -> Comput
         }
         t.observe(M_NODES, run_report.nets.iter().map(|n| n.nodes_expanded).sum::<u64>());
         t.observe(M_QUEUE_WAIT, ns(ctx.queue_wait));
+        // Present only under `--features alloc-profile`: per-phase
+        // heap traffic histograms, one series per phase name.
+        for p in &run_report.phases {
+            if let Some(bytes) = p.alloc_bytes {
+                t.observe(&format!("netart_serve_alloc_bytes_{}", p.name), bytes);
+            }
+        }
     });
 
     let degraded = !outcome.is_clean() || !degs.is_empty();
@@ -692,6 +735,36 @@ fn handle_diagram(state: &Arc<ServerState>, body: &[u8], acc: &mut AccessRecord)
             }
             let mut report = computed.report.clone();
             report.cache = outcome;
+            // Post-mortem triggers, leader-only so one incident leaves
+            // one dump: a deadline breach or a 500-class failure (the
+            // `serve.request` fault lands here) freezes the flight
+            // ring. A faulted or failed dump write never disturbs the
+            // response — it surfaces as a `flight_dump_failed`
+            // degradation in the very report being returned.
+            let dump_reason = if computed.deadline_cancelled {
+                Some("deadline")
+            } else if report.status == ServeStatus::Failed
+                && !computed.rejected
+                && !computed.exhausted
+            {
+                Some("fault")
+            } else {
+                None
+            };
+            if let (true, Some(reason)) = (leads, dump_reason) {
+                if !dump_blackbox(state, reason, Some(&acc.rid)) {
+                    if let Some(run) = report.report.as_mut() {
+                        run.push_degradation(cli_degradation(
+                            "flight_dump_failed",
+                            None,
+                            format!(
+                                "blackbox dump for request {} could not be written",
+                                acc.rid
+                            ),
+                        ));
+                    }
+                }
+            }
             if computed.exhausted {
                 // The governor, not the input, said no: the same
                 // request may fit once in-flight work releases its
@@ -728,6 +801,9 @@ fn handle_diagram(state: &Arc<ServerState>, body: &[u8], acc: &mut AccessRecord)
             count(&state.counters.panics);
             count(&state.counters.failed);
             acc.outcome = "panic";
+            if leads {
+                dump_blackbox(state, "panic", Some(&acc.rid));
+            }
             HttpReply::report(
                 500,
                 &ServeReport::failure(format!("request handler panicked: {message}")),
@@ -803,6 +879,20 @@ fn route_request(state: &Arc<ServerState>, method: &str, path: &str, body: &[u8]
         }
         ("GET", "/stats") => HttpReply::json(200, stats_snapshot(state).to_json_string()),
         ("GET", "/metrics") => metrics_reply(state),
+        ("GET", "/debug/flight") => {
+            if state.debug_endpoints {
+                // A live snapshot of the flight ring, same schema as
+                // the on-disk dumps — `netart blackbox` renders it.
+                HttpReply::json(200, state.recorder.snapshot("debug", None).to_json_string())
+            } else {
+                HttpReply::report(
+                    404,
+                    &ServeReport::failure(
+                        "debug endpoints are disabled; boot with --debug-endpoints",
+                    ),
+                )
+            }
+        }
         ("POST", "/v1/diagram") => {
             let rid = format!("r{:06}", state.seq.fetch_add(1, Ordering::Relaxed));
             let span = tracing::span!(tracing::Level::INFO, "serve.request", rid = rid.as_str());
@@ -824,7 +914,7 @@ fn route_request(state: &Arc<ServerState>, method: &str, path: &str, body: &[u8]
             write_access_log(state, &acc);
             reply
         }
-        (_, "/healthz" | "/readyz" | "/stats" | "/metrics" | "/v1/diagram") => HttpReply::report(
+        (_, "/healthz" | "/readyz" | "/stats" | "/metrics" | "/debug/flight" | "/v1/diagram") => HttpReply::report(
             405,
             &ServeReport::failure(format!("{method} is not supported on {path}")),
         ),
@@ -928,7 +1018,8 @@ fn parse_millis(args: &ParsedArgs, flag: &str, default_ms: u64) -> Result<Durati
 /// [--route-timeout ms] [--max-nodes n] [-m margin] [--order o]
 /// [--input-policy p] [--inject spec] [--access-log path]
 /// [--trace-level lvl] [--trace-out path] [--log-json]
-/// [--memory-budget bytes] [--max-input-bytes n] [--max-network-bytes n]`
+/// [--memory-budget bytes] [--max-input-bytes n] [--max-network-bytes n]
+/// [--blackbox path] [--debug-endpoints]`
 ///
 /// `--memory-budget` (k/m/g suffixes accepted) arms the global memory
 /// governor: declared request bodies over the remaining room answer
@@ -950,6 +1041,14 @@ fn parse_millis(args: &ParsedArgs, flag: &str, default_ms: u64) -> Result<Durati
 /// diagram request; `--trace-out` writes the Chrome/Perfetto trace at
 /// drain.
 ///
+/// Post-mortem: a flight recorder retains the last
+/// [`FlightRecorder::DEFAULT_CAPACITY`] span/event records in a ring;
+/// a panicking request, a deadline breach, a 500-class fault, or a
+/// SIGUSR1 freezes it into a schema-versioned dump at `--blackbox`
+/// (default `blackbox.json`; render with `netart blackbox`).
+/// `--debug-endpoints` additionally answers `GET /debug/flight` with
+/// a live snapshot.
+///
 /// # Errors
 ///
 /// Any [`CliError`] condition at boot (bad flags, unreadable library,
@@ -962,12 +1061,17 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
             "addr", "L", "workers", "queue-depth", "default-timeout", "timeout-ceiling",
             "max-body", "cache-bytes", "drain-grace", "route-timeout", "max-nodes", "m", "order",
             "input-policy", "inject", "access-log", "trace-level", "trace-out", "memory-budget",
-            "max-input-bytes", "max-network-bytes",
+            "max-input-bytes", "max-network-bytes", "blackbox",
         ],
-        &["log-json"],
+        &["log-json", "debug-endpoints"],
         (0, 0),
     )?;
-    let trace = install_subscriber(&args)?;
+    // The flight recorder is always on in serve: INFO keeps the phase
+    // spans and warn/error events in the ring while the per-net DEBUG
+    // spans stay un-dispatched (negligible steady-state cost).
+    let (flight_recorder, recorder) =
+        FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY, tracing::Level::INFO);
+    let trace = install_subscriber_with(&args, vec![Box::new(flight_recorder)])?;
     arm_faults(&args)?;
     let policy = input_policy(&args)?;
     let base_budget = budget_from_args(&args)?;
@@ -1010,6 +1114,24 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
     };
 
     let telemetry = Arc::new(Telemetry::new());
+    // Standard Prometheus boot idioms: an info-metric gauge pinned to
+    // 1 whose labels carry the build identity, and the boot instant as
+    // seconds since the epoch (`process_start_time_seconds` family).
+    telemetry.set_gauge_labelled(
+        "netart_build_info",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("git", option_env!("NETART_GIT_SHA").unwrap_or("unknown")),
+        ],
+        1,
+    );
+    telemetry.set_gauge(
+        "netart_serve_start_time_seconds",
+        SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    );
     let access_log = match args.value("access-log") {
         Some(path) => Some(Mutex::new(File::create(path).map_err(|source| CliError::Io {
             path: path.into(),
@@ -1040,6 +1162,9 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
         max_body: args.parsed("max-body", 1024 * 1024usize)?,
         mem_budget,
         default_options: RenderOptions { margin, order },
+        recorder,
+        blackbox_path: PathBuf::from(args.value("blackbox").unwrap_or("blackbox.json")),
+        debug_endpoints: args.has("debug-endpoints"),
     });
 
     let addr = args.value("addr").unwrap_or("127.0.0.1:4817");
@@ -1068,6 +1193,11 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
     let connections = Arc::new(AtomicUsize::new(0));
     let mut draining_since: Option<Instant> = None;
     loop {
+        if crate::batch::take_signal_flight() {
+            // SIGUSR1: an on-demand blackbox of the live ring — "what
+            // is this server doing right now" without stopping it.
+            dump_blackbox(&state, "signal", None);
+        }
         if draining_since.is_none() && crate::batch::signal_drain_requested() {
             // Readiness flips *first* so load balancers stop routing,
             // then admission closes; queued and running requests keep

@@ -475,6 +475,53 @@ fn chaos_serve_telemetry_record_faults_never_drop_the_request() {
 }
 
 #[test]
+fn chaos_flight_dump_faults_degrade_without_touching_the_response() {
+    // A fault on the blackbox write path (`obs.flight`) loses the
+    // post-mortem dump, nothing else: the deadline-breached request
+    // still answers 200/degraded, the loss is named as a
+    // `flight_dump_failed` degradation in that response's own run
+    // report, and the next incident dumps fine once the one-shot site
+    // has burned out.
+    for kind in KINDS {
+        let spec = format!("obs.flight:1:{kind}");
+        let dir = common::scratch(&format!("chaos-flight-{kind}"));
+        let lib = common::write_lib(&dir);
+        let dump_path = dir.join("blackbox.json");
+        let server = common::ServeProc::start(
+            &lib,
+            &["--inject", &spec, "--blackbox", &dump_path.to_string_lossy()],
+        );
+        let (net, cal, io) = common::chain_inputs(60);
+        let body = common::diagram_request(&net, &cal, Some(&io))
+            .with("options", Json::obj().with("timeout_ms", 1u64))
+            .render_pretty();
+
+        let breached = server.exchange("POST", "/v1/diagram", Some(&body));
+        assert_eq!(breached.status, 200, "{spec}: {}", breached.body);
+        assert_eq!(serve_report(&breached.body).status.as_str(), "degraded", "{spec}");
+        assert!(
+            breached.body.contains("flight_dump_failed"),
+            "{spec}: the lost dump is named in the run report: {}",
+            breached.body
+        );
+        assert!(!dump_path.exists(), "{spec}: the faulted dump must not half-write");
+
+        // The listener survived, and the next breach dumps through the
+        // burned-out site.
+        assert_eq!(server.exchange("GET", "/healthz", None).status, 200, "{spec}");
+        let again = server.exchange("POST", "/v1/diagram", Some(&body));
+        assert_eq!(again.status, 200, "{spec}: {}", again.body);
+        assert!(
+            !again.body.contains("flight_dump_failed"),
+            "{spec}: the second dump succeeds: {}",
+            again.body
+        );
+        assert!(dump_path.exists(), "{spec}: the recovered dump was written");
+        let _ = fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
 fn env_var_arms_the_registry() {
     let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
     netart_fault::disarm_all();

@@ -183,11 +183,16 @@ impl ServeProc {
 
     /// Sends SIGTERM (the supervisor's stop signal).
     pub fn sigterm(&self) {
+        self.signal("TERM");
+    }
+
+    /// Sends an arbitrary signal by name (`TERM`, `USR1`, …).
+    pub fn signal(&self, name: &str) {
         let status = Command::new("kill")
-            .args(["-TERM", &self.child.id().to_string()])
+            .args([&format!("-{name}"), &self.child.id().to_string()])
             .status()
             .expect("kill runs");
-        assert!(status.success(), "kill -TERM failed");
+        assert!(status.success(), "kill -{name} failed");
     }
 
     /// Waits for exit; returns the exit code and the remaining stdout

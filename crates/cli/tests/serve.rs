@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use common::{chain_inputs, diagram_request, scratch, write_lib, HttpResponse, ServeProc};
-use netart::obs::{Json, ServeReport, ServeStats};
+use netart::obs::{BlackboxDump, Json, ServeReport, ServeStats};
 
 fn parse_report(response: &HttpResponse) -> ServeReport {
     let doc = Json::parse(&response.body)
@@ -312,11 +312,34 @@ fn metrics_exposition_is_valid_and_counters_are_monotone() {
         "exposition content type: {}",
         baseline.head
     );
-    let (before, _) = parse_exposition(&baseline.body);
+    let (before, baseline_types) = parse_exposition(&baseline.body);
     assert!(
         before.contains_key("netart_serve_queue_depth"),
         "queue-depth gauge is always exposed: {:?}",
         before.keys().collect::<Vec<_>>()
+    );
+
+    // Build-identity info metric and boot-time gauge are exposed from
+    // the first scrape, before any request arrives.
+    let build_info = format!(
+        "netart_build_info{{version=\"{}\",git=\"unknown\"}}",
+        env!("CARGO_PKG_VERSION")
+    );
+    assert_eq!(
+        before.get(&build_info).copied(),
+        Some(1),
+        "build info series pinned: {:?}",
+        before.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(baseline_types.get("netart_build_info").map(String::as_str), Some("gauge"));
+    assert!(
+        before["netart_serve_start_time_seconds"] > 1_700_000_000,
+        "start time is a plausible unix timestamp: {}",
+        before["netart_serve_start_time_seconds"]
+    );
+    assert_eq!(
+        baseline_types.get("netart_serve_start_time_seconds").map(String::as_str),
+        Some("gauge")
     );
 
     let (net, cal, io) = chain_inputs(6);
@@ -547,6 +570,120 @@ fn sigterm_flips_readiness_drains_and_exits_zero() {
         rest.contains("drained cleanly"),
         "exit summary reports the drain: {rest:?}"
     );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Polls for `path` to appear and parses it as a blackbox dump.
+fn wait_for_dump(path: &std::path::Path) -> BlackboxDump {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if !text.is_empty() {
+                let doc = Json::parse(&text)
+                    .unwrap_or_else(|e| panic!("blackbox file is not JSON: {e}: {text}"));
+                return BlackboxDump::from_json(&doc)
+                    .unwrap_or_else(|e| panic!("blackbox file fails the schema: {e}"));
+            }
+        }
+        assert!(Instant::now() < deadline, "no blackbox dump at {}", path.display());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn debug_flight_endpoint_is_gated_behind_the_flag() {
+    let dir = scratch("debugflight");
+    let lib = write_lib(&dir);
+
+    // Without the flag the endpoint does not exist.
+    let closed = ServeProc::start(&lib, &[]);
+    assert_eq!(closed.exchange("GET", "/debug/flight", None).status, 404);
+    drop(closed);
+
+    // With it, the live ring is inspectable: a parseable dump whose
+    // records cover the request the server just answered.
+    let open = ServeProc::start(&lib, &["--debug-endpoints"]);
+    let (net, cal, io) = chain_inputs(6);
+    let body = diagram_request(&net, &cal, Some(&io)).render_pretty();
+    assert_eq!(open.exchange("POST", "/v1/diagram", Some(&body)).status, 200);
+
+    let peek = open.exchange("GET", "/debug/flight", None);
+    assert_eq!(peek.status, 200);
+    let doc = Json::parse(&peek.body)
+        .unwrap_or_else(|e| panic!("/debug/flight body is not JSON: {e}: {}", peek.body));
+    let dump = BlackboxDump::from_json(&doc).expect("dump fits the blackbox schema");
+    assert_eq!(dump.reason, "debug");
+    assert!(!dump.records.is_empty(), "the ring saw the request's spans");
+    assert!(
+        dump.records.iter().any(|r| r.name == "serve.request"),
+        "request span retained: {:?}",
+        dump.records.iter().map(|r| r.name.as_str()).collect::<Vec<_>>()
+    );
+    // Peeking is not a request and does not disturb the ledger.
+    assert_eq!(stats(&open).requests, 1);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn sigusr1_dumps_a_blackbox_that_round_trips_through_netart_blackbox() {
+    let dir = scratch("sigusr1");
+    // ServeProc does not pin the child's cwd, so the dump path must be
+    // absolute.
+    let dump_path = dir.join("blackbox.json");
+    let mut server = ServeProc::start(
+        &write_lib(&dir),
+        &["--blackbox", &dump_path.to_string_lossy()],
+    );
+
+    let (net, cal, io) = chain_inputs(6);
+    let body = diagram_request(&net, &cal, Some(&io)).render_pretty();
+    assert_eq!(server.exchange("POST", "/v1/diagram", Some(&body)).status, 200);
+
+    server.signal("USR1");
+    let dump = wait_for_dump(&dump_path);
+    assert_eq!(dump.reason, "signal");
+    assert_eq!(dump.rid, None, "an operator dump is not about one request");
+    assert!(!dump.records.is_empty(), "the ring retained the request's spans");
+
+    // The dump renders as a timeline through the subcommand.
+    let rendered = std::process::Command::new(env!("CARGO_BIN_EXE_netart"))
+        .args(["blackbox", &dump_path.to_string_lossy()])
+        .output()
+        .expect("netart blackbox runs");
+    assert!(rendered.status.success(), "{rendered:?}");
+    let text = String::from_utf8(rendered.stdout).expect("timeline is UTF-8");
+    assert!(text.contains("blackbox: reason=signal"), "{text}");
+    assert!(text.contains("serve.request"), "{text}");
+
+    // The dump is an observation, not a disruption: the server still
+    // serves and still drains cleanly.
+    assert_eq!(server.exchange("GET", "/healthz", None).status, 200);
+    server.sigterm();
+    let (code, _) = server.wait_exit();
+    assert_eq!(code, Some(0));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn deadline_breach_leaves_a_blackbox_naming_the_request() {
+    let dir = scratch("deadline-bb");
+    let dump_path = dir.join("blackbox.json");
+    let server = ServeProc::start(
+        &write_lib(&dir),
+        &["--blackbox", &dump_path.to_string_lossy()],
+    );
+
+    let (net, cal, io) = chain_inputs(60);
+    let body = diagram_request(&net, &cal, Some(&io))
+        .with("options", Json::obj().with("timeout_ms", 1u64))
+        .render_pretty();
+    let response = server.exchange("POST", "/v1/diagram", Some(&body));
+    assert_eq!(response.status, 200);
+    assert_eq!(parse_report(&response).status.as_str(), "degraded");
+
+    let dump = wait_for_dump(&dump_path);
+    assert_eq!(dump.reason, "deadline");
+    assert_eq!(dump.rid.as_deref(), Some("r000000"), "dump names the breaching request");
     let _ = std::fs::remove_dir_all(dir);
 }
 

@@ -141,6 +141,38 @@ impl JobFailure {
     }
 }
 
+/// A callback observing freshly quarantined jobs; see
+/// [`set_quarantine_hook`].
+pub type QuarantineHook = Box<dyn Fn(&JobRecord) + Send + Sync>;
+
+/// The process-wide quarantine observer. The CLI points this at the
+/// flight recorder so a tripped circuit breaker leaves a blackbox dump
+/// behind; it is a `Mutex<Option<..>>` rather than a `OnceLock`
+/// precisely so in-process tests can install, inspect, and clear it.
+static QUARANTINE_HOOK: Mutex<Option<QuarantineHook>> = Mutex::new(None);
+
+/// Installs (with `Some`) or clears (with `None`) the process-wide
+/// quarantine hook. The hook runs on the worker thread that exhausted
+/// the job's retries, after the quarantined [`JobRecord`] is fully
+/// built but before it lands in the manifest — keep it cheap and never
+/// panic inside it.
+pub fn set_quarantine_hook(hook: Option<QuarantineHook>) {
+    *QUARANTINE_HOOK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = hook;
+}
+
+/// Runs the installed quarantine hook, if any, on a freshly
+/// quarantined record.
+fn notify_quarantine(record: &JobRecord) {
+    let guard = QUARANTINE_HOOK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(hook) = guard.as_ref() {
+        hook(record);
+    }
+}
+
 /// One watchdog slot: the in-flight attempt of one worker.
 struct Watch {
     cancel: CancelToken,
@@ -454,6 +486,7 @@ where
         after_attempts: attempts,
         symptom: last_error,
     });
+    notify_quarantine(&record);
     record
 }
 
@@ -582,6 +615,41 @@ mod tests {
         let fine = manifest.jobs.iter().find(|j| j.input == "fine").unwrap();
         assert_eq!(fine.status, JobStatus::Ok, "poison does not starve the batch");
         assert_eq!(manifest.exit_code(), 2);
+    }
+
+    #[test]
+    fn quarantine_hook_fires_once_per_quarantined_job() {
+        use std::sync::Arc;
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        set_quarantine_hook(Some(Box::new(move |record| {
+            sink.lock().unwrap().push(record.input.clone());
+        })));
+        // Unique input names: other tests' quarantines may fire the
+        // global hook while it is installed.
+        let manifest = run(
+            "test",
+            &inputs(&["hook_poison", "hook_fine"]),
+            &fast_config(2),
+            &CancelToken::new(),
+            |input, _| {
+                if input == "hook_poison" {
+                    Err(JobFailure::transient("always broken"))
+                } else {
+                    Ok(JobSuccess::default())
+                }
+            },
+        );
+        set_quarantine_hook(None);
+        let calls = seen.lock().unwrap();
+        assert_eq!(
+            calls.iter().filter(|i| *i == "hook_poison").count(),
+            1,
+            "hook sees the quarantined input exactly once: {calls:?}"
+        );
+        assert!(!calls.iter().any(|i| i == "hook_fine"), "clean jobs never hook");
+        let poison = manifest.jobs.iter().find(|j| j.input == "hook_poison").unwrap();
+        assert!(poison.quarantine.is_some(), "record was complete when the hook ran");
     }
 
     #[test]

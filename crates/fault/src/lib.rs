@@ -84,6 +84,10 @@ pub mod sites {
     /// degrade to "metrics unavailable", never drop the request being
     /// observed).
     pub const SERVE_TELEMETRY: &str = "serve.telemetry";
+    /// Observability: the flight-recorder blackbox dump write (a
+    /// failing dump must surface as a `flight_dump_failed`
+    /// degradation, never disturb the request being dumped about).
+    pub const OBS_FLIGHT: &str = "obs.flight";
 
     /// Every site, for sweeps and spec validation.
     pub const ALL: &[&str] = &[
@@ -104,6 +108,7 @@ pub mod sites {
         SERVE_REQUEST,
         SERVE_CACHE,
         SERVE_TELEMETRY,
+        OBS_FLIGHT,
     ];
 }
 

@@ -230,34 +230,68 @@ impl ReportDiff {
                 );
                 continue;
             };
+            // Allocation attribution survives normalization, so it is
+            // compared whenever both sides carry it (a `null` on
+            // either side — an unprofiled build — opts out).
+            let alloc_pairs = [
+                ("alloc_count", b.alloc_count, c.alloc_count),
+                ("alloc_bytes", b.alloc_bytes, c.alloc_bytes),
+                ("peak_bytes", b.peak_bytes, c.peak_bytes),
+            ];
+            for (member, b_val, c_val) in alloc_pairs {
+                let (Some(b_val), Some(c_val)) = (b_val, c_val) else {
+                    continue;
+                };
+                self.banded(
+                    format!("phase.{}.{member}", b.name),
+                    b_val,
+                    c_val,
+                    "allocation",
+                    config,
+                );
+            }
             // A normalized baseline (wall_ns == 0) carries no timing
             // to compare against.
             if b.wall_ns == 0 {
                 continue;
             }
-            let b_bucket = Histogram::bucket_of(b.wall_ns);
-            let c_bucket = Histogram::bucket_of(c.wall_ns);
-            if c_bucket > b_bucket + config.band_buckets {
-                self.push(
-                    format!("phase.{}.wall_ns", b.name),
-                    b.wall_ns,
-                    c.wall_ns,
-                    DiffSeverity::Regression,
-                    format!(
-                        "wall time moved up {} log2 buckets (band allows {})",
-                        c_bucket - b_bucket,
-                        config.band_buckets
-                    ),
-                );
-            } else if b_bucket > c_bucket + config.band_buckets {
-                self.push(
-                    format!("phase.{}.wall_ns", b.name),
-                    b.wall_ns,
-                    c.wall_ns,
-                    DiffSeverity::Improvement,
-                    format!("wall time moved down {} log2 buckets", b_bucket - c_bucket),
-                );
-            }
+            self.banded(
+                format!("phase.{}.wall_ns", b.name),
+                b.wall_ns,
+                c.wall_ns,
+                "wall time",
+                config,
+            );
+        }
+    }
+
+    /// A band-tolerant comparison: both sides drop into the log-2
+    /// buckets of [`Histogram::bucket_of`] and only an excursion of
+    /// more than [`DiffConfig::band_buckets`] buckets counts (up is a
+    /// regression, down an improvement).
+    fn banded(&mut self, metric: String, baseline: u64, current: u64, what: &str, config: DiffConfig) {
+        let b_bucket = Histogram::bucket_of(baseline);
+        let c_bucket = Histogram::bucket_of(current);
+        if c_bucket > b_bucket + config.band_buckets {
+            self.push(
+                metric,
+                baseline,
+                current,
+                DiffSeverity::Regression,
+                format!(
+                    "{what} moved up {} log2 buckets (band allows {})",
+                    c_bucket - b_bucket,
+                    config.band_buckets
+                ),
+            );
+        } else if b_bucket > c_bucket + config.band_buckets {
+            self.push(
+                metric,
+                baseline,
+                current,
+                DiffSeverity::Improvement,
+                format!("{what} moved down {} log2 buckets", b_bucket - c_bucket),
+            );
         }
     }
 
@@ -487,6 +521,47 @@ mod tests {
         let diff = ReportDiff::diff(&baseline, &blowup);
         assert!(diff.is_regression());
         assert_eq!(diff.regressions().next().unwrap().metric, "phase.route.wall_ns");
+    }
+
+    #[test]
+    fn alloc_counters_band_like_wall_time() {
+        let mut baseline = sample_report().normalized();
+        baseline.phases[1].alloc_count = Some(100);
+        baseline.phases[1].alloc_bytes = Some(10_000);
+        baseline.phases[1].peak_bytes = Some(20_000);
+
+        // Within the band: same bucket neighbourhood, no verdict.
+        let mut noisy = baseline.clone();
+        noisy.phases[1].alloc_bytes = Some(15_000);
+        assert!(!ReportDiff::diff(&baseline, &noisy).is_regression());
+
+        // A 8x allocation blowup crosses more than one bucket even on
+        // a normalized (timing-free) baseline: the gate fails.
+        let mut blowup = baseline.clone();
+        blowup.phases[1].alloc_bytes = Some(80_000);
+        let diff = ReportDiff::diff(&baseline, &blowup);
+        assert!(diff.is_regression());
+        assert_eq!(
+            diff.regressions().next().unwrap().metric,
+            "phase.route.alloc_bytes"
+        );
+
+        // Dropping well below the baseline is an improvement, not a
+        // failure.
+        let mut slimmer = baseline.clone();
+        slimmer.phases[1].peak_bytes = Some(1_000);
+        let diff = ReportDiff::diff(&baseline, &slimmer);
+        assert!(!diff.is_regression());
+        assert_eq!(diff.entries[0].severity, DiffSeverity::Improvement);
+    }
+
+    #[test]
+    fn unprofiled_side_opts_out_of_alloc_comparison() {
+        let mut baseline = sample_report();
+        baseline.phases[1].alloc_bytes = Some(10_000);
+        let current = sample_report(); // alloc members all None
+        assert!(!ReportDiff::diff(&baseline, &current).is_regression());
+        assert!(!ReportDiff::diff(&current, &baseline).is_regression());
     }
 
     #[test]

@@ -229,15 +229,7 @@ impl BatchManifest {
         if json.as_obj().is_none() {
             return Err("manifest is not a JSON object".to_owned());
         }
-        let version = json
-            .get("schema_version")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| "missing schema_version".to_owned())?;
-        if version != u64::from(BATCH_SCHEMA_VERSION) {
-            return Err(format!(
-                "unsupported schema_version {version} (this build reads {BATCH_SCHEMA_VERSION})"
-            ));
-        }
+        crate::json::expect_schema_version(json, BATCH_SCHEMA_VERSION, BATCH_SCHEMA_VERSION)?;
         let mut jobs = Vec::new();
         if let Some(arr) = json.get("jobs").and_then(Json::as_arr) {
             for j in arr {

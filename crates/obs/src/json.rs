@@ -557,6 +557,34 @@ impl From<Vec<Json>> for Json {
     }
 }
 
+/// Reads and validates the `schema_version` member every versioned
+/// document in this crate starts with. Accepts versions in
+/// `min..=max`; the common single-version case passes `min == max`.
+///
+/// # Errors
+///
+/// `missing schema_version` when the member is absent or not a
+/// number, and `unsupported schema_version <v> (this build reads …)`
+/// when it is out of range — the exact wording the CLI shows when
+/// pointed at the wrong file.
+pub fn expect_schema_version(json: &Json, min: u32, max: u32) -> Result<u64, String> {
+    let version = json
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "missing schema_version".to_owned())?;
+    if !(u64::from(min)..=u64::from(max)).contains(&version) {
+        let reads = if min == max {
+            format!("{max}")
+        } else {
+            format!("{min}..={max}")
+        };
+        return Err(format!(
+            "unsupported schema_version {version} (this build reads {reads})"
+        ));
+    }
+    Ok(version)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -604,5 +632,38 @@ mod tests {
     fn option_maps_to_null() {
         assert_eq!(Json::from(None::<u64>), Json::Null);
         assert_eq!(Json::from(Some(3u64)), Json::Uint(3));
+    }
+
+    #[test]
+    fn schema_version_in_range_is_returned() {
+        let j = Json::obj().with("schema_version", 2u64);
+        assert_eq!(expect_schema_version(&j, 1, 3), Ok(2));
+        assert_eq!(expect_schema_version(&j, 2, 2), Ok(2));
+    }
+
+    #[test]
+    fn schema_version_missing_or_wrong_kind_is_named() {
+        assert_eq!(
+            expect_schema_version(&Json::obj(), 1, 1),
+            Err("missing schema_version".to_owned())
+        );
+        let j = Json::obj().with("schema_version", "two");
+        assert_eq!(
+            expect_schema_version(&j, 1, 1),
+            Err("missing schema_version".to_owned())
+        );
+    }
+
+    #[test]
+    fn unsupported_schema_version_error_message() {
+        let j = Json::obj().with("schema_version", 99u64);
+        assert_eq!(
+            expect_schema_version(&j, 1, 1),
+            Err("unsupported schema_version 99 (this build reads 1)".to_owned())
+        );
+        assert_eq!(
+            expect_schema_version(&j, 1, 3),
+            Err("unsupported schema_version 99 (this build reads 1..=3)".to_owned())
+        );
     }
 }

@@ -21,7 +21,12 @@
 //! * the live layer: a process-lifetime [`Telemetry`] registry
 //!   (counters, gauges, rolling-window histograms) with Prometheus
 //!   text exposition behind `netart serve`'s `/metrics`, and the
-//!   [`ProfileReport`] heat-map schema behind `netart profile`.
+//!   [`ProfileReport`] heat-map schema behind `netart profile`;
+//! * the post-mortem layer: the [`FlightRecorder`] ring subscriber
+//!   whose [`BlackboxDump`]s freeze the last moments before a panic,
+//!   deadline breach, or SIGUSR1, and the [`alloc`] profiler that
+//!   attributes heap traffic to phases when the `alloc-profile`
+//!   feature is on.
 //!
 //! The span/event vocabulary itself lives in the vendored `tracing`
 //! stand-in; this crate is about *collecting* and *exporting*.
@@ -29,8 +34,10 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod alloc;
 pub mod baseline;
 mod batch;
+mod flight;
 pub mod json;
 mod metrics;
 mod profile;
@@ -40,11 +47,17 @@ mod subscribe;
 mod telemetry;
 mod trace;
 
+pub use alloc::{attach_alloc_profile, enter_phase, profiling_enabled, AllocSnapshot, PhaseAlloc};
+#[cfg(feature = "alloc-profile")]
+pub use alloc::PhaseTagSubscriber;
 pub use baseline::{DiffConfig, DiffEntry, DiffSeverity, ReportDiff};
 pub use batch::{
     BatchManifest, BatchSummary, JobRecord, JobStatus, QuarantineReport, BATCH_SCHEMA_VERSION,
 };
-pub use json::{Json, JsonParseError};
+pub use flight::{
+    BlackboxDump, FlightHandle, FlightRecord, FlightRecorder, BLACKBOX_SCHEMA_VERSION,
+};
+pub use json::{expect_schema_version, Json, JsonParseError};
 pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot};
 pub use profile::{
     ProfileCell, ProfileReport, ProfileTotals, PROFILE_KIND, PROFILE_SCHEMA_VERSION,

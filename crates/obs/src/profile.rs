@@ -132,15 +132,7 @@ impl ProfileReport {
         if json.as_obj().is_none() {
             return Err("profile is not a JSON object".to_owned());
         }
-        let version = json
-            .get("schema_version")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| "missing schema_version".to_owned())?;
-        if version != u64::from(PROFILE_SCHEMA_VERSION) {
-            return Err(format!(
-                "unsupported schema_version {version} (this build reads {PROFILE_SCHEMA_VERSION})"
-            ));
-        }
+        crate::json::expect_schema_version(json, PROFILE_SCHEMA_VERSION, PROFILE_SCHEMA_VERSION)?;
         if !Self::is_profile_json(json) {
             return Err("document kind is not \"profile\"".to_owned());
         }

@@ -15,8 +15,10 @@ use crate::metrics::MetricsSnapshot;
 ///
 /// History: **1** — initial shape; **2** — phase entries carry
 /// histogram quantiles (`p50_ns`/`p90_ns`/`max_ns`) and histogram
-/// summaries gained `p90`.
-pub const SCHEMA_VERSION: u32 = 2;
+/// summaries gained `p90`; **3** — phase entries carry allocation
+/// attribution (`alloc_count`/`alloc_bytes`/`peak_bytes`, `null`
+/// unless the binary was built with the `alloc-profile` feature).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Size of the input network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +45,13 @@ pub struct PhaseReport {
     pub p90_ns: Option<u64>,
     /// Largest observation in the phase's timing histogram.
     pub max_ns: Option<u64>,
+    /// Heap allocations attributed to the phase (`alloc-profile`
+    /// builds only; `None` otherwise).
+    pub alloc_count: Option<u64>,
+    /// Bytes allocated while the phase was current.
+    pub alloc_bytes: Option<u64>,
+    /// Peak live heap bytes observed while the phase was current.
+    pub peak_bytes: Option<u64>,
 }
 
 /// Router effort and outcome for one net (the per-net span data,
@@ -202,6 +211,9 @@ impl RunReport {
                         .with("p50_ns", p.p50_ns.map(Json::from))
                         .with("p90_ns", p.p90_ns.map(Json::from))
                         .with("max_ns", p.max_ns.map(Json::from))
+                        .with("alloc_count", p.alloc_count.map(Json::from))
+                        .with("alloc_bytes", p.alloc_bytes.map(Json::from))
+                        .with("peak_bytes", p.peak_bytes.map(Json::from))
                 })
                 .collect(),
         );
@@ -264,23 +276,16 @@ impl RunReport {
 
     /// Reads a report back from its [`RunReport::to_json`] shape.
     ///
-    /// Accepts schema versions 1 and 2 (version 1 reports simply lack
-    /// the phase quantiles). Anything else — or a document that is not
-    /// an object — is an error naming what was wrong, so the `report
-    /// diff` CLI can point at the offending file.
+    /// Accepts schema versions 1 through [`SCHEMA_VERSION`] (older
+    /// reports simply lack the later members). Anything else — or a
+    /// document that is not an object — is an error naming what was
+    /// wrong, so the `report diff` CLI can point at the offending
+    /// file.
     pub fn from_json(json: &Json) -> Result<RunReport, String> {
         if json.as_obj().is_none() {
             return Err("report is not a JSON object".to_owned());
         }
-        let version = json
-            .get("schema_version")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| "missing schema_version".to_owned())?;
-        if !(1..=u64::from(SCHEMA_VERSION)).contains(&version) {
-            return Err(format!(
-                "unsupported schema_version {version} (this build reads 1..={SCHEMA_VERSION})"
-            ));
-        }
+        crate::json::expect_schema_version(json, 1, SCHEMA_VERSION)?;
         let mut report = RunReport {
             tool: json
                 .get("tool")
@@ -306,6 +311,9 @@ impl RunReport {
                     p50_ns: p.get("p50_ns").and_then(Json::as_u64),
                     p90_ns: p.get("p90_ns").and_then(Json::as_u64),
                     max_ns: p.get("max_ns").and_then(Json::as_u64),
+                    alloc_count: p.get("alloc_count").and_then(Json::as_u64),
+                    alloc_bytes: p.get("alloc_bytes").and_then(Json::as_u64),
+                    peak_bytes: p.get("peak_bytes").and_then(Json::as_u64),
                 });
             }
         }
@@ -359,7 +367,8 @@ impl RunReport {
     /// and quantiles cleared and `*_ns` histograms dropped. What
     /// remains is bit-deterministic for a given input, which is what
     /// the committed `baselines/*.json` store — counters, per-net
-    /// effort, degradations, and quality survive; timings do not.
+    /// effort, degradations, quality, and allocation attribution
+    /// survive; timings do not.
     pub fn normalized(&self) -> RunReport {
         let mut report = self.clone();
         for phase in &mut report.phases {
@@ -407,6 +416,38 @@ mod tests {
         for key in ["network", "phases", "nets", "degradations", "quality", "metrics"] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
+    }
+
+    #[test]
+    fn v3_alloc_members_round_trip() {
+        let mut r = RunReport {
+            tool: "netart".into(),
+            ..RunReport::default()
+        };
+        r.push_phase("route", 9);
+        r.phases[0].alloc_count = Some(41);
+        r.phases[0].alloc_bytes = Some(1_024);
+        r.phases[0].peak_bytes = Some(4_096);
+        let rendered = r.to_json().render();
+        assert!(rendered.contains(r#""alloc_bytes":1024"#), "{rendered}");
+        let back = RunReport::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back.phases[0].alloc_count, Some(41));
+        assert_eq!(back.phases[0].alloc_bytes, Some(1_024));
+        assert_eq!(back.phases[0].peak_bytes, Some(4_096));
+        // Normalization zeroes timings but keeps the (deterministic)
+        // allocation attribution.
+        let normal = back.normalized();
+        assert_eq!(normal.phases[0].wall_ns, 0);
+        assert_eq!(normal.phases[0].alloc_bytes, Some(1_024));
+    }
+
+    #[test]
+    fn unprofiled_phases_render_null_alloc_members() {
+        let mut r = RunReport::default();
+        r.push_phase("place", 1);
+        let rendered = r.to_json().render();
+        assert!(rendered.contains(r#""alloc_count":null"#), "{rendered}");
+        assert!(rendered.contains(r#""peak_bytes":null"#), "{rendered}");
     }
 
     #[test]

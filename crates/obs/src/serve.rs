@@ -146,15 +146,7 @@ impl ServeReport {
         if json.as_obj().is_none() {
             return Err("serve report is not a JSON object".to_owned());
         }
-        let version = json
-            .get("schema_version")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| "missing schema_version".to_owned())?;
-        if version != u64::from(SERVE_SCHEMA_VERSION) {
-            return Err(format!(
-                "unsupported schema_version {version} (this build reads {SERVE_SCHEMA_VERSION})"
-            ));
-        }
+        crate::json::expect_schema_version(json, SERVE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION)?;
         let status_str = json.get("status").and_then(Json::as_str).unwrap_or_default();
         let status = ServeStatus::parse(status_str)
             .ok_or_else(|| format!("unknown serve status {status_str:?}"))?;
@@ -275,15 +267,7 @@ impl ServeStats {
         if json.as_obj().is_none() {
             return Err("serve stats is not a JSON object".to_owned());
         }
-        let version = json
-            .get("schema_version")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| "missing schema_version".to_owned())?;
-        if version != u64::from(SERVE_SCHEMA_VERSION) {
-            return Err(format!(
-                "unsupported schema_version {version} (this build reads {SERVE_SCHEMA_VERSION})"
-            ));
-        }
+        crate::json::expect_schema_version(json, SERVE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION)?;
         let field = |name: &str| json.get(name).and_then(Json::as_u64).unwrap_or(0);
         Ok(ServeStats {
             requests: field("requests"),

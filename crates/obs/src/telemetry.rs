@@ -110,15 +110,16 @@ impl WindowSummary {
     }
 }
 
-/// A counter series: one value per label set (the empty label set for
-/// plain counters). Keys are rendered label strings (`outcome="clean"`),
-/// kept sorted by the map for deterministic exposition.
-type LabelledCounters = BTreeMap<String, u64>;
+/// A counter or gauge series: one value per label set (the empty label
+/// set for plain series). Keys are rendered label strings
+/// (`outcome="clean"`), kept sorted by the map for deterministic
+/// exposition.
+type LabelledSeries = BTreeMap<String, u64>;
 
 #[derive(Default)]
 struct Inner {
-    counters: BTreeMap<String, LabelledCounters>,
-    gauges: BTreeMap<String, u64>,
+    counters: BTreeMap<String, LabelledSeries>,
+    gauges: BTreeMap<String, LabelledSeries>,
     histograms: BTreeMap<String, RollingHistogram>,
 }
 
@@ -185,7 +186,18 @@ impl Telemetry {
     /// Sets the gauge named `name` to `value`. Gauges are racy
     /// point-in-time snapshots, typically set just before a scrape.
     pub fn set_gauge(&self, name: &str, value: u64) {
-        self.lock().gauges.insert(name.to_owned(), value);
+        self.set_gauge_labelled(name, &[], value);
+    }
+
+    /// Sets a labelled gauge, as the `netart_build_info{version,git} 1`
+    /// info-metric idiom needs. Pass `&[]` for a plain gauge.
+    pub fn set_gauge_labelled(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let key = render_labels(labels);
+        self.lock()
+            .gauges
+            .entry(name.to_owned())
+            .or_default()
+            .insert(key, value);
     }
 
     /// Records one observation into the named rolling histogram.
@@ -238,9 +250,15 @@ impl Telemetry {
                 }
             }
         }
-        for (name, value) in &inner.gauges {
+        for (name, series) in &inner.gauges {
             let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {value}");
+            for (labels, value) in series {
+                if labels.is_empty() {
+                    let _ = writeln!(out, "{name} {value}");
+                } else {
+                    let _ = writeln!(out, "{name}{{{labels}}} {value}");
+                }
+            }
         }
         for (name, series) in &inner.histograms {
             let h = series.lifetime();
@@ -341,6 +359,27 @@ mod tests {
     }
 
     #[test]
+    fn labelled_gauges_render_like_info_metrics() {
+        let t = Telemetry::new();
+        t.set_gauge_labelled(
+            "netart_build_info",
+            &[("version", "1.2.3"), ("git", "unknown")],
+            1,
+        );
+        t.set_gauge("netart_serve_start_time_seconds", 1_700_000_000);
+        let text = t.render_prometheus();
+        assert!(text.contains("# TYPE netart_build_info gauge"), "{text}");
+        assert!(
+            text.contains("netart_build_info{version=\"1.2.3\",git=\"unknown\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("netart_serve_start_time_seconds 1700000000"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn label_values_are_escaped() {
         assert_eq!(
             render_labels(&[("k", "a\"b\\c\nd")]),
@@ -375,6 +414,39 @@ mod tests {
         assert_eq!(h.window_at(e).count(), 1, "slot 2's observation survives");
         h.record_at(e, 3);
         assert_eq!(h.window_at(e).count(), 2);
+    }
+
+    #[test]
+    fn window_expires_samples_exactly_at_the_boundary() {
+        let mut h = RollingHistogram::default();
+        h.record_at(0, 100);
+        // One epoch short of a full window: the slot-0 sample is still
+        // inside and drives the quantiles.
+        let last_inside = WINDOW_SLOTS as u64 - 1;
+        let w = h.window_at(last_inside);
+        assert_eq!(w.count(), 1);
+        assert!(WindowSummary::of(&w).p99 >= 100);
+        // Exactly one more epoch reuses slot 0 and must expire it: the
+        // 60s-old sample no longer contributes to any quantile.
+        let w = h.window_at(last_inside + 1);
+        assert_eq!(w.count(), 0, "boundary epoch must drop the expired slot");
+        assert_eq!(WindowSummary::of(&w), WindowSummary::default());
+    }
+
+    #[test]
+    fn empty_window_quantiles_never_panic() {
+        let mut h = RollingHistogram::default();
+        // Never-recorded ring.
+        let s = WindowSummary::of(&h.window_at(0));
+        assert_eq!(s, WindowSummary::default());
+        // Recorded once, then rotated far past the window: empty again.
+        h.record_at(0, 42);
+        let s = WindowSummary::of(&h.window_at(WINDOW_SLOTS as u64 * 3));
+        assert_eq!((s.count, s.p50, s.p90, s.p99), (0, 0, 0, 0));
+        // And via the registry path, which is what `/stats` calls.
+        let t = Telemetry::new();
+        t.observe("lat", 7);
+        assert_eq!(t.window_summary("never_observed"), WindowSummary::default());
     }
 
     #[test]

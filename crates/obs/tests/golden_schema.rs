@@ -46,6 +46,9 @@ fn exemplar() -> RunReport {
             PhaseReport {
                 name: "route".to_owned(),
                 wall_ns: 1_500,
+                alloc_count: Some(12),
+                alloc_bytes: Some(2_048),
+                peak_bytes: Some(8_192),
                 ..PhaseReport::default()
             },
             PhaseReport {
