@@ -32,6 +32,7 @@ mod commands;
 mod http;
 mod profile;
 mod serve;
+mod shard;
 mod stress;
 
 pub use args::{ArgError, ParsedArgs};

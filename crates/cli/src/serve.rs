@@ -41,6 +41,7 @@
 use std::fs::File;
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::FromRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -66,6 +67,7 @@ use crate::commands::{
     write_trace, CliError, RunOutput,
 };
 use crate::http::{read_request, respond, RequestError};
+use crate::shard::{FleetView, ShardRuntime};
 use crate::{ArgError, ParsedArgs};
 
 /// How long a connection may dribble its request before the read
@@ -102,6 +104,12 @@ const M_QUEUE_WAIT: &str = "netart_serve_queue_wait_ns";
 /// (at admission or mid-parse). Each refusal answered `503
 /// Retry-After`; the budget frees as in-flight work completes.
 const M_MEM_REJECTIONS: &str = "netart_serve_mem_rejections_total";
+/// Sharded mode only: cumulative worker respawns across the fleet, as
+/// broadcast by the supervisor.
+const M_SHARD_RESTARTS: &str = "netart_serve_shard_restarts_total";
+/// Sharded mode only: per-shard liveness gauge (`shard` label; 1 live,
+/// 0 down or quarantined), as broadcast by the supervisor.
+const M_SHARD_LIVE: &str = "netart_serve_shard_live";
 
 /// The rendering options a request may set, resolved against the
 /// server's defaults. The deadline is deliberately *not* part of the
@@ -186,8 +194,16 @@ struct ServerState {
     cache: ByteCache<String, Arc<ServeReport>>,
     counters: Counters,
     telemetry: Arc<Telemetry>,
-    /// Monotonic request-id source (`r000000`, `r000001`, …).
+    /// Monotonic request-id source (`r000000`, `r000001`, …; shard
+    /// workers prefix their index: `s2-r000000`, …).
     seq: AtomicU64,
+    /// The request-id prefix: `"r"` single-process, `"s{k}-r"` for
+    /// shard worker `k` — keeps rids globally unique across the fleet
+    /// in access logs and tracing spans.
+    rid_prefix: String,
+    /// Worker-mode shard identity and the supervisor-fed fleet view;
+    /// `None` in the ordinary single-process mode.
+    shard: Option<ShardRuntime>,
     /// The `--access-log` sink; one JSON line per diagram request.
     access_log: Option<Mutex<File>>,
     ready: AtomicBool,
@@ -816,7 +832,13 @@ fn stats_snapshot(state: &ServerState) -> ServeStats {
     let cache = state.cache.stats();
     let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
     let win = state.telemetry.window_summary(M_LATENCY);
+    let (shard_live, shard_restarts) = match &state.shard {
+        Some(s) => (s.fleet.live_count() as u64, s.fleet.restarts()),
+        None => (0, 0),
+    };
     ServeStats {
+        shard_live,
+        shard_restarts,
         requests: load(&state.counters.requests),
         clean: load(&state.counters.clean),
         degraded: load(&state.counters.degraded),
@@ -855,6 +877,18 @@ fn metrics_reply(state: &ServerState) -> HttpReply {
         t.set_gauge("netart_serve_in_flight", state.service.in_flight() as u64);
         t.set_gauge("netart_serve_cache_bytes", cache.bytes as u64);
         t.set_gauge("netart_serve_cache_entries", cache.entries as u64);
+        if let Some(s) = &state.shard {
+            // Per-shard liveness off the latest fleet broadcast: one
+            // `netart_serve_shard_live{shard="k"}` series per shard.
+            for (k, phase) in s.fleet.phases().iter().enumerate() {
+                let idx = k.to_string();
+                t.set_gauge_labelled(
+                    M_SHARD_LIVE,
+                    &[("shard", idx.as_str())],
+                    u64::from(*phase == netart_engine::ShardPhase::Live),
+                );
+            }
+        }
         Some(t.render_prometheus())
     }))
     .unwrap_or(None);
@@ -871,10 +905,14 @@ fn route_request(state: &Arc<ServerState>, method: &str, path: &str, body: &[u8]
     match (method, path) {
         ("GET", "/healthz") => HttpReply::json(200, "{\"status\": \"ok\"}".to_owned()),
         ("GET", "/readyz") => {
-            if state.ready.load(Ordering::Acquire) {
-                HttpReply::json(200, "{\"status\": \"ready\"}".to_owned())
-            } else {
+            if !state.ready.load(Ordering::Acquire) {
                 HttpReply::json(503, "{\"status\": \"draining\"}".to_owned())
+            } else if !state.shard.as_ref().is_none_or(|s| s.fleet.quorum_ok()) {
+                // Sharded: this worker is fine, but the fleet lost its
+                // readiness quorum (a sibling is down or quarantined).
+                HttpReply::json(503, "{\"status\": \"quorum_lost\"}".to_owned())
+            } else {
+                HttpReply::json(200, "{\"status\": \"ready\"}".to_owned())
             }
         }
         ("GET", "/stats") => HttpReply::json(200, stats_snapshot(state).to_json_string()),
@@ -894,7 +932,11 @@ fn route_request(state: &Arc<ServerState>, method: &str, path: &str, body: &[u8]
             }
         }
         ("POST", "/v1/diagram") => {
-            let rid = format!("r{:06}", state.seq.fetch_add(1, Ordering::Relaxed));
+            let rid = format!(
+                "{}{:06}",
+                state.rid_prefix,
+                state.seq.fetch_add(1, Ordering::Relaxed)
+            );
             let span = tracing::span!(tracing::Level::INFO, "serve.request", rid = rid.as_str());
             let started = Instant::now();
             let mut acc = AccessRecord::new(rid);
@@ -1019,7 +1061,18 @@ fn parse_millis(args: &ParsedArgs, flag: &str, default_ms: u64) -> Result<Durati
 /// [--input-policy p] [--inject spec] [--access-log path]
 /// [--trace-level lvl] [--trace-out path] [--log-json]
 /// [--memory-budget bytes] [--max-input-bytes n] [--max-network-bytes n]
-/// [--blackbox path] [--debug-endpoints]`
+/// [--blackbox path] [--debug-endpoints]
+/// [--shards n] [--quorum k] [--crash-limit m] [--crash-window ms]`
+///
+/// `--shards N` boots a supervisor instead: the listener is bound
+/// once, N single-shard worker processes inherit its fd (each running
+/// this same serve loop in a hidden `--shard-worker` mode), and the
+/// supervisor reaps deaths, respawns with the engine's deterministic
+/// backoff, quarantines crash-looping shards (`--crash-limit` deaths
+/// within `--crash-window` ms) and fans out SIGTERM/SIGUSR1. Worker
+/// rids gain an `s{shard}-` prefix, `netart_build_info` a `shard`
+/// label, and `/readyz` answers 503 (`quorum_lost`) whenever fewer
+/// than `--quorum` shards (default: all) are live.
 ///
 /// `--memory-budget` (k/m/g suffixes accepted) arms the global memory
 /// governor: declared request bodies over the remaining room answer
@@ -1062,10 +1115,29 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
             "max-body", "cache-bytes", "drain-grace", "route-timeout", "max-nodes", "m", "order",
             "input-policy", "inject", "access-log", "trace-level", "trace-out", "memory-budget",
             "max-input-bytes", "max-network-bytes", "blackbox",
+            "shards", "quorum", "crash-limit", "crash-window",
+            "shard-worker", "shard-count", "shard-fd",
         ],
         &["log-json", "debug-endpoints"],
         (0, 0),
     )?;
+    // `--shards N` makes this process the supervisor: it binds the
+    // listener, re-execs N workers in the hidden `--shard-worker`
+    // mode, and never serves HTTP itself.
+    if args.value("shard-worker").is_none() {
+        if let Some(_n) = args.value("shards") {
+            let shards = args.parsed("shards", 1usize)?.max(1);
+            return crate::shard::run_supervisor(argv, &args, shards);
+        }
+    }
+    // Hidden worker mode: shard identity injected by the supervisor.
+    let shard_identity = match args.value("shard-worker") {
+        Some(_) => Some((
+            args.parsed("shard-worker", 0u32)?,
+            args.parsed("shard-count", 1u32)?.max(1),
+        )),
+        None => None,
+    };
     // The flight recorder is always on in serve: INFO keeps the phase
     // spans and warn/error events in the ring while the per-net DEBUG
     // spans stay un-dispatched (negligible steady-state cost).
@@ -1115,16 +1187,29 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
 
     let telemetry = Arc::new(Telemetry::new());
     // Standard Prometheus boot idioms: an info-metric gauge pinned to
-    // 1 whose labels carry the build identity, and the boot instant as
-    // seconds since the epoch (`process_start_time_seconds` family).
-    telemetry.set_gauge_labelled(
-        "netart_build_info",
-        &[
-            ("version", env!("CARGO_PKG_VERSION")),
-            ("git", option_env!("NETART_GIT_SHA").unwrap_or("unknown")),
-        ],
-        1,
-    );
+    // 1 whose labels carry the build identity (plus the shard index in
+    // worker mode), and the boot instant as seconds since the epoch
+    // (`process_start_time_seconds` family).
+    let version = env!("CARGO_PKG_VERSION");
+    let git = option_env!("NETART_GIT_SHA").unwrap_or("unknown");
+    match shard_identity {
+        Some((index, _)) => {
+            let idx = index.to_string();
+            telemetry.set_gauge_labelled(
+                "netart_build_info",
+                &[("version", version), ("git", git), ("shard", idx.as_str())],
+                1,
+            );
+            // Register the restart counter at zero so the series is
+            // scrapeable before the first respawn.
+            telemetry.inc(M_SHARD_RESTARTS, &[], 0);
+        }
+        None => telemetry.set_gauge_labelled(
+            "netart_build_info",
+            &[("version", version), ("git", git)],
+            1,
+        ),
+    }
     telemetry.set_gauge(
         "netart_serve_start_time_seconds",
         SystemTime::now()
@@ -1148,6 +1233,20 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
         mem_budget: Arc::clone(&mem_budget),
     };
     let service = Service::new(&config, move |job, ctx| handle_job(&handler_state, job, ctx));
+    let shard = shard_identity.map(|(index, count)| {
+        let fleet = Arc::new(FleetView::new(count as usize));
+        // Supervisor broadcasts arrive over stdin; increases of the
+        // cumulative restart counter land in this worker's own series.
+        let restarts_sink = Arc::clone(&telemetry);
+        crate::shard::spawn_fleet_listener(Arc::clone(&fleet), move |delta| {
+            restarts_sink.inc(M_SHARD_RESTARTS, &[], delta);
+        });
+        ShardRuntime { index, fleet }
+    });
+    let rid_prefix = match &shard {
+        Some(s) => format!("s{}-r", s.index),
+        None => "r".to_owned(),
+    };
     let state = Arc::new(ServerState {
         service,
         flight: SingleFlight::new(),
@@ -1155,6 +1254,8 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
         counters: Counters::default(),
         telemetry,
         seq: AtomicU64::new(0),
+        rid_prefix,
+        shard,
         access_log,
         ready: AtomicBool::new(true),
         default_timeout,
@@ -1168,10 +1269,26 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
     });
 
     let addr = args.value("addr").unwrap_or("127.0.0.1:4817");
-    let listener = TcpListener::bind(addr).map_err(|source| CliError::Io {
-        path: addr.into(),
-        source,
-    })?;
+    let listener = match args.value("shard-fd") {
+        Some(_) => {
+            let fd = args.parsed("shard-fd", -1i32)?;
+            if fd < 0 {
+                return Err(ArgError::BadValue {
+                    flag: "shard-fd".into(),
+                    value: fd.to_string(),
+                }
+                .into());
+            }
+            // Safety: the supervisor bound this listener, cleared
+            // FD_CLOEXEC, and handed us its fd over exec; we are the
+            // sole owner in this process.
+            unsafe { TcpListener::from_raw_fd(fd) }
+        }
+        None => TcpListener::bind(addr).map_err(|source| CliError::Io {
+            path: addr.into(),
+            source,
+        })?,
+    };
     let local = listener.local_addr().map_err(|source| CliError::Io {
         path: addr.into(),
         source,
@@ -1183,7 +1300,12 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
 
     // The contract with supervisors and tests: the first stdout line
     // names the resolved address, flushed before any request lands.
-    println!("serving on http://{local}");
+    // Shard workers report readiness to their supervisor instead (it
+    // already printed the address line for the fleet).
+    match &state.shard {
+        Some(s) => println!("shard {} ready", s.index),
+        None => println!("serving on http://{local}"),
+    }
     let _ = std::io::stdout().flush();
     for d in &boot_degs {
         eprintln!("warning: {}", d.detail.as_deref().unwrap_or(&d.kind));
@@ -1198,7 +1320,11 @@ pub fn run_serve(argv: &[String]) -> Result<RunOutput, CliError> {
             // is this server doing right now" without stopping it.
             dump_blackbox(&state, "signal", None);
         }
-        if draining_since.is_none() && crate::batch::signal_drain_requested() {
+        let stop_requested = crate::batch::signal_drain_requested()
+            // A worker whose supervisor died (stdin EOF) drains itself
+            // rather than squatting on the shared socket.
+            || state.shard.as_ref().is_some_and(|s| s.fleet.orphaned());
+        if draining_since.is_none() && stop_requested {
             // Readiness flips *first* so load balancers stop routing,
             // then admission closes; queued and running requests keep
             // their connections and finish within the grace.

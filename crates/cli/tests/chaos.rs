@@ -546,3 +546,39 @@ fn env_var_arms_the_registry() {
     assert!(netart_fault::fired().iter().any(|s| s.starts_with("route.net")));
     let _ = fs::remove_dir_all(dir);
 }
+
+#[test]
+fn chaos_serve_spawn_faults_burn_a_restart_and_the_fleet_recovers() {
+    // A fault at `serve.spawn` fails the shard's *first* spawn
+    // attempt. The supervisor treats it like any other death: backoff,
+    // respawn (the one-shot site is burned out), and the fleet comes
+    // up one restart in. Every kind is a spawn failure here — a panic
+    // inside the site is contained by the supervisor's catch_unwind.
+    for kind in KINDS {
+        let spec = format!("serve.spawn:1:{kind}");
+        let dir = common::scratch(&format!("chaos-spawn-{kind}"));
+        let lib = common::write_lib(&dir);
+        let server = common::ServeProc::start(&lib, &["--shards", "1", "--inject", &spec]);
+
+        // The listener was bound by the supervisor before any spawn,
+        // so this request queues in the backlog until the respawned
+        // worker accepts — no connection refused, no dropped bytes.
+        let (net, cal, io) = common::chain_inputs(3);
+        let body = common::diagram_request(&net, &cal, Some(&io)).render_pretty();
+        let response = server.exchange("POST", "/v1/diagram", Some(&body));
+        assert_eq!(response.status, 200, "{spec}: {}", response.body);
+        assert_eq!(server.exchange("GET", "/healthz", None).status, 200, "{spec}");
+
+        // The burned first attempt is on the books as a restart.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let metrics = server.exchange("GET", "/metrics", None).body;
+            if metrics.contains("netart_serve_shard_restarts_total 1") {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "{spec}: restart never counted: {metrics}");
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -127,10 +127,22 @@ pub struct ServeProc {
 impl ServeProc {
     /// Boots `netart serve --addr 127.0.0.1:0 -L <lib> <extra…>` and
     /// reads the resolved address off the first stdout line.
+    ///
+    /// A default `--blackbox` under the temp dir keeps incidental
+    /// dumps (deadline breaches, injected faults) out of the source
+    /// tree; tests that care about the dump pass their own path in
+    /// `extra`, which wins (last flag value is kept).
     pub fn start(lib: &str, extra: &[&str]) -> ServeProc {
+        static BOOT_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let blackbox = std::env::temp_dir().join(format!(
+            "netart-serve-bb-{}-{}.json",
+            std::process::id(),
+            BOOT_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
         let mut child = Command::new(env!("CARGO_BIN_EXE_netart"))
             .arg("serve")
             .args(["--addr", "127.0.0.1:0", "-L", lib])
+            .args(["--blackbox", &blackbox.to_string_lossy()])
             .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
@@ -179,6 +191,11 @@ impl ServeProc {
     pub fn exchange(&self, method: &str, path: &str, body: Option<&str>) -> HttpResponse {
         self.request(method, path, body)
             .unwrap_or_else(|e| panic!("{method} {path} failed: {e}"))
+    }
+
+    /// The spawned process id (for `/proc/<pid>/…` inspection).
+    pub fn pid(&self) -> u32 {
+        self.child.id()
     }
 
     /// Sends SIGTERM (the supervisor's stop signal).

@@ -32,6 +32,7 @@ mod cache;
 mod flight;
 mod queue;
 mod service;
+mod supervisor;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -46,6 +47,7 @@ pub use cache::{ByteCache, CacheStats};
 pub use flight::SingleFlight;
 pub use queue::{BoundedQueue, TryPushError};
 pub use service::{Service, ServiceConfig, SubmitError, Ticket, TicketOutcome};
+pub use supervisor::{ShardAction, ShardPhase, ShardTable, SupervisorConfig};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -193,18 +195,25 @@ fn fnv1a(input: &str, attempt: u32) -> u64 {
     h
 }
 
+/// The backoff schedule itself, parameterised by its knobs so other
+/// supervising layers (the serve shard supervisor's respawn loop)
+/// share the exact engine behaviour: exponential in the 1-based
+/// `attempt` with a +0‥25% jitter derived deterministically from
+/// `seed`, capped at `cap` (before jitter).
+pub fn backoff_schedule(base: Duration, cap: Duration, seed: &str, attempt: u32) -> Duration {
+    let grown = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+    let grown = grown.min(cap);
+    let jitter_span = grown.as_nanos() as u64 / 4;
+    if jitter_span == 0 {
+        return grown;
+    }
+    grown + Duration::from_nanos(fnv1a(seed, attempt) % jitter_span)
+}
+
 /// The delay before retry number `attempt + 1`: exponential in the
 /// attempt with a ±25% deterministic jitter, capped.
 fn backoff_delay(config: &EngineConfig, input: &str, attempt: u32) -> Duration {
-    let base = config
-        .backoff_base
-        .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
-    let base = base.min(config.backoff_cap);
-    let jitter_span = base.as_nanos() as u64 / 4;
-    if jitter_span == 0 {
-        return base;
-    }
-    base + Duration::from_nanos(fnv1a(input, attempt) % jitter_span)
+    backoff_schedule(config.backoff_base, config.backoff_cap, input, attempt)
 }
 
 /// Sleeps for `total`, waking early when `drain` trips.

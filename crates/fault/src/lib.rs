@@ -84,6 +84,10 @@ pub mod sites {
     /// degrade to "metrics unavailable", never drop the request being
     /// observed).
     pub const SERVE_TELEMETRY: &str = "serve.telemetry";
+    /// Serve: the shard supervisor's worker spawn/respawn path (a
+    /// spawn fault must count as a shard death and feed the backoff /
+    /// crash-loop machinery, never kill the supervisor).
+    pub const SERVE_SPAWN: &str = "serve.spawn";
     /// Observability: the flight-recorder blackbox dump write (a
     /// failing dump must surface as a `flight_dump_failed`
     /// degradation, never disturb the request being dumped about).
@@ -108,6 +112,7 @@ pub mod sites {
         SERVE_REQUEST,
         SERVE_CACHE,
         SERVE_TELEMETRY,
+        SERVE_SPAWN,
         OBS_FLIGHT,
     ];
 }

@@ -217,6 +217,12 @@ pub struct ServeStats {
     pub in_flight: u64,
     /// Requests admitted but not yet started (gauge).
     pub queued: u64,
+    /// Sharded serving only: shards currently live, per the latest
+    /// supervisor broadcast (gauge; 0 when not sharded).
+    pub shard_live: u64,
+    /// Sharded serving only: cumulative worker respawns across the
+    /// fleet (0 when not sharded).
+    pub shard_restarts: u64,
     /// Requests observed inside the rolling latency window.
     pub win_latency_count: u64,
     /// Windowed median request latency (bucket upper bound, ns).
@@ -248,6 +254,8 @@ impl ServeStats {
             .with("cache_entries", self.cache_entries)
             .with("in_flight", self.in_flight)
             .with("queued", self.queued)
+            .with("shard_live", self.shard_live)
+            .with("shard_restarts", self.shard_restarts)
             .with("win_latency_count", self.win_latency_count)
             .with("win_latency_p50_ns", self.win_latency_p50_ns)
             .with("win_latency_p90_ns", self.win_latency_p90_ns)
@@ -286,6 +294,8 @@ impl ServeStats {
             cache_entries: field("cache_entries"),
             in_flight: field("in_flight"),
             queued: field("queued"),
+            shard_live: field("shard_live"),
+            shard_restarts: field("shard_restarts"),
             win_latency_count: field("win_latency_count"),
             win_latency_p50_ns: field("win_latency_p50_ns"),
             win_latency_p90_ns: field("win_latency_p90_ns"),

@@ -30,6 +30,8 @@ fn exemplar() -> ServeStats {
         cache_entries: 12,
         in_flight: 2,
         queued: 5,
+        shard_live: 4,
+        shard_restarts: 9,
         win_latency_count: 31,
         win_latency_p50_ns: 2_097_151,
         win_latency_p90_ns: 8_388_607,
